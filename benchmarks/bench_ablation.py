@@ -1,0 +1,136 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not in the paper; these quantify the contribution of each pipeline stage:
+
+* Conflict Adjusting (Algorithm 1) on/off in the GAP-based solver,
+* the step-2 fill on/off in the greedy solver,
+* the from-scratch simplex vs scipy LP backend (same optima, different cost),
+* greedy user-order sensitivity (the paper's Example 5 observation),
+* the local-search improver's gain over both solvers.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.core.constraints import check_plan
+from repro.core.gepc import (
+    GAPBasedSolver,
+    GreedySolver,
+    LocalSearchImprover,
+)
+from repro.datasets import make_city
+
+from conftest import archive, timed_memory_call
+
+_ROWS: list[list[object]] = []
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_city("beijing")
+
+
+def _measure(label, call):
+    solution, seconds, memory = timed_memory_call(call)
+    assert not check_plan(solution.plan.instance, solution.plan)
+    _ROWS.append([label, solution.utility, seconds, memory])
+    return solution
+
+
+def test_ablation_conflict_adjust(benchmark, instance):
+    def run():
+        _measure(
+            "gap (Algorithm 1 on)",
+            lambda: GAPBasedSolver(backend="scipy").solve(instance),
+        )
+        _measure(
+            "gap (Algorithm 1 off: drop conflicts)",
+            lambda: GAPBasedSolver(
+                backend="scipy", adjust_conflicts=False
+            ).solve(instance),
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_fill_step(benchmark, instance):
+    def run():
+        _measure(
+            "greedy (step-2 fill on)",
+            lambda: GreedySolver(seed=0, fill=True).solve(instance),
+        )
+        _measure(
+            "greedy (step-2 fill off)",
+            lambda: GreedySolver(seed=0, fill=False).solve(instance),
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_lp_backend(benchmark):
+    small = make_city("beijing", scale=0.25)
+
+    def run():
+        scipy_sol = _measure(
+            "gap (scipy LP backend, 28-user city)",
+            lambda: GAPBasedSolver(backend="scipy").solve(small),
+        )
+        simplex_sol = _measure(
+            "gap (from-scratch simplex, 28-user city)",
+            lambda: GAPBasedSolver(backend="simplex").solve(small),
+        )
+        # Same LP optima -> closely matching plans/utilities.
+        assert simplex_sol.utility == pytest.approx(
+            scipy_sol.utility, rel=0.05
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_greedy_order(benchmark, instance):
+    def run():
+        utilities = [
+            GreedySolver(seed=seed).solve(instance).utility
+            for seed in range(10)
+        ]
+        _ROWS.append([
+            "greedy order sensitivity (10 seeds): min",
+            min(utilities), 0.0, 0.0,
+        ])
+        _ROWS.append([
+            "greedy order sensitivity (10 seeds): max",
+            max(utilities), 0.0, 0.0,
+        ])
+        _ROWS.append([
+            "greedy order sensitivity (10 seeds): stdev",
+            statistics.stdev(utilities), 0.0, 0.0,
+        ])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_local_search(benchmark, instance):
+    def run():
+        base = GreedySolver(seed=0).solve(instance)
+        improved, seconds, memory = timed_memory_call(
+            lambda: LocalSearchImprover().improve(base)
+        )
+        _ROWS.append([
+            "greedy + local search", improved.utility, seconds, memory,
+        ])
+        assert improved.utility >= base.utility - 1e-9
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_ablation_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["configuration", "utility", "time_s", "memory_mb"]
+    text = format_table(
+        "Ablation: pipeline stages on the Beijing dataset", headers, _ROWS
+    )
+    archive("ablation", text, headers, _ROWS)

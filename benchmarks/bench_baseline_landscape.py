@@ -1,0 +1,88 @@
+"""The full solver landscape on one city (motivation quantified).
+
+Lines up everything the repository can run on the same instance:
+
+* the paper's two GEPC algorithms plus the regret extension,
+* prior-work baselines — GEP (no lower bounds; its utility is *promised*,
+  not deliverable) and the single-event matching of [3],
+* the random floor,
+* local search on top of the best approximation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GEPSolver, RandomSolver, SingleEventSolver
+from repro.bench.tables import format_table
+from repro.core.gepc import (
+    GAPBasedSolver,
+    GreedySolver,
+    LocalSearchImprover,
+)
+from repro.core.gepc.regret import RegretSolver
+
+from conftest import archive, timed_memory_call
+
+_ROWS: list[list[object]] = []
+
+SOLVERS = {
+    "random": lambda: RandomSolver(seed=0),
+    "single-event [3]": lambda: SingleEventSolver(),
+    "gep (no lower bounds) [4]": lambda: GEPSolver(),
+    "greedy (paper)": lambda: GreedySolver(seed=0),
+    "regret (extension)": lambda: RegretSolver(),
+    "gap-based (paper)": lambda: GAPBasedSolver(backend="scipy"),
+}
+
+
+@pytest.mark.parametrize("name", list(SOLVERS))
+def test_landscape(benchmark, cities, name):
+    instance = cities["beijing"]
+
+    def run():
+        solution, seconds, _ = timed_memory_call(
+            lambda: SOLVERS[name]().solve(instance)
+        )
+        violations = (
+            solution.diagnostics.get("lower_violations", 0.0)
+            if name.startswith("gep")
+            else 0.0
+        )
+        _ROWS.append([name, solution.utility, seconds, violations])
+        return solution
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_landscape_local_search(benchmark, cities):
+    instance = cities["beijing"]
+
+    def run():
+        base = GreedySolver(seed=0).solve(instance)
+        improved, seconds, _ = timed_memory_call(
+            lambda: LocalSearchImprover().improve(base)
+        )
+        _ROWS.append([
+            "greedy + local search (extension)", improved.utility, seconds, 0.0,
+        ])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_landscape_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["solver", "utility", "time_s", "lower_bound_violations"]
+    text = format_table(
+        "Solver landscape on Beijing (violations = broken promises)",
+        headers,
+        _ROWS,
+    )
+    archive("baseline_landscape", text, headers, _ROWS)
+    utilities = {row[0]: row[1] for row in _ROWS}
+    # The paper's story in one table:
+    assert utilities["greedy (paper)"] > utilities["single-event [3]"]
+    assert utilities["greedy (paper)"] > utilities["random"]
+    # GEP promises more utility but breaks lower-bound promises.
+    gep_row = next(row for row in _ROWS if row[0].startswith("gep"))
+    assert gep_row[3] > 0

@@ -1,0 +1,95 @@
+"""Batch vs sequential IEP (the paper's multi-change future work).
+
+The paper runs its incremental algorithm once per atomic operation.  The
+:class:`BatchIEPEngine` extension folds a whole change list into one repair
+pass.  This benchmark compares the two on growing batch sizes: the batch
+should be faster for long change lists at comparable utility and impact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.core.constraints import check_plan
+from repro.core.gepc import GreedySolver
+from repro.core.iep import BatchIEPEngine, IEPEngine
+from repro.core.metrics import total_utility
+from repro.datasets import make_city
+from repro.platform.stream import OperationStream
+
+from conftest import archive
+
+BATCH_SIZES = (2, 5, 10, 25)
+_ROWS: list[list[object]] = []
+
+
+@pytest.fixture(scope="module")
+def setup():
+    instance = make_city("beijing")
+    plan = GreedySolver(seed=0).solve(instance).plan
+    return instance, plan
+
+
+def _draw_operations(instance, plan, count, seed):
+    """Operations valid against the evolving instance (sequential replay)."""
+    stream = OperationStream(seed=seed)
+    engine = IEPEngine()
+    operations = []
+    current_instance, current_plan = instance, plan
+    while len(operations) < count:
+        operation = next(
+            iter(stream.mixed(current_instance, current_plan, 1))
+        )
+        operations.append(operation)
+        result = engine.apply(current_instance, current_plan, operation)
+        current_instance, current_plan = result.instance, result.plan
+    return operations
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_vs_sequential(benchmark, setup, batch_size):
+    instance, plan = setup
+    operations = _draw_operations(instance, plan, batch_size, seed=batch_size)
+
+    def run():
+        start = time.perf_counter()
+        engine = IEPEngine()
+        current_instance, current_plan = instance, plan
+        total_dif = 0
+        for operation in operations:
+            result = engine.apply(current_instance, current_plan, operation)
+            current_instance, current_plan = result.instance, result.plan
+            total_dif += result.dif
+        sequential_seconds = time.perf_counter() - start
+        sequential_utility = total_utility(current_instance, current_plan)
+
+        start = time.perf_counter()
+        batch = BatchIEPEngine().apply(instance, plan, operations)
+        batch_seconds = time.perf_counter() - start
+        assert not check_plan(batch.instance, batch.plan)
+
+        _ROWS.append([
+            batch_size,
+            sequential_utility, sequential_seconds, total_dif,
+            batch.utility, batch_seconds, batch.dif,
+        ])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_batch_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = [
+        "batch", "seq_utility", "seq_time_s", "seq_total_dif",
+        "batch_utility", "batch_time_s", "batch_dif",
+    ]
+    text = format_table(
+        "Extension: batch vs sequential IEP on Beijing", headers, _ROWS
+    )
+    archive("batch_iep", text, headers, _ROWS)
+    # Shape: the batch engine keeps utility in the sequential band.
+    for row in _ROWS:
+        assert row[4] >= 0.7 * row[1]

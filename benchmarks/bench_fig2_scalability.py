@@ -1,0 +1,126 @@
+"""Figure 2: GEPC scalability — utility and time vs |U| and vs |E|.
+
+Paper's findings to reproduce:
+* 2(a)/2(b): utility rises with |U| and |E|; GAP slightly above greedy,
+* 2(c)/2(d): both times rise; GAP's time is orders of magnitude above
+  greedy's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_chart
+from repro.bench.tables import format_series
+from repro.core.constraints import check_plan
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.datasets.cutout import (
+    EVENT_GRID,
+    USER_GRID,
+    DEFAULT_EVENTS,
+    DEFAULT_USERS,
+    event_sweep,
+    user_sweep,
+)
+
+from conftest import (
+    QUICK_EVENT_GRID,
+    QUICK_FIXED_EVENTS,
+    QUICK_FIXED_USERS,
+    QUICK_USER_GRID,
+    archive,
+    timed_memory_call,
+)
+
+_CELLS: dict[tuple[str, str, int], dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def sweeps(scale):
+    if scale == "paper":
+        return {
+            "users": user_sweep(grid=USER_GRID, n_events=DEFAULT_EVENTS),
+            "events": event_sweep(grid=EVENT_GRID, n_users=DEFAULT_USERS),
+        }
+    return {
+        "users": user_sweep(
+            grid=QUICK_USER_GRID, n_events=QUICK_FIXED_EVENTS
+        ),
+        "events": event_sweep(
+            grid=QUICK_EVENT_GRID, n_users=QUICK_FIXED_USERS
+        ),
+    }
+
+
+def _solver(name):
+    if name == "gap":
+        return GAPBasedSolver(backend="scipy")
+    return GreedySolver(seed=0)
+
+
+def _run_sweep(benchmark, sweep, axis, algorithm):
+    def run():
+        for size, instance in sweep:
+            solution, seconds, memory = timed_memory_call(
+                lambda inst=instance: _solver(algorithm).solve(inst)
+            )
+            assert not check_plan(instance, solution.plan)
+            _CELLS[(axis, algorithm, size)] = {
+                "utility": solution.utility,
+                "seconds": seconds,
+                "memory_mb": memory,
+            }
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("algorithm", ["gap", "greedy"])
+def test_fig2_user_sweep(benchmark, sweeps, algorithm):
+    """Fig 2(a) utility and 2(c) time as |U| grows (|E| fixed)."""
+    _run_sweep(benchmark, sweeps["users"], "users", algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["gap", "greedy"])
+def test_fig2_event_sweep(benchmark, sweeps, algorithm):
+    """Fig 2(b) utility and 2(d) time as |E| grows (|U| fixed)."""
+    _run_sweep(benchmark, sweeps["events"], "events", algorithm)
+
+
+def test_fig2_report(benchmark, sweeps):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for axis, label, sub_u, sub_t in (
+        ("users", "|U|", "fig2a_utility_vs_users", "fig2c_time_vs_users"),
+        ("events", "|E|", "fig2b_utility_vs_events", "fig2d_time_vs_events"),
+    ):
+        xs = [size for size, _ in sweeps[axis]]
+        utility = {
+            algo: [_CELLS[(axis, algo, x)]["utility"] for x in xs]
+            for algo in ("gap", "greedy")
+        }
+        seconds = {
+            algo: [_CELLS[(axis, algo, x)]["seconds"] for x in xs]
+            for algo in ("gap", "greedy")
+        }
+        text = format_series(
+            f"Fig 2 reproduction: utility vs {label}", label, xs, utility
+        )
+        archive(sub_u, text, [label, "gap", "greedy"],
+                [[x, utility["gap"][i], utility["greedy"][i]]
+                 for i, x in enumerate(xs)],
+                chart=ascii_chart(f"utility vs {label}", xs, utility))
+        text = format_series(
+            f"Fig 2 reproduction: time (s) vs {label}", label, xs, seconds
+        )
+        archive(sub_t, text, [label, "gap", "greedy"],
+                [[x, seconds["gap"][i], seconds["greedy"][i]]
+                 for i, x in enumerate(xs)],
+                chart=ascii_chart(
+                    f"time vs {label}", xs, seconds, log_y=True
+                ))
+
+        # Shape assertions: utility grows along each axis; GAP time dominates.
+        for algo in ("gap", "greedy"):
+            assert utility[algo][-1] > utility[algo][0]
+        assert all(
+            seconds["gap"][i] > seconds["greedy"][i] for i in range(len(xs))
+        )

@@ -1,0 +1,94 @@
+"""Figure 3: GEPC memory cost vs |U| and vs |E|.
+
+Paper's finding to reproduce: memory rises along both axes, with the
+GAP-based algorithm's cost a little above (here: substantially above, since
+the LP tableau dominates in Python) the greedy algorithm's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_series
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.datasets.cutout import (
+    EVENT_GRID,
+    USER_GRID,
+    DEFAULT_EVENTS,
+    DEFAULT_USERS,
+    event_sweep,
+    user_sweep,
+)
+
+from conftest import (
+    QUICK_EVENT_GRID,
+    QUICK_FIXED_EVENTS,
+    QUICK_FIXED_USERS,
+    QUICK_USER_GRID,
+    archive,
+    timed_memory_call,
+)
+
+_CELLS: dict[tuple[str, str, int], float] = {}
+
+
+@pytest.fixture(scope="module")
+def sweeps(scale):
+    if scale == "paper":
+        return {
+            "users": user_sweep(grid=USER_GRID, n_events=DEFAULT_EVENTS),
+            "events": event_sweep(grid=EVENT_GRID, n_users=DEFAULT_USERS),
+        }
+    return {
+        "users": user_sweep(grid=QUICK_USER_GRID, n_events=QUICK_FIXED_EVENTS),
+        "events": event_sweep(grid=QUICK_EVENT_GRID, n_users=QUICK_FIXED_USERS),
+    }
+
+
+@pytest.mark.parametrize("axis", ["users", "events"])
+@pytest.mark.parametrize("algorithm", ["gap", "greedy"])
+def test_fig3_memory(benchmark, sweeps, axis, algorithm):
+    solver = (
+        GAPBasedSolver(backend="scipy")
+        if algorithm == "gap"
+        else GreedySolver(seed=0)
+    )
+
+    def run():
+        for size, instance in sweeps[axis]:
+            _, _, memory = timed_memory_call(
+                lambda inst=instance: solver.solve(inst)
+            )
+            _CELLS[(axis, algorithm, size)] = memory
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig3_report(benchmark, sweeps):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for axis, label, name in (
+        ("users", "|U|", "fig3a_memory_vs_users"),
+        ("events", "|E|", "fig3b_memory_vs_events"),
+    ):
+        xs = [size for size, _ in sweeps[axis]]
+        series = {
+            algo: [_CELLS[(axis, algo, x)] for x in xs]
+            for algo in ("gap", "greedy")
+        }
+        text = format_series(
+            f"Fig 3 reproduction: peak memory (MB) vs {label}",
+            label, xs, series,
+        )
+        from repro.bench.ascii_plot import ascii_chart
+
+        archive(name, text, [label, "gap", "greedy"],
+                [[x, series["gap"][i], series["greedy"][i]]
+                 for i, x in enumerate(xs)],
+                chart=ascii_chart(
+                    f"memory vs {label}", xs, series, log_y=True
+                ))
+        # Shape: GAP memory above greedy everywhere; both grow with size.
+        assert all(
+            series["gap"][i] > series["greedy"][i] for i in range(len(xs))
+        )
+        assert series["gap"][-1] > series["gap"][0]

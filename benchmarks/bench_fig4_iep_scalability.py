@@ -1,0 +1,110 @@
+"""Figure 4: IEP scalability — utility and time vs |U| and |E| for the
+three atomic operations (eta-De, xi-In, ts-tt').
+
+Paper's findings to reproduce:
+* utility and time grow with |U| and |E|,
+* eta-De is the cheapest of the three operations (smallest working set).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_series
+from repro.core.gepc import GreedySolver
+from repro.datasets.cutout import (
+    EVENT_GRID,
+    USER_GRID,
+    DEFAULT_EVENTS,
+    DEFAULT_USERS,
+    event_sweep,
+    user_sweep,
+)
+
+from conftest import (
+    QUICK_EVENT_GRID,
+    QUICK_FIXED_EVENTS,
+    QUICK_FIXED_USERS,
+    QUICK_USER_GRID,
+    archive,
+)
+from iep_common import reps_for, run_incremental
+
+KINDS = ("eta_de", "xi_in", "ts_tt")
+_CELLS: dict[tuple[str, str, int], dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def sweeps(scale):
+    if scale == "paper":
+        grids = {
+            "users": user_sweep(grid=USER_GRID, n_events=DEFAULT_EVENTS),
+            "events": event_sweep(grid=EVENT_GRID, n_users=DEFAULT_USERS),
+        }
+    else:
+        grids = {
+            "users": user_sweep(grid=QUICK_USER_GRID, n_events=QUICK_FIXED_EVENTS),
+            "events": event_sweep(grid=QUICK_EVENT_GRID, n_users=QUICK_FIXED_USERS),
+        }
+    return {
+        axis: [
+            (size, instance, GreedySolver(seed=0).solve(instance).plan)
+            for size, instance in grid
+        ]
+        for axis, grid in grids.items()
+    }
+
+
+@pytest.mark.parametrize("axis", ["users", "events"])
+@pytest.mark.parametrize("kind", KINDS)
+def test_fig4_sweep(benchmark, sweeps, scale, axis, kind):
+    reps = reps_for(scale)
+
+    def run():
+        for size, instance, plan in sweeps[axis]:
+            averages = run_incremental(kind, instance, plan, reps)
+            _CELLS[(axis, kind, size)] = {
+                "utility": averages.utility,
+                "seconds": averages.seconds,
+                "memory_mb": averages.memory_mb,
+            }
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig4_report(benchmark, sweeps):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for axis, label in (("users", "|U|"), ("events", "|E|")):
+        xs = [size for size, _, _ in sweeps[axis]]
+        for metric, fig in (("utility", "ab"), ("seconds", "dh")):
+            series = {
+                kind: [_CELLS[(axis, kind, x)][metric] for x in xs]
+                for kind in KINDS
+            }
+            name = f"fig4_{metric}_vs_{axis}"
+            text = format_series(
+                f"Fig 4 reproduction: IEP {metric} vs {label}",
+                label, xs, series,
+            )
+            from repro.bench.ascii_plot import ascii_chart
+
+            archive(name, text, [label, *KINDS],
+                    [[x, *(series[k][i] for k in KINDS)]
+                     for i, x in enumerate(xs)],
+                    chart=ascii_chart(
+                        f"IEP {metric} vs {label}", xs, series,
+                        log_y=(metric == "seconds"),
+                    ))
+        # Shape: utility grows along the axis for every operation.
+        for kind in KINDS:
+            utilities = [_CELLS[(axis, kind, x)]["utility"] for x in xs]
+            assert utilities[-1] > utilities[0], (axis, kind)
+    # Shape: eta-De is the cheapest operation at the largest size.
+    for axis in ("users", "events"):
+        largest = max(x for (a, _, x) in _CELLS if a == axis)
+        eta = _CELLS[(axis, "eta_de", largest)]["seconds"]
+        others = [
+            _CELLS[(axis, kind, largest)]["seconds"]
+            for kind in ("xi_in", "ts_tt")
+        ]
+        assert eta <= max(others), axis

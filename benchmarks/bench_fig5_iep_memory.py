@@ -1,0 +1,94 @@
+"""Figure 5: IEP memory cost vs |U| and |E| for the three operations.
+
+Paper's finding to reproduce: the three operations' memory costs are nearly
+the same and grow with instance size, with eta-De's a little smaller (its
+working set has no Delta-heap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_series
+from repro.core.gepc import GreedySolver
+from repro.datasets.cutout import (
+    EVENT_GRID,
+    USER_GRID,
+    DEFAULT_EVENTS,
+    DEFAULT_USERS,
+    event_sweep,
+    user_sweep,
+)
+
+from conftest import (
+    QUICK_EVENT_GRID,
+    QUICK_FIXED_EVENTS,
+    QUICK_FIXED_USERS,
+    QUICK_USER_GRID,
+    archive,
+)
+from iep_common import reps_for, run_incremental
+
+KINDS = ("eta_de", "xi_in", "ts_tt")
+_CELLS: dict[tuple[str, str, int], float] = {}
+
+
+@pytest.fixture(scope="module")
+def sweeps(scale):
+    if scale == "paper":
+        grids = {
+            "users": user_sweep(grid=USER_GRID, n_events=DEFAULT_EVENTS),
+            "events": event_sweep(grid=EVENT_GRID, n_users=DEFAULT_USERS),
+        }
+    else:
+        grids = {
+            "users": user_sweep(grid=QUICK_USER_GRID, n_events=QUICK_FIXED_EVENTS),
+            "events": event_sweep(grid=QUICK_EVENT_GRID, n_users=QUICK_FIXED_USERS),
+        }
+    return {
+        axis: [
+            (size, instance, GreedySolver(seed=0).solve(instance).plan)
+            for size, instance in grid
+        ]
+        for axis, grid in grids.items()
+    }
+
+
+@pytest.mark.parametrize("axis", ["users", "events"])
+@pytest.mark.parametrize("kind", KINDS)
+def test_fig5_memory(benchmark, sweeps, scale, axis, kind):
+    reps = reps_for(scale)
+
+    def run():
+        for size, instance, plan in sweeps[axis]:
+            averages = run_incremental(kind, instance, plan, reps)
+            _CELLS[(axis, kind, size)] = averages.memory_mb
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig5_report(benchmark, sweeps):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for axis, label, name in (
+        ("users", "|U|", "fig5a_memory_vs_users"),
+        ("events", "|E|", "fig5b_memory_vs_events"),
+    ):
+        xs = [size for size, _, _ in sweeps[axis]]
+        series = {
+            kind: [_CELLS[(axis, kind, x)] for x in xs] for kind in KINDS
+        }
+        text = format_series(
+            f"Fig 5 reproduction: IEP peak memory (MB) vs {label}",
+            label, xs, series,
+        )
+        from repro.bench.ascii_plot import ascii_chart
+
+        archive(name, text, [label, *KINDS],
+                [[x, *(series[k][i] for k in KINDS)]
+                 for i, x in enumerate(xs)],
+                chart=ascii_chart(
+                    f"IEP memory vs {label}", xs, series
+                ))
+        # Shape: memory grows with size for every operation.
+        for kind in KINDS:
+            assert series[kind][-1] > series[kind][0], (axis, kind)

@@ -1,0 +1,57 @@
+"""Step-2 fill strategies: greedy insertion vs round-based matching.
+
+An ablation of the two-step framework's second stage: the paper delegates
+it to "existing methods" [4]; this bench compares our two members of that
+family on the city datasets — the greedy utility-descending filler and the
+min-cost-flow matching filler — as the step-2 stage of the greedy solver.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.core.constraints import check_plan
+from repro.core.gepc import GreedySolver, MatchingFill, UtilityFill
+
+from conftest import archive, timed_memory_call
+
+CITIES = ("beijing", "auckland")
+_ROWS: list[list[object]] = []
+
+
+@pytest.mark.parametrize("city", CITIES)
+@pytest.mark.parametrize("filler_name", ["utility-fill", "matching-fill"])
+def test_fill_strategy(benchmark, cities, city, filler_name):
+    instance = cities[city]
+    filler = UtilityFill() if filler_name == "utility-fill" else MatchingFill()
+
+    def run():
+        solution, seconds, memory = timed_memory_call(
+            lambda: GreedySolver(seed=0, filler=filler).solve(instance)
+        )
+        assert not check_plan(instance, solution.plan)
+        _ROWS.append([
+            city, filler_name, solution.utility, seconds, memory,
+            solution.diagnostics["fill_added"],
+        ])
+        return solution
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fill_strategy_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = [
+        "city", "filler", "utility", "time_s", "memory_mb", "fill_added",
+    ]
+    text = format_table(
+        "Ablation: step-2 fill strategies (greedy solver)", headers, _ROWS
+    )
+    archive("fill_strategies", text, headers, _ROWS)
+    # The two fillers land in the same utility band on every city.
+    by_city: dict[str, list[float]] = {}
+    for row in _ROWS:
+        by_city.setdefault(row[0], []).append(row[2])
+    for city, utilities in by_city.items():
+        assert max(utilities) <= min(utilities) * 1.10, city

@@ -1,0 +1,65 @@
+"""Three-way xi-GEPC comparison: GAP-based vs greedy vs regret (extension).
+
+The regret solver is the classic assignment-heuristic middle ground.
+Expected shape: utility between greedy and GAP-based (or matching greedy),
+time between them too (no LP, but a regret scan per placed copy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.core.constraints import check_plan
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.core.gepc.regret import RegretSolver
+
+from conftest import archive, timed_memory_call
+
+CITIES = ("beijing", "auckland")
+_ROWS: list[list[object]] = []
+
+
+def _solver(name):
+    return {
+        "gap": lambda: GAPBasedSolver(backend="scipy"),
+        "greedy": lambda: GreedySolver(seed=0),
+        "regret": lambda: RegretSolver(),
+    }[name]()
+
+
+@pytest.mark.parametrize("city", CITIES)
+@pytest.mark.parametrize("algorithm", ["gap", "greedy", "regret"])
+def test_regret_comparison(benchmark, cities, city, algorithm):
+    instance = cities[city]
+
+    def run():
+        solution, seconds, memory = timed_memory_call(
+            lambda: _solver(algorithm).solve(instance)
+        )
+        assert not check_plan(instance, solution.plan)
+        _ROWS.append(
+            [city, algorithm, solution.utility, seconds, memory]
+        )
+        return solution
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_regret_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    headers = ["city", "algorithm", "utility", "time_s", "memory_mb"]
+    text = format_table(
+        "Extension: regret insertion vs the paper's two algorithms",
+        headers,
+        _ROWS,
+    )
+    archive("regret_comparison", text, headers, _ROWS)
+    by_city: dict[str, dict[str, float]] = {}
+    for city, algorithm, utility, *_ in _ROWS:
+        by_city.setdefault(city, {})[algorithm] = utility
+    for city, utilities in by_city.items():
+        # Regret lands in the band spanned by the paper's two algorithms
+        # (with a small tolerance either way).
+        low = min(utilities["greedy"], utilities["gap"])
+        assert utilities["regret"] >= 0.95 * low, city

@@ -1,0 +1,29 @@
+"""Table VII: the eta-Decreasing IEP algorithm on the city datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from iep_tables import CITIES, report, run_city
+
+_ROWS: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("city", CITIES)
+def test_table7_eta_de(benchmark, cities, city_plans, scale, city):
+    benchmark.pedantic(
+        lambda: run_city("eta_de", city, cities, city_plans, scale, _ROWS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table7_report(benchmark, cities):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report(
+        "eta_de",
+        "Table VII reproduction: eta-De vs Re-Greedy vs Re-GAP",
+        "table7_eta_de",
+        cities,
+        _ROWS,
+    )

@@ -1,0 +1,29 @@
+"""Table VIII: the xi-Increasing IEP algorithm on the city datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from iep_tables import CITIES, report, run_city
+
+_ROWS: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("city", CITIES)
+def test_table8_xi_in(benchmark, cities, city_plans, scale, city):
+    benchmark.pedantic(
+        lambda: run_city("xi_in", city, cities, city_plans, scale, _ROWS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table8_report(benchmark, cities):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report(
+        "xi_in",
+        "Table VIII reproduction: xi-In vs Re-Greedy vs Re-GAP",
+        "table8_xi_in",
+        cities,
+        _ROWS,
+    )

@@ -1,0 +1,29 @@
+"""Table IX: the t^s/t^t-Changing IEP algorithm on the city datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from iep_tables import CITIES, report, run_city
+
+_ROWS: dict[str, dict[str, float]] = {}
+
+
+@pytest.mark.parametrize("city", CITIES)
+def test_table9_ts_tt(benchmark, cities, city_plans, scale, city):
+    benchmark.pedantic(
+        lambda: run_city("ts_tt", city, cities, city_plans, scale, _ROWS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_table9_report(benchmark, cities):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report(
+        "ts_tt",
+        "Table IX reproduction: ts-tt vs Re-Greedy vs Re-GAP",
+        "table9_ts_tt",
+        cities,
+        _ROWS,
+    )

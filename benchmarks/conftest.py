@@ -1,0 +1,94 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark file regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index).  ``REPRO_SCALE=quick`` (default) runs reduced
+sizes suitable for pure Python; ``REPRO_SCALE=paper`` runs the full Table
+IV/V grids.  Results are archived under ``results/`` as text + CSV.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+# Benchmarks import their shared helpers as a plain module.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.bench.harness import scale_from_env
+from repro.bench.memory import peak_memory_mb
+from repro.core.gepc import GreedySolver
+from repro.datasets import make_city
+
+RESULTS_DIR = Path(__file__).parent.parent / "results"
+
+#: City scale factors under quick mode (paper mode uses 1.0 everywhere).
+#: Chosen so GAP-based solves (LP over |U| x |E| variables) stay minutes-scale
+#: in pure Python while preserving each city's relative size ordering.
+QUICK_CITY_SCALE = {
+    "beijing": 1.0,
+    "auckland": 0.6,
+    "singapore": 0.25,
+    "vancouver": 0.15,
+}
+
+#: Reduced Table-V grids under quick mode.
+QUICK_USER_GRID = (50, 100, 200, 400)
+QUICK_EVENT_GRID = (10, 20, 40)
+QUICK_FIXED_EVENTS = 20
+QUICK_FIXED_USERS = 200
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def city_scales(scale) -> dict[str, float]:
+    if scale == "paper":
+        return {name: 1.0 for name in QUICK_CITY_SCALE}
+    return dict(QUICK_CITY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def cities(city_scales) -> dict[str, object]:
+    """Instances for the four Table-IV cities at the active scale."""
+    return {
+        name: make_city(name, scale=factor)
+        for name, factor in city_scales.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def city_plans(cities) -> dict[str, object]:
+    """A solved greedy plan per city (the IEP experiments' starting point)."""
+    return {
+        name: GreedySolver(seed=0).solve(instance).plan
+        for name, instance in cities.items()
+    }
+
+
+def timed_memory_call(call):
+    """Run ``call`` once; return (outcome, seconds, peak_mb).
+
+    tracemalloc inflates wall-clock uniformly across algorithms, so relative
+    comparisons (the paper's shape) are preserved.
+    """
+    start = time.perf_counter()
+    outcome, memory = peak_memory_mb(call)
+    return outcome, time.perf_counter() - start, memory
+
+
+def archive(name: str, text: str, headers, rows, chart: str | None = None) -> None:
+    """Print a reproduction table (and optional ASCII figure) and archive
+    both under results/."""
+    from repro.bench.tables import write_csv
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = text if chart is None else f"{text}\n\n{chart}"
+    (RESULTS_DIR / f"{name}.txt").write_text(body + "\n")
+    write_csv(RESULTS_DIR / f"{name}.csv", headers, rows)
+    print("\n" + body)

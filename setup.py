@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments without PEP 660 support (no wheel)."""
+
+from setuptools import setup
+
+setup()

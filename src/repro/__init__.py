@@ -1,0 +1,117 @@
+"""repro: Complex Event-Participant Planning and Its Incremental Variant.
+
+A production-quality reproduction of Cheng et al., ICDE 2017: the GEPC
+problem (global event planning with participation lower *and* upper bounds,
+time conflicts, and travel budgets) and its incremental variant IEP.
+
+Quickstart::
+
+    from repro import (
+        GreedySolver, GAPBasedSolver, IEPEngine, EtaDecrease, make_city,
+    )
+
+    instance = make_city("beijing")
+    solution = GreedySolver().solve(instance)
+    print(solution.utility)
+
+    engine = IEPEngine()
+    result = engine.apply(
+        instance, solution.plan, EtaDecrease(event=3, new_upper=5)
+    )
+    print(result.utility, result.dif)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.advisor import best_time_change, predict_impact
+from repro.core.analysis import RatioBounds
+from repro.core.constraints import check_plan, is_feasible
+from repro.core.costs import CostModel
+from repro.core.gepc import (
+    ExactSolver,
+    GAPBasedSolver,
+    GEPCSolution,
+    GreedySolver,
+    ILPSolver,
+    LocalSearchImprover,
+    MatchingFill,
+    RegretSolver,
+    UtilityFill,
+)
+from repro.core.repair import sanitize_plan
+from repro.core.iep import (
+    BatchIEPEngine,
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    IEPEngine,
+    IEPResult,
+    LocationChange,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+from repro.core.metrics import dif, total_utility
+from repro.core.model import Event, Instance, User
+from repro.core.plan import GlobalPlan
+from repro.datasets import (
+    generate_ebsn,
+    load_instance,
+    make_city,
+    MeetupConfig,
+    save_instance,
+)
+from repro.geo.point import Point
+from repro.platform import EBSNPlatform, OperationStream
+from repro.timeline.interval import Interval
+
+__version__ = "1.0.1"
+
+__all__ = [
+    "BatchIEPEngine",
+    "BudgetChange",
+    "CostModel",
+    "EBSNPlatform",
+    "EtaDecrease",
+    "EtaIncrease",
+    "Event",
+    "ExactSolver",
+    "GAPBasedSolver",
+    "GEPCSolution",
+    "GlobalPlan",
+    "GreedySolver",
+    "IEPEngine",
+    "IEPResult",
+    "ILPSolver",
+    "Instance",
+    "Interval",
+    "LocalSearchImprover",
+    "LocationChange",
+    "MatchingFill",
+    "MeetupConfig",
+    "NewEvent",
+    "OperationStream",
+    "Point",
+    "RatioBounds",
+    "RegretSolver",
+    "TimeChange",
+    "User",
+    "UtilityChange",
+    "UtilityFill",
+    "XiDecrease",
+    "XiIncrease",
+    "best_time_change",
+    "check_plan",
+    "dif",
+    "generate_ebsn",
+    "is_feasible",
+    "load_instance",
+    "make_city",
+    "predict_impact",
+    "sanitize_plan",
+    "save_instance",
+    "total_utility",
+]

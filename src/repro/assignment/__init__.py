@@ -1,0 +1,19 @@
+"""Generalized Assignment Problem substrate.
+
+The paper's GAP-based GEPC algorithm reduces the copy-expanded xi-GEPC
+(ignoring time conflicts) to a GAP instance, solves the LP relaxation
+(Plotkin-Shmoys-Tardos), and rounds with the Shmoys-Tardos scheme, which
+guarantees cost at most the LP optimum with machine loads at most
+``T_i + max_j p_ij``.
+"""
+
+from repro.assignment.gap import GAPInstance, GAPResult, GAPStatus, solve_gap
+from repro.assignment.rounding import shmoys_tardos_round
+
+__all__ = [
+    "GAPInstance",
+    "GAPResult",
+    "GAPStatus",
+    "shmoys_tardos_round",
+    "solve_gap",
+]

@@ -1,0 +1,231 @@
+"""GAP instances (with job multiplicities) and their LP relaxation.
+
+An instance has ``n`` machines and ``m`` jobs; assigning one unit of job
+``j`` to machine ``i`` costs ``costs[i, j]`` and consumes ``loads[i, j]`` of
+machine ``i``'s capacity ``capacities[i]``.  Each job ``j`` must be placed
+``demands[j]`` times (classic GAP: all demands 1), on distinct machines.
+
+Job demands model the paper's xi-GEPC copy expansion without blowing up the
+LP: the ``xi_j`` copies of an event share identical columns, so the LP
+collapses them into one variable block with ``sum_i x_ij = xi_j`` and
+``x_ij <= 1``.  (The per-machine cap strengthens the paper's formulation by
+ruling out one user holding two copies of the same event — assignments the
+Conflict Adjusting step would destroy anyway.)  For rounding, the fractional
+solution is re-exploded into unit copies (:func:`explode_to_copies`) and fed
+to the Shmoys-Tardos scheme.
+
+The LP applies the Shmoys-Tardos pruning rule: ``x_ij = 0`` whenever
+``loads[i, j] > capacities[i]``, plus any caller-forbidden pairs
+(zero-utility user-event pairs in the GEPC reduction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lp.model import LinearProgram
+from repro.lp.solve import solve_lp
+
+
+class GAPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass
+class GAPInstance:
+    """A Generalized Assignment Problem (minimisation form)."""
+
+    costs: np.ndarray
+    loads: np.ndarray
+    capacities: np.ndarray
+    forbidden: np.ndarray | None = None
+    demands: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.costs = np.asarray(self.costs, dtype=float)
+        self.loads = np.asarray(self.loads, dtype=float)
+        self.capacities = np.asarray(self.capacities, dtype=float)
+        if self.costs.shape != self.loads.shape:
+            raise ValueError("costs and loads must have the same shape")
+        if self.capacities.shape != (self.costs.shape[0],):
+            raise ValueError("one capacity per machine required")
+        if self.forbidden is None:
+            self.forbidden = np.zeros(self.costs.shape, dtype=bool)
+        else:
+            self.forbidden = np.asarray(self.forbidden, dtype=bool)
+            if self.forbidden.shape != self.costs.shape:
+                raise ValueError("forbidden mask shape mismatch")
+        if self.demands is None:
+            self.demands = np.ones(self.costs.shape[1], dtype=int)
+        else:
+            self.demands = np.asarray(self.demands, dtype=int)
+            if self.demands.shape != (self.costs.shape[1],):
+                raise ValueError("one demand per job required")
+            if (self.demands < 0).any():
+                raise ValueError("demands must be non-negative")
+
+    @property
+    def n_machines(self) -> int:
+        return self.costs.shape[0]
+
+    @property
+    def n_jobs(self) -> int:
+        return self.costs.shape[1]
+
+    @property
+    def n_units(self) -> int:
+        """Total demand units (``m+`` in the paper's notation)."""
+        return int(self.demands.sum())
+
+    def allowed(self) -> np.ndarray:
+        """Boolean mask of assignments admitted by the ST pruning rule."""
+        fits = self.loads <= self.capacities[:, None] + 1e-9
+        return fits & ~self.forbidden
+
+    def unit_cost(self, assignment: list[tuple[int, int]]) -> float:
+        """Total cost of a ``(machine, job)`` unit-assignment list."""
+        return float(sum(self.costs[i, j] for i, j in assignment))
+
+    def machine_loads(self, assignment: list[tuple[int, int]]) -> np.ndarray:
+        """Per-machine load of a ``(machine, job)`` unit-assignment list."""
+        loads = np.zeros(self.n_machines)
+        for i, j in assignment:
+            loads[i] += self.loads[i, j]
+        return loads
+
+
+@dataclass
+class GAPResult:
+    """Outcome of :func:`solve_gap`.
+
+    ``assignment`` lists one ``(machine, job)`` pair per placed demand unit.
+    """
+
+    status: GAPStatus
+    assignment: list[tuple[int, int]] | None = None
+    lp_value: float | None = None
+    cost: float | None = None
+
+
+def solve_lp_relaxation(
+    gap: GAPInstance, backend: str = "auto"
+) -> tuple[np.ndarray, float] | None:
+    """Fractional optimum of the GAP LP relaxation, or ``None`` if infeasible.
+
+    Returns ``(x, value)`` with ``x`` an ``n x m`` matrix, ``x_ij in [0, 1]``
+    and ``sum_i x_ij = demands[j]``.
+    """
+    allowed = gap.allowed()
+    if (allowed.sum(axis=0) < gap.demands).any():
+        return None  # some job cannot seat all its units
+
+    program = LinearProgram()
+    variable_of: dict[tuple[int, int], int] = {}
+    for i in range(gap.n_machines):
+        for j in range(gap.n_jobs):
+            if allowed[i, j] and gap.demands[j] > 0:
+                variable_of[(i, j)] = program.add_variable(
+                    gap.costs[i, j], upper=1.0
+                )
+    for j in range(gap.n_jobs):
+        if gap.demands[j] == 0:
+            continue
+        row = [
+            (variable_of[(i, j)], 1.0)
+            for i in range(gap.n_machines)
+            if (i, j) in variable_of
+        ]
+        program.add_eq_constraint(row, float(gap.demands[j]))
+    for i in range(gap.n_machines):
+        row = [
+            (variable_of[(i, j)], gap.loads[i, j])
+            for j in range(gap.n_jobs)
+            if (i, j) in variable_of
+        ]
+        if row:
+            program.add_le_constraint(row, gap.capacities[i])
+
+    solution = solve_lp(program, backend=backend)
+    if not solution.is_optimal:
+        return None
+    x = np.zeros((gap.n_machines, gap.n_jobs))
+    for (i, j), index in variable_of.items():
+        x[i, j] = min(1.0, max(0.0, solution.x[index]))
+    return x, float(solution.objective)
+
+
+def explode_to_copies(
+    gap: GAPInstance, x: np.ndarray
+) -> tuple[np.ndarray, list[int]]:
+    """Split a demand-collapsed fractional solution into unit copies.
+
+    Returns ``(x_plus, job_of_copy)``: ``x_plus`` is ``n x m+`` with each
+    copy column summing to 1; copies are filled machine-by-machine so the
+    total fractional mass per (machine, job) is preserved.
+    """
+    n = gap.n_machines
+    job_of_copy: list[int] = []
+    columns: list[np.ndarray] = []
+    for j in range(gap.n_jobs):
+        demand = int(gap.demands[j])
+        if demand == 0:
+            continue
+        mass = [(i, x[i, j]) for i in range(n) if x[i, j] > 1e-12]
+        copy_columns = [np.zeros(n) for _ in range(demand)]
+        copy = 0
+        room = 1.0
+        for i, amount in mass:
+            remaining = amount
+            while remaining > 1e-12 and copy < demand:
+                poured = min(room, remaining)
+                copy_columns[copy][i] += poured
+                remaining -= poured
+                room -= poured
+                if room <= 1e-12:
+                    copy += 1
+                    room = 1.0
+        for column in copy_columns:
+            job_of_copy.append(j)
+            columns.append(column)
+    if not columns:
+        return np.zeros((n, 0)), []
+    return np.column_stack(columns), job_of_copy
+
+
+def solve_gap(gap: GAPInstance, backend: str = "auto") -> GAPResult:
+    """LP relaxation + Shmoys-Tardos rounding.
+
+    The returned unit assignment has cost at most the LP optimum (hence at
+    most the integral optimum) and machine loads at most
+    ``T_i + max_j p_ij`` — the classic ST bicriteria guarantee the paper's
+    approximation analysis relies on.
+    """
+    from repro.assignment.rounding import shmoys_tardos_round
+
+    relaxed = solve_lp_relaxation(gap, backend=backend)
+    if relaxed is None:
+        return GAPResult(GAPStatus.INFEASIBLE)
+    x, lp_value = relaxed
+    x_plus, job_of_copy = explode_to_copies(gap, x)
+
+    copy_gap = GAPInstance(
+        costs=gap.costs[:, job_of_copy] if job_of_copy else gap.costs[:, :0],
+        loads=gap.loads[:, job_of_copy] if job_of_copy else gap.loads[:, :0],
+        capacities=gap.capacities,
+    )
+    machines = shmoys_tardos_round(copy_gap, x_plus)
+    if machines is None:  # pragma: no cover - matching always exists
+        return GAPResult(GAPStatus.INFEASIBLE)
+    assignment = [
+        (machine, job_of_copy[copy]) for copy, machine in enumerate(machines)
+    ]
+    return GAPResult(
+        GAPStatus.OPTIMAL,
+        assignment=assignment,
+        lp_value=lp_value,
+        cost=gap.unit_cost(assignment),
+    )

@@ -1,0 +1,93 @@
+"""Shmoys-Tardos rounding of a fractional GAP solution.
+
+Given a fractional assignment ``x`` (each job summing to 1 across machines),
+the scheme builds, per machine ``i``, ``ceil(sum_j x_ij)`` unit-capacity
+*slots*; jobs are poured into the slots in non-increasing ``loads[i, j]``
+order, splitting at slot boundaries.  The resulting job/slot bipartite graph
+admits ``x`` as a fractional perfect matching on the job side, so an integral
+matching of no greater cost exists; we extract it with the from-scratch
+min-cost-flow solver.  Because each slot holds jobs no larger than the
+smallest job of the previous slot, machine loads are bounded by
+``T_i + max_j p_ij``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.gap import GAPInstance
+from repro.flow.graph import FlowNetwork
+from repro.flow.mincost import min_cost_flow
+
+_EPS = 1e-9
+
+
+def shmoys_tardos_round(
+    gap: GAPInstance, x: np.ndarray
+) -> list[int] | None:
+    """Round fractional ``x`` to an integral job -> machine assignment.
+
+    Returns one machine index per job, or ``None`` when no perfect matching
+    exists (cannot happen for a valid fractional solution; kept for safety).
+    """
+    n, m = gap.n_machines, gap.n_jobs
+
+    # Build slot edges: (job, machine, slot ordinal) triples.
+    slot_edges: list[tuple[int, int, int]] = []
+    slots_per_machine: list[int] = []
+    for i in range(n):
+        jobs = [j for j in range(m) if x[i, j] > _EPS]
+        jobs.sort(key=lambda j: -gap.loads[i, j])
+        n_slots = int(np.ceil(sum(x[i, j] for j in jobs) - _EPS))
+        slots_per_machine.append(max(n_slots, 0))
+        slot = 0
+        room = 1.0
+        for j in jobs:
+            remaining = x[i, j]
+            # A job may straddle consecutive slots; add an edge per slot
+            # it touches.
+            while remaining > _EPS:
+                slot_edges.append((j, i, slot))
+                poured = min(room, remaining)
+                remaining -= poured
+                room -= poured
+                if room <= _EPS:
+                    slot += 1
+                    room = 1.0
+
+    # Min-cost flow: source -> jobs -> slots -> sink.
+    total_slots = sum(slots_per_machine)
+    network = FlowNetwork(2 + m + total_slots)
+    source, sink = 0, 1
+    job_node = [2 + j for j in range(m)]
+    slot_base: list[int] = []
+    offset = 2 + m
+    for i in range(n):
+        slot_base.append(offset)
+        offset += slots_per_machine[i]
+
+    for j in range(m):
+        network.add_edge(source, job_node[j], 1.0, 0.0)
+    edge_meta: list[tuple[int, int]] = []  # arc index -> (job, machine)
+    arc_indices: list[int] = []
+    for j, i, slot in slot_edges:
+        arc = network.add_edge(
+            job_node[j], slot_base[i] + slot, 1.0, gap.costs[i, j]
+        )
+        arc_indices.append(arc)
+        edge_meta.append((j, i))
+    for i in range(n):
+        for slot in range(slots_per_machine[i]):
+            network.add_edge(slot_base[i] + slot, sink, 1.0, 0.0)
+
+    result = min_cost_flow(network, source, sink, max_flow=m)
+    if result.flow < m - 1e-6:
+        return None
+
+    assignment = [-1] * m
+    for arc, (j, i) in zip(arc_indices, edge_meta):
+        if network.flow_on(arc) > 0.5:
+            assignment[j] = i
+    if any(machine < 0 for machine in assignment):  # pragma: no cover
+        return None
+    return assignment

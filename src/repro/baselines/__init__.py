@@ -1,0 +1,22 @@
+"""Baselines: the comparison algorithms of Section V.
+
+* :mod:`repro.baselines.rerun` — Re-GAP and Re-Greedy, the "recompute from
+  scratch after an atomic operation" competitors of Tables VII-IX,
+* :mod:`repro.baselines.gep` — the GEP of prior work [4] (no lower bounds),
+* :mod:`repro.baselines.single_event` — the one-event-per-user model of
+  prior work [3], solved exactly via min-cost flow,
+* :mod:`repro.baselines.random_assign` — a random feasible plan, the floor
+  any serious algorithm must clear.
+"""
+
+from repro.baselines.gep import GEPSolver
+from repro.baselines.random_assign import RandomSolver
+from repro.baselines.rerun import RerunBaseline
+from repro.baselines.single_event import SingleEventSolver
+
+__all__ = [
+    "GEPSolver",
+    "RandomSolver",
+    "RerunBaseline",
+    "SingleEventSolver",
+]

@@ -1,0 +1,61 @@
+"""The GEP baseline: utility-aware planning without lower bounds.
+
+This is the problem prior work [4] solves (and the paper's Theorem 1 reduces
+from): maximise utility subject to conflicts, budgets, and *upper* bounds
+only.  Implemented as a greedy utility-descending insertion — exactly the
+:class:`UtilityFill` step run on an empty plan with every event open.
+
+Running GEP on a GEPC instance demonstrates the paper's motivation: the
+resulting plan routinely leaves events below their participation lower
+bounds (measured by :meth:`GEPSolver.lower_bound_violations`).
+"""
+
+from __future__ import annotations
+
+from repro.core.gepc.base import GEPCSolution, GEPCSolver
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+class GEPSolver(GEPCSolver):
+    """Prior-work baseline that ignores participation lower bounds."""
+
+    name = "gep-no-lower-bounds"
+
+    def solve(self, instance: Instance) -> GEPCSolution:
+        plan = GlobalPlan(instance)
+        residual = [event.upper for event in instance.events]
+        candidates = [
+            (-instance.utility[user, event], user, event)
+            for user in range(instance.n_users)
+            for event in range(instance.n_events)
+            if instance.utility[user, event] > 0.0
+        ]
+        candidates.sort()
+        added = 0
+        for _, user, event in candidates:
+            if residual[event] <= 0:
+                continue
+            if plan.can_attend(user, event):
+                plan.add(user, event)
+                residual[event] -= 1
+                added += 1
+        return GEPCSolution(
+            plan,
+            solver=self.name,
+            diagnostics={
+                "added": float(added),
+                "lower_violations": float(
+                    self.lower_bound_violations(instance, plan)
+                ),
+            },
+        )
+
+    @staticmethod
+    def lower_bound_violations(instance: Instance, plan: GlobalPlan) -> int:
+        """Events this plan would hold with too few participants."""
+        return sum(
+            1
+            for event in range(instance.n_events)
+            if 0 < plan.attendance(event) < instance.events[event].lower
+        )

@@ -1,0 +1,48 @@
+"""Random feasible assignment — the sanity-check floor.
+
+Users are visited in random order and offered random events; every insertion
+respects conflicts, budgets, and upper bounds, and events finishing below
+their lower bound are cancelled.  Useful in tests (any real solver must beat
+it) and as the cheap seed for the local-search improver.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.gepc.base import (
+    GEPCSolution,
+    GEPCSolver,
+    cancel_deficient_events,
+)
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+class RandomSolver(GEPCSolver):
+    """Uniformly random feasible planner."""
+
+    name = "random"
+
+    def __init__(self, seed: int | None = 0, attempts_per_user: int = 8) -> None:
+        self._seed = seed
+        self._attempts = attempts_per_user
+
+    def solve(self, instance: Instance) -> GEPCSolution:
+        rng = random.Random(self._seed)
+        plan = GlobalPlan(instance)
+        residual = [event.upper for event in instance.events]
+
+        users = list(range(instance.n_users))
+        rng.shuffle(users)
+        for user in users:
+            for _ in range(self._attempts):
+                event = rng.randrange(instance.n_events) if instance.n_events else None
+                if event is None:
+                    break
+                if residual[event] > 0 and plan.can_attend(user, event):
+                    plan.add(user, event)
+                    residual[event] -= 1
+
+        cancelled = cancel_deficient_events(instance, plan)
+        return GEPCSolution(plan, cancelled=cancelled, solver=self.name)

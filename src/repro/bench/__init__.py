@@ -1,0 +1,21 @@
+"""Benchmark harness: experiment runner, paper-style tables, memory probes."""
+
+from repro.bench.ascii_plot import ascii_chart
+from repro.bench.harness import ExperimentResult, measure, scale_from_env
+from repro.bench.memory import peak_memory_mb
+from repro.bench.stats import Stats, speedup, summarize
+from repro.bench.tables import format_series, format_table, write_csv
+
+__all__ = [
+    "ExperimentResult",
+    "Stats",
+    "ascii_chart",
+    "format_series",
+    "format_table",
+    "measure",
+    "peak_memory_mb",
+    "scale_from_env",
+    "speedup",
+    "summarize",
+    "write_csv",
+]

@@ -1,0 +1,84 @@
+"""ASCII line charts for figure reproductions.
+
+The paper's figures are line plots; the benchmark harness archives each as
+a data table *and* a terminal-friendly chart so a reproduction run can be
+eyeballed without a plotting stack.  Series are scaled into a fixed-size
+character grid; a log-scale option handles the time plots whose two curves
+sit orders of magnitude apart.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render curves into a character grid.
+
+    Each series gets a marker from ``*o+x#@`` (legend appended).  ``log_y``
+    plots ``log10`` of the values (non-positive values are clamped to the
+    smallest positive one observed).
+    """
+    if not xs or not series:
+        return f"{title}\n(no data)"
+    values = [v for curve in series.values() for v in curve]
+    if log_y:
+        floor = min((v for v in values if v > 0), default=1.0)
+        transform = lambda v: math.log10(max(v, floor))  # noqa: E731
+    else:
+        transform = lambda v: v  # noqa: E731
+
+    ys = [transform(v) for v in values]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        points = [
+            (
+                round((x - x_min) / (x_max - x_min) * (width - 1)),
+                round(
+                    (transform(y) - y_min) / (y_max - y_min) * (height - 1)
+                ),
+            )
+            for x, y in zip(xs, curve)
+        ]
+        # Connect consecutive points with linear interpolation.
+        for (c0, r0), (c1, r1) in zip(points, points[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for step in range(steps + 1):
+                column = round(c0 + (c1 - c0) * step / steps)
+                row = round(r0 + (r1 - r0) * step / steps)
+                grid[height - 1 - row][column] = marker
+        for column, row in points:  # markers win over connector lines
+            grid[height - 1 - row][column] = marker
+
+    y_top = f"{y_max:.3g}" + (" (log10)" if log_y else "")
+    y_bottom = f"{y_min:.3g}"
+    lines = [title]
+    lines.append(f"  ^ {y_top}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + ">")
+    lines.append(f"   {x_min:<10.6g}{' ' * max(width - 22, 1)}{x_max:>10.6g}")
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"  [{y_bottom} at baseline]   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Experiment runner shared by every table/figure benchmark.
+
+Each benchmark measures the same triple the paper reports — total utility,
+wall-clock time, and peak memory — for one (algorithm, workload) cell.
+``REPRO_SCALE`` selects the workload size:
+
+* ``quick`` (default) — minutes-scale grids for pure-Python runs,
+* ``paper`` — the paper's full Table IV / Table V sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.memory import peak_memory_mb
+
+
+@dataclass
+class ExperimentResult:
+    """One measured cell: value plus cost metrics."""
+
+    label: str
+    utility: float
+    seconds: float
+    memory_mb: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+def measure(label: str, call: Callable[[], Any]) -> tuple[Any, ExperimentResult]:
+    """Run ``call`` once, capturing time and allocation peak.
+
+    ``call`` must return an object with a ``utility`` attribute (GEPC
+    solutions and IEP results both do) or a plain float.
+    """
+    start = time.perf_counter()
+    outcome, memory = peak_memory_mb(call)
+    seconds = time.perf_counter() - start
+    utility = outcome if isinstance(outcome, (int, float)) else outcome.utility
+    return outcome, ExperimentResult(
+        label=label,
+        utility=float(utility),
+        seconds=seconds,
+        memory_mb=memory,
+    )
+
+
+def scale_from_env() -> str:
+    """The benchmark scale: ``quick`` (default) or ``paper``."""
+    scale = os.environ.get("REPRO_SCALE", "quick").lower()
+    if scale not in {"quick", "paper"}:
+        raise ValueError(
+            f"REPRO_SCALE must be 'quick' or 'paper', got {scale!r}"
+        )
+    return scale

@@ -1,0 +1,85 @@
+"""Multi-run statistics for benchmark rigor.
+
+Single-run numbers hide seed sensitivity (the paper's own Example 5 shows
+greedy's user order moves utility).  :func:`summarize` turns repeated
+measurements into mean / stdev / a normal-approximation 95% confidence
+interval, and :func:`speedup` compares two measurement sets.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: two-sided 95% normal quantile.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of repeated measurements."""
+
+    n: int
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.4g} ± {self.ci_high - self.mean:.2g} "
+            f"(n={self.n}, range {self.minimum:.4g}-{self.maximum:.4g})"
+        )
+
+
+def summarize(values: Sequence[float]) -> Stats:
+    """Mean / stdev / 95% CI of ``values`` (needs at least one value)."""
+    if not values:
+        raise ValueError("cannot summarise zero measurements")
+    values = [float(v) for v in values]
+    mean = statistics.fmean(values)
+    stdev = statistics.stdev(values) if len(values) > 1 else 0.0
+    half_width = _Z95 * stdev / math.sqrt(len(values)) if len(values) > 1 else 0.0
+    return Stats(
+        n=len(values),
+        mean=mean,
+        stdev=stdev,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+@dataclass(frozen=True)
+class Speedup:
+    """Ratio of two measurement sets (baseline / candidate)."""
+
+    baseline: Stats
+    candidate: Stats
+
+    @property
+    def ratio(self) -> float:
+        """How many times faster/smaller the candidate mean is."""
+        if self.candidate.mean == 0:
+            return math.inf
+        return self.baseline.mean / self.candidate.mean
+
+    @property
+    def significant(self) -> bool:
+        """Whether the 95% CIs are disjoint (a conservative check)."""
+        return (
+            self.baseline.ci_low > self.candidate.ci_high
+            or self.candidate.ci_low > self.baseline.ci_high
+        )
+
+
+def speedup(
+    baseline: Sequence[float], candidate: Sequence[float]
+) -> Speedup:
+    """Compare two measurement sets (e.g. GAP vs greedy times)."""
+    return Speedup(summarize(baseline), summarize(candidate))

@@ -1,0 +1,71 @@
+"""Paper-style output: fixed-width tables, figure series, CSV archives.
+
+Every benchmark prints the same rows/series the paper reports (Table VI,
+Figs 2-5, Tables VII-IX) and archives them under ``results/`` so
+EXPERIMENTS.md can cite concrete numbers.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width text table with a title rule."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """A figure as text: one row per x value, one column per curve."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(values[index] for values in series.values())]
+        for index, x in enumerate(xs)
+    ]
+    return format_table(title, headers, rows)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Archive rows as CSV (parents created); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) >= 1e5 or abs(cell) < 1e-3):
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

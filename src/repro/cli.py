@@ -1,0 +1,233 @@
+"""Command-line interface: solve cities and run quick experiments.
+
+Installed as ``repro-gepc``::
+
+    repro-gepc solve --city beijing --solver greedy
+    repro-gepc solve --city auckland --solver gap --scale 0.5
+    repro-gepc compare --city beijing
+    repro-gepc stats --city vancouver
+    repro-gepc export --city beijing --out /tmp/beijing
+    repro-gepc simulate --city auckland --scale 0.5 --operations 20
+    repro-gepc replay /tmp/beijing /tmp/workload.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import measure
+from repro.bench.tables import format_table
+from repro.core.constraints import check_plan
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.core.model import InstanceStats
+from repro.datasets import CITY_CONFIGS, load_instance, make_city, save_instance
+from repro.platform import EBSNPlatform, OperationStream
+
+
+def _solver_by_name(name: str, seed: int):
+    if name == "greedy":
+        return GreedySolver(seed=seed)
+    if name == "gap":
+        return GAPBasedSolver(backend="scipy")
+    raise ValueError(f"unknown solver {name!r} (choose greedy or gap)")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = make_city(args.city, scale=args.scale)
+    solver = _solver_by_name(args.solver, args.seed)
+    solution, result = measure(args.solver, lambda: solver.solve(instance))
+    violations = check_plan(instance, solution.plan)
+    print(
+        format_table(
+            f"GEPC on {args.city} (scale={args.scale})",
+            ["solver", "utility", "time (s)", "memory (MB)", "cancelled", "violations"],
+            [[
+                args.solver,
+                result.utility,
+                result.seconds,
+                result.memory_mb,
+                len(solution.cancelled),
+                len(violations),
+            ]],
+        )
+    )
+    return 0 if not violations else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    instance = make_city(args.city, scale=args.scale)
+    rows = []
+    for name in ("gap", "greedy"):
+        solver = _solver_by_name(name, args.seed)
+        solution, result = measure(name, lambda s=solver: s.solve(instance))
+        rows.append(
+            [name, result.utility, result.seconds, result.memory_mb,
+             len(solution.cancelled)]
+        )
+    print(
+        format_table(
+            f"GAP vs Greedy on {args.city} (scale={args.scale})",
+            ["solver", "utility", "time (s)", "memory (MB)", "cancelled"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    instance = make_city(args.city, scale=args.scale)
+    stats = InstanceStats.of(instance)
+    print(
+        format_table(
+            f"Dataset stats: {args.city}",
+            ["|U|", "|E|", "mean xi", "mean eta", "conflict ratio"],
+            [[
+                stats.n_users,
+                stats.n_events,
+                stats.mean_lower,
+                stats.mean_upper,
+                stats.conflict_ratio,
+            ]],
+        )
+    )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    instance = make_city(args.city, scale=args.scale)
+    path = save_instance(instance, args.out)
+    print(f"wrote {instance.n_users} users / {instance.n_events} events to {path}")
+    return 0
+
+
+def _cmd_solve_file(args: argparse.Namespace) -> int:
+    instance = load_instance(args.dataset)
+    solver = _solver_by_name(args.solver, args.seed)
+    solution, result = measure(args.solver, lambda: solver.solve(instance))
+    violations = check_plan(instance, solution.plan)
+    print(
+        format_table(
+            f"GEPC on {args.dataset}",
+            ["solver", "utility", "time (s)", "violations"],
+            [[args.solver, result.utility, result.seconds, len(violations)]],
+        )
+    )
+    return 0 if not violations else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    instance = make_city(args.city, scale=args.scale)
+    platform = EBSNPlatform(instance, solver=_solver_by_name("greedy", args.seed))
+    utility = platform.publish_plans()
+    print(f"published: utility={utility:.1f}")
+    stream = OperationStream(seed=args.seed)
+    for _ in range(args.operations):
+        operation = next(
+            iter(stream.mixed(platform.instance, platform.plan, 1))
+        )
+        entry = platform.submit(operation)
+        print(
+            f"  {type(operation).__name__:<15} dif={entry.dif:<3} "
+            f"utility={entry.utility_after:.1f}"
+        )
+    audit = platform.audit()
+    print(
+        format_table(
+            "End-of-run audit",
+            ["operations", "utility", "total dif", "violations"],
+            [[
+                audit["operations"], audit["utility"],
+                audit["total_dif"], audit["violations"],
+            ]],
+        )
+    )
+    return 0 if audit["violations"] == 0 else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.iep import IEPEngine
+    from repro.core.metrics import total_utility
+    from repro.platform.oplog import load_operations
+
+    instance = load_instance(args.dataset)
+    operations = load_operations(args.oplog)
+    solver = _solver_by_name(args.solver, args.seed)
+    plan = solver.solve(instance).plan
+
+    engine = IEPEngine()
+    total_dif = 0
+    for operation in operations:
+        result = engine.apply(instance, plan, operation)
+        instance, plan = result.instance, result.plan
+        total_dif += result.dif
+    violations = check_plan(instance, plan)
+    print(
+        format_table(
+            f"Replay: {len(operations)} operations over {args.dataset}",
+            ["operations", "final utility", "total dif", "violations"],
+            [[
+                len(operations),
+                total_utility(instance, plan),
+                total_dif,
+                len(violations),
+            ]],
+        )
+    )
+    return 0 if not violations else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gepc",
+        description="GEPC/IEP reproduction toolkit (Cheng et al., ICDE 2017)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, handler in (
+        ("solve", _cmd_solve),
+        ("compare", _cmd_compare),
+        ("stats", _cmd_stats),
+        ("export", _cmd_export),
+        ("simulate", _cmd_simulate),
+    ):
+        sub = subparsers.add_parser(name)
+        sub.add_argument(
+            "--city", default="beijing", choices=sorted(CITY_CONFIGS)
+        )
+        sub.add_argument("--scale", type=float, default=1.0)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.set_defaults(handler=handler)
+    subparsers.choices["solve"].add_argument(
+        "--solver", default="greedy", choices=["greedy", "gap"]
+    )
+    subparsers.choices["export"].add_argument("--out", required=True)
+    subparsers.choices["simulate"].add_argument(
+        "--operations", type=int, default=10
+    )
+
+    solve_file = subparsers.add_parser("solve-file")
+    solve_file.add_argument("dataset")
+    solve_file.add_argument(
+        "--solver", default="greedy", choices=["greedy", "gap"]
+    )
+    solve_file.add_argument("--seed", type=int, default=0)
+    solve_file.set_defaults(handler=_cmd_solve_file)
+
+    replay = subparsers.add_parser("replay")
+    replay.add_argument("dataset")
+    replay.add_argument("oplog")
+    replay.add_argument(
+        "--solver", default="greedy", choices=["greedy", "gap"]
+    )
+    replay.add_argument("--seed", type=int, default=0)
+    replay.set_defaults(handler=_cmd_replay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

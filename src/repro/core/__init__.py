@@ -1,0 +1,23 @@
+"""Core library: the paper's data model, GEPC solvers, and IEP engine."""
+
+from repro.core.model import Event, Instance, User
+from repro.core.plan import GlobalPlan
+from repro.core.constraints import (
+    ConstraintViolation,
+    check_plan,
+    is_feasible,
+)
+from repro.core.metrics import dif, total_utility, user_utility
+
+__all__ = [
+    "ConstraintViolation",
+    "Event",
+    "GlobalPlan",
+    "Instance",
+    "User",
+    "check_plan",
+    "dif",
+    "is_feasible",
+    "total_utility",
+    "user_utility",
+]

@@ -1,0 +1,114 @@
+"""Instrumentation of the paper's theoretical quantities.
+
+The approximation-ratio analyses of Sections III-IV are stated in terms of
+
+* ``Uc_i`` — the number of events within distance ``B_i / 2`` of user
+  ``u_i``'s home (an upper bound on how many events the user can attend),
+* ``Uc_max = max_i Uc_i``,
+* ``maxCF`` — the largest set of mutually conflicting events,
+* ``m+ = sum_j xi_j`` — the copy-expanded job count.
+
+This module computes them, evaluates the paper's ratio bounds
+(``1/(Uc_max - 1) - O(eps)`` for the GAP-based algorithm, ``1/(2 Uc_max)``
+for the greedy), and verifies measured solver output against those bounds —
+the empirical-tightness study behind ``benchmarks/bench_approx_ratio.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Instance
+from repro.timeline.conflicts import max_clique_upper_bound
+
+
+def reachable_events(instance: Instance, user: int) -> int:
+    """``Uc_i``: events within ``B_i / 2`` of the user's home.
+
+    A round trip to a single event costs ``2 d(u_i, e_j)`` (plus any
+    admission fee), so events farther than ``B_i / 2`` can never appear in
+    a feasible plan — the paper's bound on plan size.
+    """
+    budget = instance.users[user].budget
+    count = 0
+    for event in range(instance.n_events):
+        cost = 2.0 * instance.distances.user_event(user, event)
+        cost += instance.cost_model.fee(event)
+        if cost <= budget + 1e-9:
+            count += 1
+    return count
+
+
+def uc_max(instance: Instance) -> int:
+    """``Uc_max``: the largest per-user reachable-event count."""
+    if instance.n_users == 0:
+        return 0
+    return max(
+        reachable_events(instance, user) for user in range(instance.n_users)
+    )
+
+
+def max_conflict_clique(instance: Instance) -> int:
+    """``maxCF``: the largest set of mutually conflicting events."""
+    return max_clique_upper_bound([e.interval for e in instance.events])
+
+
+def copy_count(instance: Instance) -> int:
+    """``m+``: the xi-GEPC copy-expanded job count, ``sum_j xi_j``."""
+    return sum(event.lower for event in instance.events)
+
+
+@dataclass(frozen=True)
+class RatioBounds:
+    """The paper's worst-case approximation-ratio guarantees."""
+
+    uc_max: int
+    max_conflict: int
+    m_plus: int
+    gap_based: float
+    greedy: float
+
+    @staticmethod
+    def of(instance: Instance, epsilon: float = 0.2) -> "RatioBounds":
+        uc = uc_max(instance)
+        gap_bound = 1.0 / (uc - 1) - epsilon if uc > 1 else 1.0
+        greedy_bound = 1.0 / (2 * uc) if uc > 0 else 1.0
+        return RatioBounds(
+            uc_max=uc,
+            max_conflict=max_conflict_clique(instance),
+            m_plus=copy_count(instance),
+            gap_based=max(gap_bound, 0.0),
+            greedy=max(greedy_bound, 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class EmpiricalRatio:
+    """A measured solver-vs-optimum ratio alongside its guaranteed bound."""
+
+    solver: str
+    achieved: float
+    guaranteed: float
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the measured ratio respects the worst-case guarantee."""
+        return self.achieved >= self.guaranteed - 1e-9
+
+    @property
+    def slack(self) -> float:
+        """How far above the worst-case bound the solver landed."""
+        return self.achieved - self.guaranteed
+
+
+def empirical_ratio(
+    solver_name: str,
+    solver_utility: float,
+    optimal_utility: float,
+    guaranteed: float,
+) -> EmpiricalRatio:
+    """Package a measured approximation ratio (1.0 when OPT is zero)."""
+    achieved = (
+        solver_utility / optimal_utility if optimal_utility > 0 else 1.0
+    )
+    return EmpiricalRatio(solver_name, achieved, guaranteed)

@@ -1,0 +1,75 @@
+"""Composite cost models: travel metric + per-event admission fees.
+
+The paper's conclusion asks whether attendance costs (admission fees) "could
+be naturally rolled into travel costs and thus be treated uniformly".  This
+module answers yes for the whole pipeline: a :class:`CostModel` bundles a
+travel metric with optional per-event fees, and a user's cost ``D_i``
+becomes
+
+    D_i = route(home -> events in start order -> home)  +  sum of fees
+
+charged against the same budget ``B_i``.  The default model (Euclidean, no
+fees) reproduces the paper's setting exactly; every solver and IEP repair
+works unchanged under any model because they all reach costs through
+``Instance.route_cost`` / ``route_cost_with``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.metrics import EUCLIDEAN, TravelMetric
+
+
+@dataclass
+class CostModel:
+    """How a user's plan cost is computed.
+
+    Parameters
+    ----------
+    metric:
+        The travel metric (Euclidean by default, per the paper).
+    fees:
+        Optional per-event admission fees (non-negative); ``None`` means
+        free events everywhere — the paper's setting.
+    """
+
+    metric: TravelMetric = field(default_factory=lambda: EUCLIDEAN)
+    fees: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.fees is not None:
+            self.fees = np.asarray(self.fees, dtype=float)
+            if (self.fees < 0).any():
+                raise ValueError("admission fees must be non-negative")
+
+    def fee(self, event: int) -> float:
+        """Admission fee of one event (0 when fees are disabled)."""
+        if self.fees is None:
+            return 0.0
+        return float(self.fees[event])
+
+    def total_fees(self, events: list[int]) -> float:
+        """Summed admission fees over a plan."""
+        if self.fees is None or not events:
+            return 0.0
+        return float(self.fees[events].sum()) if isinstance(events, np.ndarray) else float(
+            sum(self.fees[event] for event in events)
+        )
+
+    def with_event_appended(self, fee: float = 0.0) -> "CostModel":
+        """A model extended for one new event (IEP ``NewEvent``)."""
+        if self.fees is None and fee == 0.0:
+            return self
+        fees = self.fees if self.fees is not None else np.zeros(0)
+        return CostModel(self.metric, np.append(fees, fee))
+
+    @property
+    def has_fees(self) -> bool:
+        return self.fees is not None and bool((self.fees > 0).any())
+
+
+#: The paper's cost model: Euclidean travel, no admission fees.
+DEFAULT_COST_MODEL = CostModel()

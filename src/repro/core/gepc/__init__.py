@@ -1,0 +1,33 @@
+"""GEPC solvers: the paper's two-step framework (Section III).
+
+Step 1 solves xi-GEPC (upper bounds pinned to lower bounds) with either the
+GAP-based algorithm (:class:`GAPBasedSolver`, LP relaxation + Shmoys-Tardos
+rounding + Algorithm 1 Conflict Adjusting) or the greedy algorithm
+(:class:`GreedySolver`, Algorithm 2).  Step 2 fills residual capacities
+``eta_j - xi_j`` with :class:`UtilityFill` (the "methods in [4]" role).
+"""
+
+from repro.core.gepc.base import GEPCSolution, GEPCSolver
+from repro.core.gepc.copies import CopyExpansion
+from repro.core.gepc.exact import ExactSolver
+from repro.core.gepc.fill import UtilityFill
+from repro.core.gepc.fill_matching import MatchingFill
+from repro.core.gepc.gap_based import GAPBasedSolver
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.gepc.ilp import ILPSolver
+from repro.core.gepc.local_search import LocalSearchImprover
+from repro.core.gepc.regret import RegretSolver
+
+__all__ = [
+    "CopyExpansion",
+    "ExactSolver",
+    "GAPBasedSolver",
+    "GEPCSolution",
+    "GEPCSolver",
+    "GreedySolver",
+    "ILPSolver",
+    "LocalSearchImprover",
+    "MatchingFill",
+    "RegretSolver",
+    "UtilityFill",
+]

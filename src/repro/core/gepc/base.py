@@ -1,0 +1,66 @@
+"""Common solver interface and result type for GEPC algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.metrics import total_utility
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+@dataclass
+class GEPCSolution:
+    """A feasible global plan plus solver diagnostics.
+
+    Attributes
+    ----------
+    plan:
+        The feasible plan (every held event meets its bounds).
+    cancelled:
+        Events that could not reach their participation lower bound and were
+        therefore not held (see DESIGN.md feasibility semantics).
+    solver:
+        Name of the producing algorithm, for reports.
+    diagnostics:
+        Free-form per-solver numbers (LP value, adjustment counts, ...).
+    """
+
+    plan: GlobalPlan
+    cancelled: set[int] = field(default_factory=set)
+    solver: str = ""
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utility(self) -> float:
+        """Total utility of the plan (Definition 1 objective)."""
+        return total_utility(self.plan.instance, self.plan)
+
+
+class GEPCSolver(abc.ABC):
+    """A GEPC algorithm: instance in, feasible solution out."""
+
+    name: str = "gepc"
+
+    @abc.abstractmethod
+    def solve(self, instance: Instance) -> GEPCSolution:
+        """Produce a feasible plan for ``instance``."""
+
+
+def cancel_deficient_events(
+    instance: Instance, plan: GlobalPlan
+) -> set[int]:
+    """Cancel every event whose attendance is positive but below ``xi_j``.
+
+    Removing one event's attendees can only *free* budget and conflicts, so a
+    single pass suffices: cancellation never pushes another event below its
+    bound.  Returns the cancelled event ids.
+    """
+    cancelled = set()
+    for event in range(instance.n_events):
+        count = plan.attendance(event)
+        if 0 < count < instance.events[event].lower:
+            plan.clear_event(event)
+            cancelled.add(event)
+    return cancelled

@@ -1,0 +1,56 @@
+"""The xi-GEPC copy expansion (Section III-A transformation).
+
+Each event ``e_j`` with lower bound ``xi_j > 0`` is duplicated into
+``xi_j`` copies sharing its location, times, and utilities; copies of the
+same event conflict with each other by construction (one user attends an
+event at most once).  After the expansion, xi-GEPC becomes "assign each of
+the ``m+ = sum_j xi_j`` copies to exactly one user".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Instance
+
+
+@dataclass
+class CopyExpansion:
+    """Index maps between event copies and original events."""
+
+    original_of: list[int]
+    copies_of: list[list[int]]
+
+    @staticmethod
+    def for_instance(
+        instance: Instance, lowers: list[int] | None = None
+    ) -> "CopyExpansion":
+        """Expand ``instance``'s events into ``xi_j`` copies each.
+
+        ``lowers`` overrides the per-event copy counts (the IEP repair
+        routines expand with residual deficits instead of full ``xi_j``).
+        """
+        if lowers is None:
+            lowers = [event.lower for event in instance.events]
+        if len(lowers) != instance.n_events:
+            raise ValueError("one copy count per event required")
+        original_of: list[int] = []
+        copies_of: list[list[int]] = [[] for _ in range(instance.n_events)]
+        for event, count in enumerate(lowers):
+            for _ in range(count):
+                copies_of[event].append(len(original_of))
+                original_of.append(event)
+        return CopyExpansion(original_of, copies_of)
+
+    @property
+    def n_copies(self) -> int:
+        """``m+``: the total number of event copies."""
+        return len(self.original_of)
+
+    def copies_conflict(
+        self, instance: Instance, first: int, second: int
+    ) -> bool:
+        """Whether two copies conflict: same original event, or their
+        originals conflict in time."""
+        a, b = self.original_of[first], self.original_of[second]
+        return a == b or instance.events_conflict(a, b)

@@ -1,0 +1,156 @@
+"""Exact GEPC solver for small instances (validation oracle).
+
+GEPC is NP-hard (Theorem 1), so exact solving is only for tiny instances:
+the test-suite uses it to check that the approximate solvers stay feasible
+and close to optimal, and the IEP tests use it to verify minimal negative
+impact on toy cases.
+
+Method: dynamic programming over users.  A state is the per-event attendance
+vector (capped at ``eta_j``); for each user we enumerate every feasible
+individual plan (conflict-free, within budget, positive utilities) and take
+the best utility per reachable state.  At the end, states where some event
+has attendance strictly between 0 and ``xi_j`` are infeasible and discarded.
+
+Complexity is O(n * prod_j (eta_j + 1) * F) for F feasible individual plans
+per user — fine for ``m <= 6`` and small bounds.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.gepc.base import GEPCSolution, GEPCSolver
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_MAX_STATES = 2_000_000
+
+
+class ExactSolver(GEPCSolver):
+    """Brute-force-with-DP optimal GEPC solver (small instances only)."""
+
+    name = "exact"
+
+    def __init__(self, max_events: int = 8) -> None:
+        self._max_events = max_events
+
+    def solve(self, instance: Instance) -> GEPCSolution:
+        if instance.n_events > self._max_events:
+            raise ValueError(
+                f"exact solver limited to {self._max_events} events, "
+                f"got {instance.n_events}"
+            )
+        state_space = 1
+        for event in instance.events:
+            state_space *= event.upper + 1
+        if state_space > _MAX_STATES:
+            raise ValueError("state space too large for the exact solver")
+
+        feasible_plans = [
+            self._feasible_individual_plans(instance, user)
+            for user in range(instance.n_users)
+        ]
+
+        # DP over users: state -> (utility, backpointer chain).
+        initial = tuple([0] * instance.n_events)
+        layer: dict[tuple[int, ...], tuple[float, tuple]] = {
+            initial: (0.0, ())
+        }
+        for user in range(instance.n_users):
+            next_layer: dict[tuple[int, ...], tuple[float, tuple]] = {}
+            for state, (utility, back) in layer.items():
+                for events, gain in feasible_plans[user]:
+                    new_state = self._bump(instance, state, events)
+                    if new_state is None:
+                        continue
+                    candidate = (utility + gain, (back, events))
+                    incumbent = next_layer.get(new_state)
+                    if incumbent is None or candidate[0] > incumbent[0]:
+                        next_layer[new_state] = candidate
+            layer = next_layer
+
+        best_state, best_value, best_back = None, -1.0, ()
+        for state, (utility, back) in layer.items():
+            if not self._lower_bounds_ok(instance, state):
+                continue
+            if utility > best_value:
+                best_state, best_value, best_back = state, utility, back
+        if best_state is None:  # pragma: no cover - empty plan always valid
+            raise RuntimeError("no feasible state found")
+
+        plan = GlobalPlan(instance)
+        chains: list[tuple[int, ...]] = []
+        back = best_back
+        while back:
+            back, events = back
+            chains.append(events)
+        chains.reverse()
+        for user, events in enumerate(chains):
+            for event in events:
+                plan.add(user, event)
+        cancelled = {
+            j
+            for j in range(instance.n_events)
+            if plan.attendance(j) == 0 and instance.events[j].lower > 0
+        }
+        return GEPCSolution(
+            plan,
+            cancelled=cancelled,
+            solver=self.name,
+            diagnostics={"optimal_utility": best_value},
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _feasible_individual_plans(
+        instance: Instance, user: int
+    ) -> list[tuple[tuple[int, ...], float]]:
+        """All conflict-free, within-budget event subsets for ``user``."""
+        interesting = [
+            j
+            for j in range(instance.n_events)
+            if instance.utility[user, j] > 0.0
+        ]
+        plans: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
+        for size in range(1, len(interesting) + 1):
+            for subset in combinations(interesting, size):
+                if ExactSolver._has_conflict(instance, subset):
+                    continue
+                cost = instance.route_cost(user, list(subset))
+                if cost > instance.users[user].budget + 1e-9:
+                    continue
+                gain = float(
+                    sum(instance.utility[user, j] for j in subset)
+                )
+                plans.append((subset, gain))
+        return plans
+
+    @staticmethod
+    def _has_conflict(instance: Instance, events: tuple[int, ...]) -> bool:
+        ordered = sorted(events, key=lambda j: instance.events[j].start)
+        return any(
+            instance.events_conflict(a, b)
+            for a, b in zip(ordered, ordered[1:])
+        )
+
+    @staticmethod
+    def _bump(
+        instance: Instance, state: tuple[int, ...], events: tuple[int, ...]
+    ) -> tuple[int, ...] | None:
+        """State after one more user attends ``events`` (None if over eta)."""
+        counts = list(state)
+        for event in events:
+            counts[event] += 1
+            if counts[event] > instance.events[event].upper:
+                return None
+        return tuple(counts)
+
+    @staticmethod
+    def _lower_bounds_ok(
+        instance: Instance, state: tuple[int, ...]
+    ) -> bool:
+        return all(
+            count == 0 or count >= instance.events[j].lower
+            for j, count in enumerate(state)
+        )

@@ -1,0 +1,111 @@
+"""Step 2 of the two-step framework: fill residual event capacity.
+
+After step 1 places exactly the lower-bound number of users on each held
+event, remaining capacity ``eta_j - n_j`` can still absorb interested users.
+The paper delegates this to "existing methods with provable approximation
+ratio (e.g., see [4])"; :class:`UtilityFill` implements the greedy member of
+that family — scan all (user, event) pairs in non-increasing utility order
+and insert every feasible one.  Feasible means: event held, residual
+capacity left, positive utility, no time conflict with the user's plan, and
+the extended route still within the user's budget.
+
+The same routine serves the IEP algorithms' "check whether these users can
+attend other events" steps (Algorithms 3-5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+class UtilityFill:
+    """Greedy utility-descending capacity filler."""
+
+    name = "utility-fill"
+
+    def fill(
+        self,
+        instance: Instance,
+        plan: GlobalPlan,
+        excluded_events: set[int] | None = None,
+        only_users: set[int] | None = None,
+    ) -> int:
+        """Insert feasible assignments into ``plan`` in place.
+
+        Parameters
+        ----------
+        instance, plan:
+            The problem and the plan to extend.
+        excluded_events:
+            Events that must not receive new users (cancelled events, or the
+            event an IEP operation just shrank).
+        only_users:
+            Restrict insertions to these users (the IEP algorithms only
+            re-check the users whose plans were cut).
+
+        Returns the number of assignments added.
+        """
+        excluded = excluded_events or set()
+        residual = self._residual_capacity(instance, plan, excluded)
+
+        candidates = self._candidate_pairs(instance, plan, residual, only_users)
+        added = 0
+        for _, user, event in candidates:
+            if residual[event] <= 0:
+                continue
+            if plan.can_attend(user, event):
+                plan.add(user, event)
+                residual[event] -= 1
+                added += 1
+        return added
+
+    def _residual_capacity(
+        self,
+        instance: Instance,
+        plan: GlobalPlan,
+        excluded: set[int],
+    ) -> np.ndarray:
+        """Seats still open per event; zero for excluded or unheld events.
+
+        Unheld events (zero attendance) stay closed: opening them here could
+        create attendance between 1 and ``xi_j - 1``, breaking feasibility.
+        """
+        residual = np.zeros(instance.n_events, dtype=int)
+        for event in range(instance.n_events):
+            if event in excluded:
+                continue
+            count = plan.attendance(event)
+            held = count >= instance.events[event].lower and count > 0
+            if held or instance.events[event].lower == 0:
+                residual[event] = instance.events[event].upper - count
+        return residual
+
+    def _candidate_pairs(
+        self,
+        instance: Instance,
+        plan: GlobalPlan,
+        residual: np.ndarray,
+        only_users: set[int] | None,
+    ) -> list[tuple[float, int, int]]:
+        """(negative utility, user, event) triples, best utility first."""
+        users = (
+            sorted(only_users)
+            if only_users is not None
+            else range(instance.n_users)
+        )
+        open_events = [j for j in range(instance.n_events) if residual[j] > 0]
+        candidates = []
+        for user in users:
+            attending = set(plan.user_plan(user))
+            row = instance.utility[user]
+            for event in open_events:
+                if event in attending:
+                    continue
+                utility = row[event]
+                if utility > 0.0:
+                    candidates.append((-utility, user, event))
+        candidates.sort()
+        return candidates

@@ -1,0 +1,321 @@
+"""The GAP-based GEPC algorithm (Section III-A).
+
+Pipeline (the paper's two-step framework with its step 1 expanded):
+
+1. **Reduction** — build a GAP over users (machines) and events (jobs with
+   demand ``xi_j``): cost ``1 - mu(u_i, e_j)``, load ``2 d(u_i, e_j)``,
+   capacity ``(2 + eps) B_i``; zero-utility pairs are forbidden.
+2. **LP + rounding** — Plotkin-Shmoys-Tardos relaxation and Shmoys-Tardos
+   rounding (:mod:`repro.assignment`).  If the LP is infeasible, the least
+   valuable event is cancelled and the reduction retried (the paper assumes
+   feasible instances; see DESIGN.md).
+3. **Conflict Adjusting (Algorithm 1)** — evict the smallest-utility member
+   of each remaining conflict and re-home it on the best willing user.
+4. **Budget repair** — the GAP capacity ``(2 + eps) B_i`` plus the ST load
+   slack can exceed the true route budget; over-budget users shed their
+   lowest-utility events, which are re-homed the same way as in step 3.
+5. **Cancellation** — events left below their lower bound are not held.
+6. **Step 2 fill** — residual capacities ``eta_j - n_j`` are topped up by
+   :class:`UtilityFill`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.assignment.gap import GAPInstance, GAPStatus, solve_gap
+from repro.core.gepc.base import (
+    GEPCSolution,
+    GEPCSolver,
+    cancel_deficient_events,
+)
+from repro.core.gepc.fill import UtilityFill
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_BUDGET_TOL = 1e-9
+
+
+class GAPBasedSolver(GEPCSolver):
+    """LP-relaxation GEPC solver (the paper's higher-quality, slower option).
+
+    Parameters
+    ----------
+    epsilon:
+        The ``eps`` in the capacity scaling ``T_i = (2 + eps) B_i``.
+    backend:
+        LP backend passed through to :func:`repro.lp.solve.solve_lp`.
+    adjust_conflicts:
+        Run Algorithm 1 (ablation hook; disabling leaves conflicts to the
+        budget/cancellation stages and degrades utility).
+    fill:
+        Run step 2 (ablation hook).
+    filler:
+        The step-2 filler (defaults to :class:`UtilityFill`).
+    """
+
+    name = "gap-based"
+
+    def __init__(
+        self,
+        epsilon: float = 0.2,
+        backend: str = "auto",
+        adjust_conflicts: bool = True,
+        fill: bool = True,
+        filler=None,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self._epsilon = epsilon
+        self._backend = backend
+        self._adjust_conflicts = adjust_conflicts
+        self._fill = fill
+        self._filler = filler or UtilityFill()
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def solve(self, instance: Instance) -> GEPCSolution:
+        cancelled: set[int] = set()
+        result, cancelled = self._solve_gap_with_cancellation(instance)
+
+        plan = GlobalPlan(instance)
+        orphans: list[int] = []  # event ids awaiting a new home
+        if result is not None:
+            orphans = self._apply_assignment(instance, plan, result.assignment)
+
+        adjusted = 0
+        if self._adjust_conflicts:
+            adjusted = self._conflict_adjust(instance, plan, orphans)
+        else:
+            # Ablation: drop conflicting events without re-homing them.
+            adjusted = self._drop_conflicts(instance, plan)
+        shed = self._budget_repair(instance, plan)
+
+        cancelled |= cancel_deficient_events(instance, plan)
+        filled = 0
+        if self._fill:
+            filled = self._filler.fill(
+                instance, plan, excluded_events=cancelled
+            )
+
+        diagnostics = {
+            "cancelled": float(len(cancelled)),
+            "conflict_adjusted": float(adjusted),
+            "budget_shed": float(shed),
+            "fill_added": float(filled),
+        }
+        if result is not None and result.lp_value is not None:
+            diagnostics["lp_cost"] = result.lp_value
+        return GEPCSolution(
+            plan, cancelled=cancelled, solver=self.name, diagnostics=diagnostics
+        )
+
+    # ------------------------------------------------------------------ #
+    # Steps 1-2: reduction, LP, rounding (with cancellation retries)
+    # ------------------------------------------------------------------ #
+
+    def _build_gap(
+        self, instance: Instance, cancelled: set[int]
+    ) -> GAPInstance:
+        utility = instance.utility
+        n, m = instance.n_users, instance.n_events
+        fees = np.asarray(
+            [instance.cost_model.fee(j) for j in range(m)]
+        )
+        loads = np.empty((n, m))
+        for i in range(n):
+            loads[i] = fees + 2.0 * np.asarray(
+                [instance.distances.user_event(i, j) for j in range(m)]
+            )
+        demands = np.asarray(
+            [
+                0 if j in cancelled else instance.events[j].lower
+                for j in range(m)
+            ],
+            dtype=int,
+        )
+        capacities = np.asarray(
+            [(2.0 + self._epsilon) * user.budget for user in instance.users]
+        )
+        return GAPInstance(
+            costs=1.0 - utility,
+            loads=loads,
+            capacities=capacities,
+            forbidden=utility <= 0.0,
+            demands=demands,
+        )
+
+    def _solve_gap_with_cancellation(self, instance: Instance):
+        """Solve the reduction, cancelling the least valuable event on each
+        infeasibility until the GAP is solvable (at worst all events with
+        positive lower bounds are cancelled and the GAP is trivially empty).
+        """
+        cancelled: set[int] = set()
+        while True:
+            gap = self._build_gap(instance, cancelled)
+            if gap.n_units == 0:
+                return None, cancelled
+            result = solve_gap(gap, backend=self._backend)
+            if result.status is GAPStatus.OPTIMAL:
+                return result, cancelled
+            # Prefer cancelling events whose demand provably cannot be
+            # seated (too few users within reach); only when every event is
+            # individually seatable (aggregate capacity shortfall) fall back
+            # to the least valuable one.
+            unseatable = self._unseatable_events(gap, instance, cancelled)
+            if unseatable:
+                cancelled.update(unseatable)
+                continue
+            victim = self._least_valuable_event(instance, cancelled)
+            if victim is None:  # pragma: no cover - defensive
+                return None, cancelled
+            cancelled.add(victim)
+
+    @staticmethod
+    def _unseatable_events(gap, instance: Instance, cancelled: set[int]):
+        """Active events whose lower bound exceeds the number of users that
+        can feasibly reach them (the ST pruning mask)."""
+        allowed_users = gap.allowed().sum(axis=0)
+        return {
+            j
+            for j in range(instance.n_events)
+            if j not in cancelled
+            and gap.demands[j] > 0
+            and allowed_users[j] < gap.demands[j]
+        }
+
+    @staticmethod
+    def _least_valuable_event(
+        instance: Instance, cancelled: set[int]
+    ) -> int | None:
+        """The active lower-bounded event with the smallest top-``xi`` utility
+        mass — the cheapest one to give up when the seating LP has no
+        solution."""
+        best_event, best_value = None, np.inf
+        for j in range(instance.n_events):
+            if j in cancelled or instance.events[j].lower == 0:
+                continue
+            column = np.sort(instance.utility[:, j])[::-1]
+            value = float(column[: instance.events[j].lower].sum())
+            if value < best_value:
+                best_event, best_value = j, value
+        return best_event
+
+    @staticmethod
+    def _apply_assignment(
+        instance: Instance,
+        plan: GlobalPlan,
+        assignment: list[tuple[int, int]],
+    ) -> list[int]:
+        """Load the rounded GAP assignment into a tentative plan.
+
+        Duplicate copies of one event on one user cannot be expressed in a
+        plan; the extras become orphans for the adjustment stage to re-home.
+        """
+        orphans: list[int] = []
+        for user, event in assignment:
+            if plan.contains(user, event):
+                orphans.append(event)
+            else:
+                plan.add(user, event)
+        return orphans
+
+    # ------------------------------------------------------------------ #
+    # Step 3: Algorithm 1 (Conflict Adjusting)
+    # ------------------------------------------------------------------ #
+
+    def _conflict_adjust(
+        self, instance: Instance, plan: GlobalPlan, orphans: list[int]
+    ) -> int:
+        """Algorithm 1: per user, repeatedly evict the smallest-utility event
+        involved in a conflict and re-home it on the user with the highest
+        utility for it that can feasibly take it."""
+        moves = 0
+        for event in orphans:
+            self._rehome(instance, plan, event)
+            moves += 1
+        for user in range(instance.n_users):
+            while True:
+                conflicted = self._conflicted_events(instance, plan, user)
+                if not conflicted:
+                    break
+                victim = min(
+                    conflicted, key=lambda j: instance.utility[user, j]
+                )
+                plan.remove(user, victim)
+                self._rehome(instance, plan, victim, excluding=user)
+                moves += 1
+        return moves
+
+    def _drop_conflicts(self, instance: Instance, plan: GlobalPlan) -> int:
+        """Ablation variant of Algorithm 1: evict smallest-utility members
+        of each conflict but do not look for a new home."""
+        drops = 0
+        for user in range(instance.n_users):
+            while True:
+                conflicted = self._conflicted_events(instance, plan, user)
+                if not conflicted:
+                    break
+                victim = min(
+                    conflicted, key=lambda j: instance.utility[user, j]
+                )
+                plan.remove(user, victim)
+                drops += 1
+        return drops
+
+    @staticmethod
+    def _conflicted_events(
+        instance: Instance, plan: GlobalPlan, user: int
+    ) -> list[int]:
+        """Events in ``user``'s plan that conflict with another one of their
+        events (consecutive-pair checks suffice for start-sorted intervals)."""
+        events = plan.user_plan(user)
+        conflicted: set[int] = set()
+        for first, second in zip(events, events[1:]):
+            if instance.events_conflict(first, second):
+                conflicted.add(first)
+                conflicted.add(second)
+        return sorted(conflicted)
+
+    @staticmethod
+    def _rehome(
+        instance: Instance,
+        plan: GlobalPlan,
+        event: int,
+        excluding: int | None = None,
+    ) -> bool:
+        """Algorithm 1 lines 7-13: offer ``event`` to users in non-increasing
+        utility order; the first feasible taker gets it.  Returns whether a
+        home was found (a dropped copy may leave the event under-subscribed,
+        to be resolved by cancellation)."""
+        order = np.argsort(-instance.utility[:, event], kind="stable")
+        for candidate in order:
+            candidate = int(candidate)
+            if candidate == excluding:
+                continue
+            if instance.utility[candidate, event] <= 0.0:
+                return False  # remaining users all have zero utility
+            if plan.can_attend(candidate, event):
+                plan.add(candidate, event)
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Step 4: budget repair
+    # ------------------------------------------------------------------ #
+
+    def _budget_repair(self, instance: Instance, plan: GlobalPlan) -> int:
+        """Shed lowest-utility events from over-budget users, re-homing each
+        shed event like Algorithm 1 does."""
+        shed = 0
+        for user in range(instance.n_users):
+            budget = instance.users[user].budget
+            while plan.route_cost(user) > budget + _BUDGET_TOL:
+                events = plan.user_plan(user)
+                victim = min(events, key=lambda j: instance.utility[user, j])
+                plan.remove(user, victim)
+                self._rehome(instance, plan, victim, excluding=user)
+                shed += 1
+        return shed

@@ -1,0 +1,162 @@
+"""ILP-exact GEPC solver via set partitioning (validation at medium scale).
+
+The route cost ``D_i`` depends on *which* events a user attends (a path
+through the venues), so GEPC has no compact linear formulation over
+(user, event) indicators.  The standard remedy is column generation /
+set partitioning: enumerate every feasible individual plan (conflict-free,
+within budget) per user, introduce a binary ``z_{u,S}`` per plan, and solve
+
+    maximise   sum  utility(u, S) * z_{u,S}
+    subject to sum_S z_{u,S} = 1                       for every user u
+               sum_{(u,S): j in S} z_{u,S} - eta_j y_j <= 0   per event j
+               xi_j y_j - sum_{(u,S): j in S} z_{u,S} <= 0    per event j
+               z, y binary
+
+where ``y_j`` marks whether event ``j`` is held.  HiGHS (scipy's MILP)
+solves the result exactly.  Feasible-plan enumeration is exponential in the
+number of *mutually compatible* events per user, so this solver targets
+instances a step beyond :class:`repro.core.gepc.exact.ExactSolver`'s DP
+(which is instead exponential in ``prod_j (eta_j + 1)``): more events and
+larger bounds, but still small user-side plan counts.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.gepc.base import GEPCSolution, GEPCSolver
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_MAX_COLUMNS = 200_000
+
+
+class ILPSolver(GEPCSolver):
+    """Exact GEPC via set-partitioning MILP (HiGHS backend)."""
+
+    name = "ilp"
+
+    def __init__(self, max_plan_size: int | None = None) -> None:
+        self._max_plan_size = max_plan_size
+
+    def solve(self, instance: Instance) -> GEPCSolution:
+        columns: list[tuple[int, tuple[int, ...], float]] = []
+        for user in range(instance.n_users):
+            for events, gain in self._feasible_plans(instance, user):
+                columns.append((user, events, gain))
+            if len(columns) > _MAX_COLUMNS:
+                raise ValueError(
+                    "instance too large for the set-partitioning ILP "
+                    f"(> {_MAX_COLUMNS} columns)"
+                )
+
+        n_z = len(columns)
+        m = instance.n_events
+        n_vars = n_z + m  # z columns then y (event held) indicators
+
+        objective = np.zeros(n_vars)
+        for index, (_, _, gain) in enumerate(columns):
+            objective[index] = -gain  # milp minimises
+
+        constraints = []
+        # One plan per user.
+        rows = np.zeros((instance.n_users, n_vars))
+        for index, (user, _, _) in enumerate(columns):
+            rows[user, index] = 1.0
+        constraints.append(
+            LinearConstraint(rows, np.ones(instance.n_users), np.ones(instance.n_users))
+        )
+        # Event bound coupling.
+        attendance = np.zeros((m, n_vars))
+        for index, (_, events, _) in enumerate(columns):
+            for event in events:
+                attendance[event, index] = 1.0
+        upper_rows = attendance.copy()
+        lower_rows = -attendance.copy()
+        for event in range(m):
+            upper_rows[event, n_z + event] = -float(
+                instance.events[event].upper
+            )
+            lower_rows[event, n_z + event] = float(
+                instance.events[event].lower
+            )
+        constraints.append(
+            LinearConstraint(upper_rows, -np.inf, np.zeros(m))
+        )
+        constraints.append(
+            LinearConstraint(lower_rows, -np.inf, np.zeros(m))
+        )
+
+        result = milp(
+            objective,
+            constraints=constraints,
+            integrality=np.ones(n_vars),
+            bounds=Bounds(0.0, 1.0),
+        )
+        if not result.success:  # pragma: no cover - empty plan is feasible
+            raise RuntimeError(f"MILP failed: {result.message}")
+
+        plan = GlobalPlan(instance)
+        for index, (user, events, _) in enumerate(columns):
+            if result.x[index] > 0.5:
+                for event in events:
+                    plan.add(user, event)
+        cancelled = {
+            event
+            for event in range(m)
+            if plan.attendance(event) == 0 and instance.events[event].lower > 0
+        }
+        return GEPCSolution(
+            plan,
+            cancelled=cancelled,
+            solver=self.name,
+            diagnostics={
+                "columns": float(n_z),
+                "optimal_utility": float(-result.fun),
+            },
+        )
+
+    def _feasible_plans(self, instance: Instance, user: int):
+        """All conflict-free within-budget plans for ``user`` (incl. empty)."""
+        interesting = [
+            event
+            for event in range(instance.n_events)
+            if instance.utility[user, event] > 0.0
+        ]
+        limit = (
+            len(interesting)
+            if self._max_plan_size is None
+            else min(self._max_plan_size, len(interesting))
+        )
+        yield (), 0.0
+        for size in range(1, limit + 1):
+            any_feasible = False
+            for subset in combinations(interesting, size):
+                if self._has_conflict(instance, subset):
+                    continue
+                cost = instance.route_cost(user, list(subset))
+                if cost > instance.users[user].budget + 1e-9:
+                    continue
+                any_feasible = True
+                gain = float(
+                    sum(instance.utility[user, event] for event in subset)
+                )
+                yield subset, gain
+            if not any_feasible:
+                # Sound pruning: if a size-(k+1) plan were feasible, every
+                # size-k subset of it would also be feasible (dropping a stop
+                # never lengthens a triangle-inequality route, removes that
+                # stop's fee, and cannot create conflicts).  So no feasible
+                # size-k plans means none of any larger size either.
+                break
+
+    @staticmethod
+    def _has_conflict(instance: Instance, events: tuple[int, ...]) -> bool:
+        ordered = sorted(events, key=lambda j: instance.events[j].start)
+        return any(
+            instance.events_conflict(a, b)
+            for a, b in zip(ordered, ordered[1:])
+        )

@@ -1,0 +1,119 @@
+"""Local-search improvement on top of a feasible GEPC plan (extension).
+
+The paper leaves post-optimisation to future work; this improver is the
+ablation target DESIGN.md lists.  Starting from any feasible plan it applies
+first-improvement moves until a fixed point (or the iteration cap):
+
+* **add** — insert a missing feasible (user, event) assignment,
+* **swap** — replace one event in a user's plan with a better one,
+* **transfer** — move an event seat from one user to a higher-utility user.
+
+All moves preserve feasibility (bounds included), so utility is monotone
+non-decreasing and the loop terminates.
+"""
+
+from __future__ import annotations
+
+from repro.core.gepc.base import GEPCSolution
+from repro.core.metrics import total_utility
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+class LocalSearchImprover:
+    """Hill-climbing post-optimiser for GEPC solutions."""
+
+    name = "local-search"
+
+    def __init__(self, max_rounds: int = 20) -> None:
+        self._max_rounds = max_rounds
+
+    def improve(self, solution: GEPCSolution) -> GEPCSolution:
+        """A new solution whose plan's utility is >= the input's."""
+        instance = solution.plan.instance
+        plan = solution.plan.copy()
+        rounds = 0
+        improved = True
+        while improved and rounds < self._max_rounds:
+            improved = (
+                self._try_adds(instance, plan, solution.cancelled)
+                or self._try_swaps(instance, plan)
+                or self._try_transfers(instance, plan)
+            )
+            rounds += 1
+        return GEPCSolution(
+            plan,
+            cancelled=set(solution.cancelled),
+            solver=f"{solution.solver}+local-search",
+            diagnostics={
+                **solution.diagnostics,
+                "local_search_rounds": float(rounds),
+                "local_search_gain": total_utility(instance, plan)
+                - total_utility(instance, solution.plan),
+            },
+        )
+
+    def _try_adds(
+        self, instance: Instance, plan: GlobalPlan, cancelled: set[int]
+    ) -> bool:
+        for user in range(instance.n_users):
+            for event in range(instance.n_events):
+                if event in cancelled:
+                    continue
+                count = plan.attendance(event)
+                spec = instance.events[event]
+                # A seat is open only on events that are already held (or
+                # have no lower bound) and still below their upper bound.
+                open_seat = count >= spec.lower and count < spec.upper
+                if open_seat and plan.can_attend(user, event):
+                    plan.add(user, event)
+                    return True
+        return False
+
+    def _try_swaps(self, instance: Instance, plan: GlobalPlan) -> bool:
+        for user in range(instance.n_users):
+            for old in plan.user_plan(user):
+                # Removing `old` must not strand the event below its bound.
+                if plan.attendance(old) - 1 < instance.events[old].lower and (
+                    plan.attendance(old) - 1 > 0
+                ):
+                    continue
+                old_utility = instance.utility[user, old]
+                plan.remove(user, old)
+                best = None
+                for event in range(instance.n_events):
+                    count = plan.attendance(event)
+                    spec = instance.events[event]
+                    if count == 0 or count >= spec.upper:
+                        continue
+                    if instance.utility[user, event] <= old_utility:
+                        continue
+                    if plan.can_attend(user, event):
+                        if best is None or (
+                            instance.utility[user, event]
+                            > instance.utility[user, best]
+                        ):
+                            best = event
+                if best is not None:
+                    plan.add(user, best)
+                    return True
+                plan.add(user, old)
+        return False
+
+    def _try_transfers(self, instance: Instance, plan: GlobalPlan) -> bool:
+        for event in range(instance.n_events):
+            attendees = plan.attendees(event)
+            if not attendees:
+                continue
+            worst = min(attendees, key=lambda u: instance.utility[u, event])
+            worst_utility = instance.utility[worst, event]
+            for user in range(instance.n_users):
+                if instance.utility[user, event] <= worst_utility:
+                    continue
+                if plan.contains(user, event):
+                    continue
+                if plan.can_attend(user, event):
+                    plan.remove(worst, event)
+                    plan.add(user, event)
+                    return True
+        return False

@@ -1,0 +1,44 @@
+"""IEP: the incremental variant (Section IV).
+
+Ten atomic operations (:mod:`repro.core.iep.operations`) are reduced
+(:mod:`repro.core.iep.reductions`) to the three the paper solves directly:
+
+* ``eta_j`` decreased — Algorithm 3 (:mod:`repro.core.iep.eta_decrease`),
+* ``xi_j`` increased — Algorithm 4 (:mod:`repro.core.iep.xi_increase`),
+* ``t_j^s``/``t_j^t`` changed — Algorithm 5 (:mod:`repro.core.iep.time_change`).
+
+:class:`IEPEngine` dispatches any operation and returns the repaired plan
+with its negative impact ``dif(P, P')``.
+"""
+
+from repro.core.iep.batch import BatchIEPEngine, BatchResult
+from repro.core.iep.engine import IEPEngine, IEPResult
+from repro.core.iep.operations import (
+    AtomicOperation,
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    LocationChange,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+
+__all__ = [
+    "AtomicOperation",
+    "BatchIEPEngine",
+    "BatchResult",
+    "BudgetChange",
+    "EtaDecrease",
+    "EtaIncrease",
+    "IEPEngine",
+    "IEPResult",
+    "LocationChange",
+    "NewEvent",
+    "TimeChange",
+    "UtilityChange",
+    "XiDecrease",
+    "XiIncrease",
+]

@@ -1,0 +1,42 @@
+"""Algorithm 3: repair after an event's upper bound decreases.
+
+If the event now has more attendees than seats, evict the attendees with the
+*smallest* utility scores (keeping the happiest ``eta'_j`` users maximises
+the retained utility, and ``dif = n_j - eta'_j`` is the provable minimum).
+Evicted users are then offered other events through the step-2 filler — pure
+additions, so no further negative impact.
+"""
+
+from __future__ import annotations
+
+from repro.core.gepc.fill import UtilityFill
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+def eta_decrease(
+    instance: Instance, plan: GlobalPlan, event: int
+) -> dict[str, float]:
+    """Repair ``plan`` in place after ``event``'s upper bound dropped.
+
+    ``instance`` must already carry the new bound.  Returns diagnostics
+    (number of evictions and re-additions).
+    """
+    new_upper = instance.events[event].upper
+    count = plan.attendance(event)
+    if count <= new_upper:
+        return {"evicted": 0.0, "refilled": 0.0}
+
+    attendees = plan.attendees(event)
+    attendees.sort(key=lambda user: instance.utility[user, event])
+    evicted = attendees[: count - new_upper]
+    for user in evicted:
+        plan.remove(user, event)
+
+    refilled = UtilityFill().fill(
+        instance,
+        plan,
+        excluded_events={event},
+        only_users=set(evicted),
+    )
+    return {"evicted": float(len(evicted)), "refilled": float(refilled)}

@@ -1,0 +1,184 @@
+"""The atomic operations of Section IV.
+
+Each operation knows how to produce the *post-change instance*
+(:meth:`AtomicOperation.apply_to_instance`); plan repair is the job of the
+algorithms in this package.  Operations are immutable value objects so update
+streams can be logged and replayed.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import Event, Instance
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+
+class AtomicOperation(abc.ABC):
+    """One change to a user or event attribute."""
+
+    @abc.abstractmethod
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        """The instance after this change (the original is untouched)."""
+
+    def validate(self, instance: Instance) -> None:
+        """Raise ``ValueError`` if the operation is ill-formed for
+        ``instance`` (bad ids, bounds crossing, ...)."""
+
+
+@dataclass(frozen=True)
+class EtaDecrease(AtomicOperation):
+    """Event ``event``'s participation upper bound drops to ``new_upper``."""
+
+    event: int
+    new_upper: int
+
+    def validate(self, instance: Instance) -> None:
+        spec = instance.events[self.event]
+        if self.new_upper >= spec.upper:
+            raise ValueError("EtaDecrease must lower the upper bound")
+        if self.new_upper < spec.lower:
+            raise ValueError("upper bound cannot drop below the lower bound")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_event(self.event, upper=self.new_upper)
+
+
+@dataclass(frozen=True)
+class EtaIncrease(AtomicOperation):
+    """Event ``event``'s participation upper bound rises to ``new_upper``."""
+
+    event: int
+    new_upper: int
+
+    def validate(self, instance: Instance) -> None:
+        if self.new_upper <= instance.events[self.event].upper:
+            raise ValueError("EtaIncrease must raise the upper bound")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_event(self.event, upper=self.new_upper)
+
+
+@dataclass(frozen=True)
+class XiIncrease(AtomicOperation):
+    """Event ``event``'s participation lower bound rises to ``new_lower``."""
+
+    event: int
+    new_lower: int
+
+    def validate(self, instance: Instance) -> None:
+        spec = instance.events[self.event]
+        if self.new_lower <= spec.lower:
+            raise ValueError("XiIncrease must raise the lower bound")
+        if self.new_lower > spec.upper:
+            raise ValueError("lower bound cannot exceed the upper bound")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_event(self.event, lower=self.new_lower)
+
+
+@dataclass(frozen=True)
+class XiDecrease(AtomicOperation):
+    """Event ``event``'s participation lower bound drops to ``new_lower``."""
+
+    event: int
+    new_lower: int
+
+    def validate(self, instance: Instance) -> None:
+        if self.new_lower >= instance.events[self.event].lower:
+            raise ValueError("XiDecrease must lower the lower bound")
+        if self.new_lower < 0:
+            raise ValueError("lower bound cannot be negative")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_event(self.event, lower=self.new_lower)
+
+
+@dataclass(frozen=True)
+class TimeChange(AtomicOperation):
+    """Event ``event`` moves to ``new_interval``."""
+
+    event: int
+    new_interval: Interval
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_event(self.event, interval=self.new_interval)
+
+
+@dataclass(frozen=True)
+class LocationChange(AtomicOperation):
+    """Event ``event`` moves to venue ``new_location``."""
+
+    event: int
+    new_location: Point
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_event(self.event, location=self.new_location)
+
+
+@dataclass(frozen=True)
+class NewEvent(AtomicOperation):
+    """A new event is posted, with one utility score per user.
+
+    ``utilities`` is stored as a tuple to keep the operation hashable.
+    """
+
+    location: Point
+    lower: int
+    upper: int
+    interval: Interval
+    utilities: tuple[float, ...]
+    fee: float = 0.0
+
+    def validate(self, instance: Instance) -> None:
+        if len(self.utilities) != instance.n_users:
+            raise ValueError("one utility score per user required")
+        if self.fee < 0:
+            raise ValueError("admission fees are non-negative")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        event = Event(
+            id=instance.n_events,
+            location=self.location,
+            lower=self.lower,
+            upper=self.upper,
+            interval=self.interval,
+        )
+        return instance.with_new_event(
+            event, np.asarray(self.utilities, dtype=float), fee=self.fee
+        )
+
+
+@dataclass(frozen=True)
+class UtilityChange(AtomicOperation):
+    """User ``user``'s utility for ``event`` becomes ``new_value``."""
+
+    user: int
+    event: int
+    new_value: float
+
+    def validate(self, instance: Instance) -> None:
+        if not 0.0 <= self.new_value <= 1.0:
+            raise ValueError("utility scores lie in [0, 1]")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_utility(self.user, self.event, self.new_value)
+
+
+@dataclass(frozen=True)
+class BudgetChange(AtomicOperation):
+    """User ``user``'s travel budget becomes ``new_budget``."""
+
+    user: int
+    new_budget: float
+
+    def validate(self, instance: Instance) -> None:
+        if self.new_budget < 0:
+            raise ValueError("budgets are non-negative")
+
+    def apply_to_instance(self, instance: Instance) -> Instance:
+        return instance.with_user(self.user, budget=self.new_budget)

@@ -1,0 +1,157 @@
+"""Reductions of the remaining atomic operations to the three solved ones.
+
+Section IV argues that solving (1) eta decreased, (2) xi increased, and
+(3) times changed suffices: every other atomic operation either needs no
+repair, or reduces to one of the three plus pure (impact-free) additions.
+This module implements those reductions:
+
+* **eta increased** — new seats opened: free additions only.
+* **xi decreased** — the plan stays feasible; if the event was not held, a
+  free-addition revival is attempted (rolled back if the relaxed bound is
+  still unreachable).
+* **new event** — revival of an event with zero attendance: free additions
+  to the upper bound, then Algorithm 4 transfers if the lower bound is still
+  short (the paper's "reduce to the xi-increase algorithm").
+* **utility changed** — a drop to zero forces a removal (the user can no
+  longer attend) and possibly an Algorithm 4 repair of that event's lower
+  bound; an increase is at best a free addition.
+* **budget changed** — a decrease sheds lowest-utility events until the
+  route fits, repairing any event pushed below its bound; an increase is a
+  fill restricted to that user.
+"""
+
+from __future__ import annotations
+
+from repro.core.gepc.fill import UtilityFill
+from repro.core.iep.operations import (
+    BudgetChange,
+    EtaIncrease,
+    NewEvent,
+    UtilityChange,
+    XiDecrease,
+)
+from repro.core.iep.xi_increase import _free_additions, raise_attendance
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_BUDGET_TOL = 1e-9
+
+
+def eta_increase(
+    instance: Instance, plan: GlobalPlan, operation: EtaIncrease
+) -> dict[str, float]:
+    """More seats: add willing users, no displacement."""
+    event = operation.event
+    spec = instance.events[event]
+    if plan.attendance(event) == 0 and spec.lower > 0:
+        return {"free_added": 0.0}  # event is not held; new seats moot
+    return {
+        "free_added": float(
+            _free_additions(instance, plan, event, spec.upper)
+        )
+    }
+
+
+def xi_decrease(
+    instance: Instance, plan: GlobalPlan, operation: XiDecrease
+) -> dict[str, float]:
+    """Relaxed bound: feasible plans stay feasible; maybe revive the event."""
+    event = operation.event
+    if plan.attendance(event) > 0:
+        return {"revived": 0.0}
+    added = _free_additions(
+        instance, plan, event, instance.events[event].upper
+    )
+    if 0 < plan.attendance(event) < instance.events[event].lower:
+        # The relaxed bound is still out of reach without displacing anyone;
+        # roll the trial additions back (they were all new, so dif stays 0).
+        plan.clear_event(event)
+        return {"revived": 0.0, "rolled_back": float(added)}
+    return {"revived": float(plan.attendance(event) > 0)}
+
+
+def new_event(
+    instance: Instance, plan: GlobalPlan, operation: NewEvent
+) -> dict[str, float]:
+    """Seat a freshly posted event (reduce to the xi-increase machinery)."""
+    event = instance.n_events - 1  # the appended event
+    spec = instance.events[event]
+    diagnostics = {
+        "free_added": float(
+            _free_additions(instance, plan, event, spec.upper)
+        )
+    }
+    if plan.attendance(event) < spec.lower:
+        repair = raise_attendance(instance, plan, event, spec.lower)
+        for key, value in repair.items():
+            diagnostics[key] = diagnostics.get(key, 0.0) + value
+    return diagnostics
+
+
+def utility_change(
+    instance: Instance, plan: GlobalPlan, operation: UtilityChange
+) -> dict[str, float]:
+    user, event = operation.user, operation.event
+    attending = plan.contains(user, event)
+
+    if operation.new_value <= 0.0 and attending:
+        # The user can no longer attend (availability change, Section IV-B1).
+        plan.remove(user, event)
+        diagnostics: dict[str, float] = {"forced_removal": 1.0}
+        spec = instance.events[event]
+        if 0 < plan.attendance(event) < spec.lower:
+            repair = raise_attendance(instance, plan, event, spec.lower)
+            for key, value in repair.items():
+                diagnostics[key] = diagnostics.get(key, 0.0) + value
+        diagnostics["refilled"] = float(
+            UtilityFill().fill(
+                instance,
+                plan,
+                excluded_events={event},
+                only_users={user},
+            )
+        )
+        return diagnostics
+
+    if operation.new_value > 0.0 and not attending:
+        # Higher interest: at best a free addition to an event with seats.
+        spec = instance.events[event]
+        count = plan.attendance(event)
+        held = count >= spec.lower and count > 0 or spec.lower == 0
+        if held and count < spec.upper and plan.can_attend(user, event):
+            plan.add(user, event)
+            return {"free_added": 1.0}
+    return {"free_added": 0.0}
+
+
+def budget_change(
+    instance: Instance, plan: GlobalPlan, operation: BudgetChange
+) -> dict[str, float]:
+    user = operation.user
+    budget = instance.users[user].budget
+    diagnostics: dict[str, float] = {"shed": 0.0}
+
+    touched_events: list[int] = []
+    while plan.route_cost(user) > budget + _BUDGET_TOL:
+        events = plan.user_plan(user)
+        victim = min(events, key=lambda j: instance.utility[user, j])
+        plan.remove(user, victim)
+        touched_events.append(victim)
+        diagnostics["shed"] += 1.0
+
+    for event in touched_events:
+        spec = instance.events[event]
+        if 0 < plan.attendance(event) < spec.lower:
+            repair = raise_attendance(instance, plan, event, spec.lower)
+            for key, value in repair.items():
+                diagnostics[key] = diagnostics.get(key, 0.0) + value
+
+    diagnostics["refilled"] = float(
+        UtilityFill().fill(
+            instance,
+            plan,
+            excluded_events=set(touched_events),
+            only_users={user},
+        )
+    )
+    return diagnostics

@@ -1,0 +1,99 @@
+"""Algorithm 5: repair after an event's start/end times change.
+
+Stages (paper lines 1-19):
+
+1. Remove the event from every attendee whose plan the new times break —
+   a time conflict with their other events, or (because the visiting order
+   changed) a route that no longer fits their budget.
+2. If attendance still meets the lower bound, done.
+3. Otherwise offer the event to other users in non-increasing utility order
+   up to the upper bound (pure additions, no negative impact).
+4. If attendance is still short, fall back to Algorithm 4's transfer loop
+   with target ``xi_j`` (and cancellation as the last resort).
+
+A venue :func:`location_change` is the same repair without the conflict
+check — only budgets can break when an event moves in space.
+"""
+
+from __future__ import annotations
+
+from repro.core.gepc.fill import UtilityFill
+from repro.core.iep.xi_increase import _free_additions, raise_attendance
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_BUDGET_TOL = 1e-9
+
+
+def time_change(
+    instance: Instance, plan: GlobalPlan, event: int
+) -> dict[str, float]:
+    """Repair ``plan`` in place after ``event``'s interval changed.
+
+    ``instance`` must already carry the new interval and ``plan`` must be
+    rebound to it (:meth:`GlobalPlan.rebound_to`).
+    """
+    return _perturbation_repair(instance, plan, event, check_conflicts=True)
+
+
+def location_change(
+    instance: Instance, plan: GlobalPlan, event: int
+) -> dict[str, float]:
+    """Repair ``plan`` in place after ``event``'s venue moved."""
+    return _perturbation_repair(instance, plan, event, check_conflicts=False)
+
+
+def _perturbation_repair(
+    instance: Instance,
+    plan: GlobalPlan,
+    event: int,
+    check_conflicts: bool,
+) -> dict[str, float]:
+    removed = _remove_broken_attendees(instance, plan, event, check_conflicts)
+    diagnostics: dict[str, float] = {"removed": float(len(removed))}
+
+    spec = instance.events[event]
+    if plan.attendance(event) < spec.lower:
+        # Step 3: top up with willing users, up to the upper bound (the
+        # paper fills to eta_j here since every addition is free utility).
+        diagnostics["free_added"] = float(
+            _free_additions(instance, plan, event, spec.upper)
+        )
+        if plan.attendance(event) < spec.lower:
+            repair = raise_attendance(instance, plan, event, spec.lower)
+            for key, value in repair.items():
+                diagnostics[key] = diagnostics.get(key, 0.0) + value
+
+    if removed:
+        diagnostics["removed_refilled"] = float(
+            UtilityFill().fill(
+                instance,
+                plan,
+                excluded_events={event},
+                only_users=set(removed),
+            )
+        )
+    return diagnostics
+
+
+def _remove_broken_attendees(
+    instance: Instance,
+    plan: GlobalPlan,
+    event: int,
+    check_conflicts: bool,
+) -> list[int]:
+    """Drop ``event`` from attendees whose plans it now breaks."""
+    removed = []
+    for user in plan.attendees(event):
+        broken = False
+        if check_conflicts:
+            conflict_set = instance.conflicts[event]
+            others = (j for j in plan.user_plan(user) if j != event)
+            broken = any(j in conflict_set for j in others)
+        if not broken:
+            cost = instance.route_cost(user, plan.user_plan(user))
+            broken = cost > instance.users[user].budget + _BUDGET_TOL
+        if broken:
+            plan.remove(user, event)
+            removed.append(user)
+    return removed

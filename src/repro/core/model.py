@@ -1,0 +1,300 @@
+"""The paper's data model: users, events, and EBSN problem instances.
+
+Section II: each user ``u_i`` is a pair ``(l_{u_i}, B_i)`` (location, travel
+budget); each event ``e_j`` is a 5-tuple ``(l_{e_j}, xi_j, eta_j, t_j^s,
+t_j^t)`` (location, participation lower bound, upper bound, start, end); and
+``mu(u_i, e_j) in [0, 1]`` is the utility matrix, with 0 meaning the user
+cannot or will not attend.
+
+:class:`Instance` bundles these together with cached distance and conflict
+structures so the solvers never recompute geometry or interval overlaps in
+their inner loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geo.distance import DistanceMatrix
+from repro.geo.point import Point
+from repro.timeline.conflicts import conflict_graph, conflict_ratio
+from repro.timeline.interval import Interval
+
+
+@dataclass(frozen=True, slots=True)
+class User:
+    """An EBSN participant: home location and travel budget ``B_i``."""
+
+    id: int
+    location: Point
+    budget: float
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError(f"user {self.id}: budget must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """An EBSN event: venue, participation bounds ``(xi, eta)``, and times."""
+
+    id: int
+    location: Point
+    lower: int
+    upper: int
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ValueError(f"event {self.id}: lower bound must be >= 0")
+        if self.upper < self.lower:
+            raise ValueError(
+                f"event {self.id}: upper bound {self.upper} below lower "
+                f"bound {self.lower}"
+            )
+
+    @property
+    def start(self) -> float:
+        return self.interval.start
+
+    @property
+    def end(self) -> float:
+        return self.interval.end
+
+
+class Instance:
+    """An immutable-by-convention GEPC problem instance.
+
+    Parameters
+    ----------
+    users:
+        Users with ids ``0 .. n-1`` in order.
+    events:
+        Events with ids ``0 .. m-1`` in order.
+    utility:
+        ``n x m`` matrix of utility scores in ``[0, 1]``.
+
+    The IEP atomic operations produce *new* instances via :meth:`with_event`
+    / :meth:`with_user` / :meth:`with_utility` rather than mutating, so an
+    original plan can always be re-validated against the instance it was
+    computed for.
+    """
+
+    def __init__(
+        self,
+        users: list[User],
+        events: list[Event],
+        utility: np.ndarray,
+        cost_model=None,
+    ) -> None:
+        from repro.core.costs import DEFAULT_COST_MODEL
+
+        utility = np.asarray(utility, dtype=float)
+        if utility.shape != (len(users), len(events)):
+            raise ValueError(
+                f"utility shape {utility.shape} does not match "
+                f"{len(users)} users x {len(events)} events"
+            )
+        if utility.size and (utility.min() < 0 or utility.max() > 1):
+            raise ValueError("utility scores must lie in [0, 1]")
+        for i, user in enumerate(users):
+            if user.id != i:
+                raise ValueError(f"user ids must be 0..n-1 in order, got {user.id} at {i}")
+        for j, event in enumerate(events):
+            if event.id != j:
+                raise ValueError(f"event ids must be 0..m-1 in order, got {event.id} at {j}")
+        self.users = list(users)
+        self.events = list(events)
+        self.utility = utility
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        if (
+            self.cost_model.fees is not None
+            and self.cost_model.fees.shape != (len(events),)
+        ):
+            raise ValueError("one admission fee per event required")
+        self._distances: DistanceMatrix | None = None
+        self._conflicts: list[set[int]] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Sizes and cached structures
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_users(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    @property
+    def distances(self) -> DistanceMatrix:
+        """Lazily built distance cache (user-event and event-event)."""
+        if self._distances is None:
+            self._distances = DistanceMatrix(
+                [u.location for u in self.users],
+                [e.location for e in self.events],
+                metric=self.cost_model.metric,
+            )
+        return self._distances
+
+    @property
+    def conflicts(self) -> list[set[int]]:
+        """Lazily built conflict adjacency: ``conflicts[j]`` = events
+        conflicting with event ``j``."""
+        if self._conflicts is None:
+            self._conflicts = conflict_graph([e.interval for e in self.events])
+        return self._conflicts
+
+    def conflict_ratio(self) -> float:
+        """Fraction of events with at least one conflict (Table IV stat)."""
+        return conflict_ratio([e.interval for e in self.events])
+
+    def events_conflict(self, first: int, second: int) -> bool:
+        """Whether two distinct events conflict in time."""
+        return second in self.conflicts[first]
+
+    # ------------------------------------------------------------------ #
+    # Route costs (the paper's travel cost D_i)
+    # ------------------------------------------------------------------ #
+
+    def route_cost(self, user: int, event_ids: list[int]) -> float:
+        """Cost of attending ``event_ids``: travel home -> events in start
+        order -> home (paper Section II; Euclidean by default), plus any
+        admission fees of the cost model.
+
+        ``event_ids`` may be in any order; they are visited by start time.
+        """
+        if not event_ids:
+            return 0.0
+        ordered = sorted(event_ids, key=lambda j: self.events[j].start)
+        d = self.distances
+        cost = d.user_event(user, ordered[0])
+        for prev, nxt in zip(ordered, ordered[1:]):
+            cost += d.event_event(prev, nxt)
+        cost += d.user_event(user, ordered[-1])
+        return cost + self.cost_model.total_fees(ordered)
+
+    def route_cost_with(
+        self, user: int, sorted_events: list[int], new_event: int
+    ) -> float:
+        """Route cost if ``new_event`` is added to a start-sorted plan.
+
+        ``sorted_events`` must already be sorted by event start time; the
+        new event is spliced into its slot.  Used by the hot loops of the
+        greedy solver and the IEP repair routines.
+        """
+        start = self.events[new_event].start
+        position = 0
+        while (
+            position < len(sorted_events)
+            and self.events[sorted_events[position]].start <= start
+        ):
+            position += 1
+        d = self.distances
+        fee = self.cost_model.fee(new_event)
+
+        if not sorted_events:
+            return 2.0 * d.user_event(user, new_event) + fee
+
+        base = self.route_cost(user, sorted_events)
+        if position == 0:
+            successor = sorted_events[0]
+            return (
+                base
+                - d.user_event(user, successor)
+                + d.user_event(user, new_event)
+                + d.event_event(new_event, successor)
+                + fee
+            )
+        if position == len(sorted_events):
+            predecessor = sorted_events[-1]
+            return (
+                base
+                - d.user_event(user, predecessor)
+                + d.event_event(predecessor, new_event)
+                + d.user_event(user, new_event)
+                + fee
+            )
+        predecessor = sorted_events[position - 1]
+        successor = sorted_events[position]
+        return (
+            base
+            - d.event_event(predecessor, successor)
+            + d.event_event(predecessor, new_event)
+            + d.event_event(new_event, successor)
+            + fee
+        )
+
+    # ------------------------------------------------------------------ #
+    # Functional updates (used by the IEP atomic operations)
+    # ------------------------------------------------------------------ #
+
+    def with_event(self, event_id: int, **changes) -> "Instance":
+        """A new instance with one event's attributes replaced."""
+        events = list(self.events)
+        events[event_id] = replace(events[event_id], **changes)
+        return Instance(self.users, events, self.utility, self.cost_model)
+
+    def with_user(self, user_id: int, **changes) -> "Instance":
+        """A new instance with one user's attributes replaced."""
+        users = list(self.users)
+        users[user_id] = replace(users[user_id], **changes)
+        return Instance(users, self.events, self.utility, self.cost_model)
+
+    def with_utility(self, user_id: int, event_id: int, value: float) -> "Instance":
+        """A new instance with one utility score replaced."""
+        utility = self.utility.copy()
+        utility[user_id, event_id] = value
+        return Instance(self.users, self.events, utility, self.cost_model)
+
+    def with_new_event(
+        self, event: Event, utilities: np.ndarray, fee: float = 0.0
+    ) -> "Instance":
+        """A new instance with an additional event appended.
+
+        ``event.id`` must equal the current event count; ``utilities`` is one
+        utility score per user; ``fee`` is the new event's admission fee
+        (only meaningful under a fee-charging cost model).
+        """
+        if event.id != self.n_events:
+            raise ValueError(
+                f"new event id must be {self.n_events}, got {event.id}"
+            )
+        utilities = np.asarray(utilities, dtype=float).reshape(self.n_users, 1)
+        utility = np.hstack([self.utility, utilities])
+        cost_model = self.cost_model
+        if cost_model.fees is not None or fee:
+            if cost_model.fees is None:
+                cost_model = replace(
+                    cost_model, fees=np.zeros(self.n_events)
+                )
+            cost_model = cost_model.with_event_appended(fee)
+        return Instance(
+            self.users, list(self.events) + [event], utility, cost_model
+        )
+
+
+@dataclass(frozen=True)
+class InstanceStats:
+    """Summary statistics mirroring the paper's Table IV."""
+
+    n_users: int
+    n_events: int
+    mean_lower: float
+    mean_upper: float
+    conflict_ratio: float
+
+    @staticmethod
+    def of(instance: Instance) -> "InstanceStats":
+        lowers = [e.lower for e in instance.events] or [0]
+        uppers = [e.upper for e in instance.events] or [0]
+        return InstanceStats(
+            n_users=instance.n_users,
+            n_events=instance.n_events,
+            mean_lower=float(np.mean(lowers)),
+            mean_upper=float(np.mean(uppers)),
+            conflict_ratio=instance.conflict_ratio(),
+        )

@@ -1,0 +1,190 @@
+"""Global plans: the object the GEPC/IEP solvers produce and repair.
+
+A :class:`GlobalPlan` holds one individual plan per user — a list of event
+ids kept sorted by event start time (the visiting order that defines the
+paper's travel cost ``D_i``) — plus the per-event attendance counters the
+bound constraints are checked against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import Instance
+
+
+class GlobalPlan:
+    """Mutable assignment of users to events.
+
+    The plan does not validate constraints on mutation (solvers need partial
+    states); use :func:`repro.core.constraints.check_plan` for validation.
+    """
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self._plans: list[list[int]] = [[] for _ in range(instance.n_users)]
+        self._attendance: list[int] = [0] * instance.n_events
+        self._route_costs: list[float] = [0.0] * instance.n_users
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def user_plan(self, user: int) -> list[int]:
+        """Event ids in ``user``'s plan, sorted by start time (a copy)."""
+        return list(self._plans[user])
+
+    def attendance(self, event: int) -> int:
+        """Number of users currently assigned to ``event`` (``n_j``)."""
+        return self._attendance[event]
+
+    def attendees(self, event: int) -> list[int]:
+        """Users currently assigned to ``event``."""
+        return [
+            user
+            for user, plan in enumerate(self._plans)
+            if event in plan
+        ]
+
+    def contains(self, user: int, event: int) -> bool:
+        return event in self._plans[user]
+
+    def route_cost(self, user: int) -> float:
+        """Cached travel cost ``D_i`` of ``user``'s current plan."""
+        return self._route_costs[user]
+
+    def size(self) -> int:
+        """Total number of (user, event) assignments."""
+        return sum(len(plan) for plan in self._plans)
+
+    def assigned_events(self) -> set[int]:
+        """Events with at least one attendee."""
+        return {j for j, count in enumerate(self._attendance) if count > 0}
+
+    def __iter__(self):
+        """Iterate ``(user, [event ids])`` pairs."""
+        return enumerate(self.user_plan(u) for u in range(len(self._plans)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalPlan):
+            return NotImplemented
+        return self._plans == other._plans
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, user: int, event: int) -> None:
+        """Assign ``user`` to ``event`` (keeps the plan start-sorted)."""
+        plan = self._plans[user]
+        if event in plan:
+            raise ValueError(f"user {user} already attends event {event}")
+        start = self.instance.events[event].start
+        position = 0
+        while (
+            position < len(plan)
+            and self.instance.events[plan[position]].start <= start
+        ):
+            position += 1
+        plan.insert(position, event)
+        self._attendance[event] += 1
+        self._route_costs[user] = self.instance.route_cost(user, plan)
+
+    def remove(self, user: int, event: int) -> None:
+        """Drop ``event`` from ``user``'s plan."""
+        try:
+            self._plans[user].remove(event)
+        except ValueError:
+            raise ValueError(
+                f"user {user} does not attend event {event}"
+            ) from None
+        self._attendance[event] -= 1
+        self._route_costs[user] = self.instance.route_cost(
+            user, self._plans[user]
+        )
+
+    def clear_event(self, event: int) -> list[int]:
+        """Remove ``event`` from every plan (event cancelled).
+
+        Returns the users whose plans were touched.
+        """
+        touched = self.attendees(event)
+        for user in touched:
+            self.remove(user, event)
+        return touched
+
+    # ------------------------------------------------------------------ #
+    # Feasibility helpers used by the solvers' inner loops
+    # ------------------------------------------------------------------ #
+
+    def can_attend(self, user: int, event: int) -> bool:
+        """Whether ``event`` can join ``user``'s plan: positive utility, no
+        time conflict, and the new route stays within budget.
+
+        Event capacity is *not* checked here — callers track residual
+        capacity themselves (the two solver steps use different capacities).
+        """
+        if self.contains(user, event):
+            return False
+        if self.instance.utility[user, event] <= 0.0:
+            return False
+        conflicts = self.instance.conflicts[event]
+        if any(assigned in conflicts for assigned in self._plans[user]):
+            return False
+        new_cost = self.instance.route_cost_with(
+            user, self._plans[user], event
+        )
+        return new_cost <= self.instance.users[user].budget + 1e-9
+
+    def cost_with(self, user: int, event: int) -> float:
+        """Route cost of ``user``'s plan if ``event`` were added."""
+        return self.instance.route_cost_with(user, self._plans[user], event)
+
+    # ------------------------------------------------------------------ #
+    # Copies and rebinding
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "GlobalPlan":
+        """A deep copy sharing the (immutable-by-convention) instance."""
+        clone = GlobalPlan(self.instance)
+        clone._plans = [list(plan) for plan in self._plans]
+        clone._attendance = list(self._attendance)
+        clone._route_costs = list(self._route_costs)
+        return clone
+
+    def rebound_to(self, instance: Instance) -> "GlobalPlan":
+        """The same assignments re-bound to a modified instance.
+
+        Used by the IEP engine after an atomic operation changes event or
+        user attributes: route costs are recomputed against the new instance,
+        and a new-event column extends the attendance vector.  The result may
+        be infeasible — that is exactly what the repair algorithms fix.
+        """
+        if instance.n_users != self.instance.n_users:
+            raise ValueError("rebinding cannot change the user population")
+        if instance.n_events < self.instance.n_events:
+            raise ValueError("rebinding cannot drop events")
+        clone = GlobalPlan(instance)
+        for user, plan in enumerate(self._plans):
+            ordered = sorted(plan, key=lambda j: instance.events[j].start)
+            clone._plans[user] = ordered
+            clone._route_costs[user] = instance.route_cost(user, ordered)
+            for event in ordered:
+                clone._attendance[event] += 1
+        return clone
+
+
+@dataclass(frozen=True)
+class PlanSummary:
+    """A compact, hashable snapshot of a plan (used in tests and examples)."""
+
+    assignments: tuple[tuple[int, ...], ...]
+
+    @staticmethod
+    def of(plan: GlobalPlan) -> "PlanSummary":
+        return PlanSummary(
+            tuple(
+                tuple(sorted(plan.user_plan(u)))
+                for u in range(plan.instance.n_users)
+            )
+        )

@@ -1,0 +1,145 @@
+"""Plan sanitisation: force any plan back into Definition-1 feasibility.
+
+The repair algorithms assume their input plan is feasible for the *old*
+instance; real deployments also see plans that are stale, hand-edited, or
+imported from elsewhere.  :func:`sanitize_plan` strips every violated
+assignment in dependency-safe order and repairs deficient events, leaving
+the plan feasible for the given instance:
+
+1. zero-utility assignments removed,
+2. per-user time conflicts resolved by evicting the smallest-utility member
+   (Algorithm 1's eviction rule),
+3. over-budget users shed lowest-utility events,
+4. over-subscribed events evict lowest-utility attendees (Algorithm 3's
+   rule),
+5. events stranded between 1 and ``xi_j - 1`` attendees are driven back to
+   their bound with Algorithm 4's machinery, or cancelled,
+6. every touched user gets a fill pass.
+
+The batch IEP engine is built on the same passes (steps 1-5 are its strip
+phase); this module is the public face for arbitrary plans.
+"""
+
+from __future__ import annotations
+
+from repro.core.gepc.fill import UtilityFill
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_BUDGET_TOL = 1e-9
+
+
+def sanitize_plan(
+    instance: Instance,
+    plan: GlobalPlan,
+    fill_after: bool = True,
+) -> dict[str, float]:
+    """Repair ``plan`` in place until it is feasible on ``instance``.
+
+    Returns diagnostics counting each repair action.  With
+    ``fill_after=False`` the final fill pass is skipped (pure cleanup).
+    """
+    diagnostics: dict[str, float] = {}
+    touched = strip_violations(instance, plan, diagnostics)
+    repair_lower_bounds(instance, plan, diagnostics)
+    if fill_after and touched:
+        diagnostics["refilled"] = float(
+            UtilityFill().fill(instance, plan, only_users=touched)
+        )
+    return diagnostics
+
+
+def strip_violations(
+    instance: Instance,
+    plan: GlobalPlan,
+    diagnostics: dict[str, float],
+) -> set[int]:
+    """Remove every assignment violating a per-user or upper-bound rule.
+
+    Returns the set of users whose plans were touched.
+    """
+    touched: set[int] = set()
+
+    removed = 0
+    for user in range(instance.n_users):
+        for event in plan.user_plan(user):
+            if instance.utility[user, event] <= 0.0:
+                plan.remove(user, event)
+                touched.add(user)
+                removed += 1
+    diagnostics["zero_utility_removed"] = (
+        diagnostics.get("zero_utility_removed", 0.0) + removed
+    )
+
+    evicted = 0
+    for user in range(instance.n_users):
+        while True:
+            events = plan.user_plan(user)
+            conflicted = {
+                event
+                for first, second in zip(events, events[1:])
+                if instance.events_conflict(first, second)
+                for event in (first, second)
+            }
+            if not conflicted:
+                break
+            victim = min(conflicted, key=lambda j: instance.utility[user, j])
+            plan.remove(user, victim)
+            touched.add(user)
+            evicted += 1
+    diagnostics["conflicts_evicted"] = (
+        diagnostics.get("conflicts_evicted", 0.0) + evicted
+    )
+
+    shed = 0
+    for user in range(instance.n_users):
+        budget = instance.users[user].budget
+        while plan.route_cost(user) > budget + _BUDGET_TOL:
+            events = plan.user_plan(user)
+            victim = min(events, key=lambda j: instance.utility[user, j])
+            plan.remove(user, victim)
+            touched.add(user)
+            shed += 1
+    diagnostics["budget_shed"] = diagnostics.get("budget_shed", 0.0) + shed
+
+    overflow = 0
+    for event in range(instance.n_events):
+        spec = instance.events[event]
+        while plan.attendance(event) > spec.upper:
+            attendees = plan.attendees(event)
+            victim = min(attendees, key=lambda u: instance.utility[u, event])
+            plan.remove(victim, event)
+            touched.add(victim)
+            overflow += 1
+    diagnostics["overflow_evicted"] = (
+        diagnostics.get("overflow_evicted", 0.0) + overflow
+    )
+    return touched
+
+
+def repair_lower_bounds(
+    instance: Instance,
+    plan: GlobalPlan,
+    diagnostics: dict[str, float],
+) -> None:
+    """Drive every deficient event back to its bound (or cancel it),
+    smallest deficit first so cheap fixes free capacity for harder ones."""
+    # Imported here: repro.core.iep.batch builds on this module, so a
+    # top-level import of the iep package would be circular.
+    from repro.core.iep.xi_increase import raise_attendance
+
+    deficient = sorted(
+        (
+            event
+            for event in range(instance.n_events)
+            if 0 < plan.attendance(event) < instance.events[event].lower
+        ),
+        key=lambda event: instance.events[event].lower
+        - plan.attendance(event),
+    )
+    for event in deficient:
+        repair = raise_attendance(
+            instance, plan, event, instance.events[event].lower
+        )
+        for key, value in repair.items():
+            diagnostics[key] = diagnostics.get(key, 0.0) + value

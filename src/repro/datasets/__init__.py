@@ -1,0 +1,34 @@
+"""Dataset substrate: synthetic Meetup-like EBSNs.
+
+The paper evaluates on a Meetup crawl (tag, location, and group documents
+for four cities — Table IV) that is not redistributable; this package builds
+the closest synthetic equivalent (see DESIGN.md section 2):
+
+* :mod:`repro.datasets.tags` — interest-tag vocabulary and the tag-cosine
+  utility model of Liu et al. (KDD'12),
+* :mod:`repro.datasets.meetup` — the generator: clustered city geography,
+  groups with tag profiles, events with conflict-ratio-controlled times,
+  and the parameter scheme of She et al. (SIGMOD'15),
+* :mod:`repro.datasets.cities` — the four Table-IV city configurations,
+* :mod:`repro.datasets.cutout` — the Table-V "cut out" scalability sweeps.
+"""
+
+from repro.datasets.cities import CITY_CONFIGS, make_city
+from repro.datasets.cutout import cutout, event_sweep, user_sweep
+from repro.datasets.io import load_instance, save_instance
+from repro.datasets.meetup import MeetupConfig, generate_ebsn
+from repro.datasets.tags import TAG_VOCABULARY, tag_similarity
+
+__all__ = [
+    "CITY_CONFIGS",
+    "MeetupConfig",
+    "TAG_VOCABULARY",
+    "cutout",
+    "event_sweep",
+    "generate_ebsn",
+    "load_instance",
+    "make_city",
+    "save_instance",
+    "tag_similarity",
+    "user_sweep",
+]

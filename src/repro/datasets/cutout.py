@@ -1,0 +1,98 @@
+"""Table-V "cut out" datasets for the scalability sweeps.
+
+The paper builds scalability workloads by removing users and events from a
+full dataset; :func:`cutout` does the same on any generated instance, and
+:func:`user_sweep` / :func:`event_sweep` produce the exact Table-V grids
+(|E| in {20, 50, 100, 200, 500} with default 50; |U| in {200, 500, 1000,
+5000} with default 5000).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.model import Event, Instance, User
+from repro.datasets.meetup import MeetupConfig, generate_ebsn
+
+#: Table V grids (defaults in bold in the paper: |E|=50, |U|=5000).
+EVENT_GRID: tuple[int, ...] = (20, 50, 100, 200, 500)
+USER_GRID: tuple[int, ...] = (200, 500, 1000, 5000)
+DEFAULT_EVENTS = 50
+DEFAULT_USERS = 5000
+
+
+def cutout(
+    instance: Instance,
+    n_users: int,
+    n_events: int,
+    seed: int = 0,
+) -> Instance:
+    """A sub-instance with ``n_users`` users and ``n_events`` events.
+
+    Users and events are sampled uniformly without replacement and
+    re-indexed; event bounds are clipped so a cut-out instance is never
+    trivially infeasible (``xi_j`` at most the retained user count).
+    """
+    if n_users > instance.n_users or n_events > instance.n_events:
+        raise ValueError("cutout cannot grow the instance")
+    rng = random.Random(seed)
+    kept_users = sorted(rng.sample(range(instance.n_users), n_users))
+    kept_events = sorted(rng.sample(range(instance.n_events), n_events))
+
+    users = [
+        User(new_id, instance.users[old].location, instance.users[old].budget)
+        for new_id, old in enumerate(kept_users)
+    ]
+    events = []
+    for new_id, old in enumerate(kept_events):
+        spec = instance.events[old]
+        lower = min(spec.lower, n_users)
+        events.append(
+            Event(
+                id=new_id,
+                location=spec.location,
+                lower=lower,
+                upper=max(spec.upper, lower),
+                interval=spec.interval,
+            )
+        )
+    utility = instance.utility[np.ix_(kept_users, kept_events)]
+    return Instance(users, events, utility)
+
+
+def _full_instance(seed: int, n_users: int, n_events: int) -> Instance:
+    config = MeetupConfig(
+        n_users=n_users,
+        n_events=n_events,
+        n_groups=max(8, n_events // 3),
+        n_clusters=6,
+        seed=seed,
+    )
+    return generate_ebsn(config)
+
+
+def user_sweep(
+    grid: tuple[int, ...] = USER_GRID,
+    n_events: int = DEFAULT_EVENTS,
+    seed: int = 29,
+) -> list[tuple[int, Instance]]:
+    """Fig 2(a,c)/3(a) workload: vary |U| at fixed |E| (paper default 50).
+
+    All sweep points are cut out of one shared full instance, as the paper
+    does, so they differ only in size.
+    """
+    full = _full_instance(seed, max(grid), n_events)
+    return [(n, cutout(full, n, n_events, seed=seed + n)) for n in grid]
+
+
+def event_sweep(
+    grid: tuple[int, ...] = EVENT_GRID,
+    n_users: int = DEFAULT_USERS,
+    seed: int = 31,
+) -> list[tuple[int, Instance]]:
+    """Fig 2(b,d)/3(b) workload: vary |E| at fixed |U| (paper default 5000)."""
+    full = _full_instance(seed, n_users, max(grid))
+    return [(m, cutout(full, n_users, m, seed=seed + m)) for m in grid]

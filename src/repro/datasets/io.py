@@ -1,0 +1,130 @@
+"""Meetup-document serialization: save/load instances as JSON documents.
+
+The paper's dataset (Section V-A) arrives as *documents*: a tag and a
+location document per user, a location and group document per event, and a
+tag document per group.  This module mirrors that layout so generated
+datasets can be archived, diffed, and reloaded:
+
+* ``users.json``   — id, location, budget,
+* ``events.json``  — id, location, bounds, times, (optional) fee,
+* ``utility.json`` — the dense score matrix,
+* ``meta.json``    — cost-model metadata (travel metric, fees enabled).
+
+``save_instance`` writes a directory of those documents; ``load_instance``
+reads one back.  Round-tripping is exact up to float representation (tested
+in ``tests/test_io.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.costs import CostModel
+from repro.core.model import Event, Instance, User
+from repro.geo.metrics import metric_by_name
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+_FORMAT_VERSION = 1
+
+
+def save_instance(instance: Instance, directory: str | Path) -> Path:
+    """Write ``instance`` as a directory of JSON documents.
+
+    Only named geometric metrics serialise; matrix-backed metrics (the
+    theory reductions) carry raw distance tables that have no document
+    representation.
+    """
+    try:
+        metric_by_name(instance.cost_model.metric.name)
+    except ValueError:
+        raise ValueError(
+            f"cannot serialise instances with a "
+            f"{instance.cost_model.metric.name!r} metric"
+        ) from None
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    users = [
+        {
+            "id": user.id,
+            "location": [user.location.x, user.location.y],
+            "budget": user.budget,
+        }
+        for user in instance.users
+    ]
+    events = [
+        {
+            "id": event.id,
+            "location": [event.location.x, event.location.y],
+            "lower": event.lower,
+            "upper": event.upper,
+            "start": event.interval.start,
+            "end": event.interval.end,
+            "fee": instance.cost_model.fee(event.id),
+        }
+        for event in instance.events
+    ]
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "metric": instance.cost_model.metric.name,
+        "has_fees": instance.cost_model.fees is not None,
+        "n_users": instance.n_users,
+        "n_events": instance.n_events,
+    }
+
+    (directory / "users.json").write_text(json.dumps(users, indent=1))
+    (directory / "events.json").write_text(json.dumps(events, indent=1))
+    (directory / "utility.json").write_text(
+        json.dumps(instance.utility.tolist())
+    )
+    (directory / "meta.json").write_text(json.dumps(meta, indent=1))
+    return directory
+
+
+def load_instance(directory: str | Path) -> Instance:
+    """Read an instance previously written by :func:`save_instance`."""
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {meta.get('format_version')}"
+        )
+
+    users_doc = json.loads((directory / "users.json").read_text())
+    events_doc = json.loads((directory / "events.json").read_text())
+    utility = np.asarray(
+        json.loads((directory / "utility.json").read_text()), dtype=float
+    )
+    utility = utility.reshape(meta["n_users"], meta["n_events"])
+
+    users = [
+        User(
+            id=doc["id"],
+            location=Point(*doc["location"]),
+            budget=doc["budget"],
+        )
+        for doc in sorted(users_doc, key=lambda d: d["id"])
+    ]
+    events = []
+    fees = []
+    for doc in sorted(events_doc, key=lambda d: d["id"]):
+        events.append(
+            Event(
+                id=doc["id"],
+                location=Point(*doc["location"]),
+                lower=doc["lower"],
+                upper=doc["upper"],
+                interval=Interval(doc["start"], doc["end"]),
+            )
+        )
+        fees.append(doc.get("fee", 0.0))
+
+    cost_model = CostModel(
+        metric=metric_by_name(meta.get("metric", "euclidean")),
+        fees=np.asarray(fees) if meta.get("has_fees") else None,
+    )
+    return Instance(users, events, utility, cost_model)

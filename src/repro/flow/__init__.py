@@ -1,0 +1,12 @@
+"""Network-flow substrate.
+
+A from-scratch successive-shortest-path min-cost max-flow solver.  It backs
+the Shmoys-Tardos rounding step of the GAP-based algorithm (integral matching
+on the bipartite slot graph) and the matching baseline, and is validated
+against ``networkx`` in tests.
+"""
+
+from repro.flow.graph import FlowNetwork
+from repro.flow.mincost import MinCostFlowResult, min_cost_flow
+
+__all__ = ["FlowNetwork", "MinCostFlowResult", "min_cost_flow"]

@@ -1,0 +1,76 @@
+"""Residual-graph representation for min-cost flow.
+
+Edges are stored in a flat arc list with twinned residual arcs (arc ``i`` and
+``i ^ 1`` are each other's reverses), the standard competitive-programming
+layout: cache-friendly and trivial to update during augmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _Arc:
+    head: int
+    capacity: float
+    cost: float
+    flow: float = 0.0
+
+    @property
+    def residual(self) -> float:
+        return self.capacity - self.flow
+
+
+@dataclass
+class FlowNetwork:
+    """A directed flow network with per-arc capacities and costs."""
+
+    n_nodes: int
+    _arcs: list[_Arc] = field(default_factory=list)
+    _adjacency: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 0:
+            raise ValueError("node count must be non-negative")
+        if not self._adjacency:
+            self._adjacency = [[] for _ in range(self.n_nodes)]
+
+    def add_node(self) -> int:
+        """Add a node; returns its index."""
+        self._adjacency.append([])
+        self.n_nodes += 1
+        return self.n_nodes - 1
+
+    def add_edge(self, tail: int, head: int, capacity: float, cost: float) -> int:
+        """Add a directed arc; returns its arc index.
+
+        A reverse residual arc with zero capacity and negated cost is added
+        automatically at index ``returned + 1``.
+        """
+        for node in (tail, head):
+            if not 0 <= node < self.n_nodes:
+                raise IndexError(f"unknown node {node}")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        index = len(self._arcs)
+        self._arcs.append(_Arc(head, float(capacity), float(cost)))
+        self._arcs.append(_Arc(tail, 0.0, -float(cost)))
+        self._adjacency[tail].append(index)
+        self._adjacency[head].append(index + 1)
+        return index
+
+    def arcs_from(self, node: int) -> list[int]:
+        return self._adjacency[node]
+
+    def arc(self, index: int) -> _Arc:
+        return self._arcs[index]
+
+    def flow_on(self, edge_index: int) -> float:
+        """Flow currently routed on the arc returned by :meth:`add_edge`."""
+        return self._arcs[edge_index].flow
+
+    def push(self, arc_index: int, amount: float) -> None:
+        """Push ``amount`` units along ``arc_index`` and its twin."""
+        self._arcs[arc_index].flow += amount
+        self._arcs[arc_index ^ 1].flow -= amount

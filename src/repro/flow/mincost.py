@@ -1,0 +1,120 @@
+"""Successive-shortest-path min-cost flow with Johnson potentials.
+
+Negative arc costs are allowed (initial potentials come from one Bellman-Ford
+pass); subsequent shortest-path searches run Dijkstra on reduced costs, the
+standard SSP refinement.  Complexity is O(F * m log n) for F units of flow,
+which is ample for the bipartite rounding/matching graphs in this repository
+(unit capacities, a few thousand arcs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.flow.graph import FlowNetwork
+
+_INF = math.inf
+
+
+@dataclass
+class MinCostFlowResult:
+    """Outcome of a min-cost flow computation."""
+
+    flow: float
+    cost: float
+
+    def __iter__(self):
+        return iter((self.flow, self.cost))
+
+
+def min_cost_flow(
+    network: FlowNetwork,
+    source: int,
+    sink: int,
+    max_flow: float = _INF,
+) -> MinCostFlowResult:
+    """Route up to ``max_flow`` units from ``source`` to ``sink`` at min cost.
+
+    The network's arcs are mutated in place (inspect per-arc flow through
+    :meth:`FlowNetwork.flow_on`).  Returns total flow routed and its cost.
+    """
+    n = network.n_nodes
+    potential = _bellman_ford_potentials(network, source)
+
+    total_flow = 0.0
+    total_cost = 0.0
+    while total_flow < max_flow:
+        distance, parent_arc = _dijkstra(network, source, potential)
+        if distance[sink] == _INF:
+            break
+        for node in range(n):
+            if distance[node] < _INF:
+                potential[node] += distance[node]
+
+        # Bottleneck along the augmenting path.
+        bottleneck = max_flow - total_flow
+        node = sink
+        while node != source:
+            arc = parent_arc[node]
+            bottleneck = min(bottleneck, network.arc(arc).residual)
+            node = network.arc(arc ^ 1).head
+        node = sink
+        while node != source:
+            arc = parent_arc[node]
+            network.push(arc, bottleneck)
+            total_cost += bottleneck * network.arc(arc).cost
+            node = network.arc(arc ^ 1).head
+        total_flow += bottleneck
+    return MinCostFlowResult(total_flow, total_cost)
+
+
+def _bellman_ford_potentials(
+    network: FlowNetwork, source: int
+) -> list[float]:
+    """Initial node potentials (shortest distances allowing negative costs)."""
+    n = network.n_nodes
+    distance = [_INF] * n
+    distance[source] = 0.0
+    for _ in range(n - 1):
+        changed = False
+        for tail in range(n):
+            if distance[tail] == _INF:
+                continue
+            for arc_index in network.arcs_from(tail):
+                arc = network.arc(arc_index)
+                if arc.residual > 1e-12:
+                    candidate = distance[tail] + arc.cost
+                    if candidate < distance[arc.head] - 1e-12:
+                        distance[arc.head] = candidate
+                        changed = True
+        if not changed:
+            break
+    return [d if d < _INF else 0.0 for d in distance]
+
+
+def _dijkstra(
+    network: FlowNetwork, source: int, potential: list[float]
+) -> tuple[list[float], list[int]]:
+    """Dijkstra on reduced costs; returns distances and parent arcs."""
+    n = network.n_nodes
+    distance = [_INF] * n
+    parent_arc = [-1] * n
+    distance[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, tail = heapq.heappop(heap)
+        if d > distance[tail] + 1e-12:
+            continue
+        for arc_index in network.arcs_from(tail):
+            arc = network.arc(arc_index)
+            if arc.residual <= 1e-12:
+                continue
+            reduced = arc.cost + potential[tail] - potential[arc.head]
+            candidate = d + reduced
+            if candidate < distance[arc.head] - 1e-12:
+                distance[arc.head] = candidate
+                parent_arc[arc.head] = arc_index
+                heapq.heappush(heap, (candidate, arc.head))
+    return distance, parent_arc

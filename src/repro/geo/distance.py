@@ -1,0 +1,114 @@
+"""Distance computations over collections of points.
+
+The planning algorithms repeatedly ask for user-to-event and event-to-event
+distances.  ``DistanceMatrix`` precomputes both blocks with numpy so that the
+hot loops in the solvers are O(1) lookups instead of repeated ``math.hypot``
+calls.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.geo.point import Point
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (the paper's travel metric)."""
+    return a.distance_to(b)
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Dense symmetric matrix of Euclidean distances between ``points``."""
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    diff = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+def cross_distances(
+    left: Sequence[Point], right: Sequence[Point]
+) -> np.ndarray:
+    """Dense ``len(left) x len(right)`` matrix of Euclidean distances."""
+    if not left or not right:
+        return np.zeros((len(left), len(right)))
+    a = np.array([(p.x, p.y) for p in left], dtype=float)
+    b = np.array([(p.x, p.y) for p in right], dtype=float)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff * diff).sum(axis=2))
+
+
+class DistanceMatrix:
+    """Cached user-to-event and event-to-event distances.
+
+    Parameters
+    ----------
+    user_locations:
+        One location per user, indexed by user id.
+    event_locations:
+        One location per event, indexed by event id.
+    metric:
+        The travel metric (defaults to Euclidean, the paper's choice).
+    """
+
+    def __init__(
+        self,
+        user_locations: Sequence[Point],
+        event_locations: Sequence[Point],
+        metric=None,
+    ) -> None:
+        from repro.geo.metrics import EUCLIDEAN
+
+        self._metric = metric or EUCLIDEAN
+        self._user_event = self._metric.cross(user_locations, event_locations)
+        self._event_event = self._metric.pairwise(event_locations)
+
+    @property
+    def n_users(self) -> int:
+        return self._user_event.shape[0]
+
+    @property
+    def n_events(self) -> int:
+        return self._user_event.shape[1]
+
+    def user_event(self, user: int, event: int) -> float:
+        """Distance from ``user``'s home to ``event``'s venue."""
+        return float(self._user_event[user, event])
+
+    def event_event(self, first: int, second: int) -> float:
+        """Distance between two event venues."""
+        return float(self._event_event[first, second])
+
+    def user_event_row(self, user: int) -> np.ndarray:
+        """All event distances for one user (read-only view)."""
+        row = self._user_event[user]
+        row.flags.writeable = False
+        return row
+
+    def replace_event_location(
+        self,
+        event: int,
+        location: Point,
+        user_locations: Sequence[Point],
+        event_locations: Sequence[Point],
+    ) -> None:
+        """Update cached rows after an event moves (IEP location change).
+
+        ``user_locations``/``event_locations`` must reflect the *new* state;
+        only the rows touching ``event`` are recomputed.
+        """
+        for i, user_loc in enumerate(user_locations):
+            self._user_event[i, event] = self._metric.distance(
+                user_loc, location
+            )
+        for j, event_loc in enumerate(event_locations):
+            d = (
+                self._metric.distance(event_loc, location)
+                if j != event
+                else 0.0
+            )
+            self._event_event[j, event] = d
+            self._event_event[event, j] = d

@@ -1,0 +1,106 @@
+"""Pluggable travel metrics.
+
+Section II notes travel costs "may consist of one, or a combination, of
+distance (e.g., Euclidean, Manhattan), cost of attendance (e.g., admission
+fee), and other considerations" — the paper then uses Euclidean distance.
+This module provides the distance part of that generality: Euclidean
+(the paper's default) and Manhattan metrics behind one small protocol, used
+by :class:`repro.geo.distance.DistanceMatrix` and the cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol
+
+import numpy as np
+
+from repro.geo.point import Point
+
+
+class TravelMetric(Protocol):
+    """A distance function over the planning plane."""
+
+    name: str
+
+    def distance(self, a: Point, b: Point) -> float:
+        """Distance between two points."""
+        ...
+
+    def pairwise(self, points: Sequence[Point]) -> np.ndarray:
+        """Dense symmetric distance matrix."""
+        ...
+
+    def cross(
+        self, left: Sequence[Point], right: Sequence[Point]
+    ) -> np.ndarray:
+        """Dense ``len(left) x len(right)`` distance matrix."""
+        ...
+
+
+def _coords(points: Sequence[Point]) -> np.ndarray:
+    return np.array([(p.x, p.y) for p in points], dtype=float)
+
+
+class EuclideanMetric:
+    """Straight-line distance (the paper's choice)."""
+
+    name = "euclidean"
+
+    def distance(self, a: Point, b: Point) -> float:
+        return a.distance_to(b)
+
+    def pairwise(self, points: Sequence[Point]) -> np.ndarray:
+        if not points:
+            return np.zeros((0, 0))
+        coords = _coords(points)
+        diff = coords[:, None, :] - coords[None, :, :]
+        return np.sqrt((diff * diff).sum(axis=2))
+
+    def cross(
+        self, left: Sequence[Point], right: Sequence[Point]
+    ) -> np.ndarray:
+        if not left or not right:
+            return np.zeros((len(left), len(right)))
+        diff = _coords(left)[:, None, :] - _coords(right)[None, :, :]
+        return np.sqrt((diff * diff).sum(axis=2))
+
+
+class ManhattanMetric:
+    """City-block distance (grid-street travel)."""
+
+    name = "manhattan"
+
+    def distance(self, a: Point, b: Point) -> float:
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+    def pairwise(self, points: Sequence[Point]) -> np.ndarray:
+        if not points:
+            return np.zeros((0, 0))
+        coords = _coords(points)
+        diff = np.abs(coords[:, None, :] - coords[None, :, :])
+        return diff.sum(axis=2)
+
+    def cross(
+        self, left: Sequence[Point], right: Sequence[Point]
+    ) -> np.ndarray:
+        if not left or not right:
+            return np.zeros((len(left), len(right)))
+        diff = np.abs(_coords(left)[:, None, :] - _coords(right)[None, :, :])
+        return diff.sum(axis=2)
+
+
+EUCLIDEAN = EuclideanMetric()
+MANHATTAN = ManhattanMetric()
+
+_BY_NAME = {metric.name: metric for metric in (EUCLIDEAN, MANHATTAN)}
+
+
+def metric_by_name(name: str) -> TravelMetric:
+    """Look a metric up by its ``name`` (``"euclidean"``/``"manhattan"``)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown travel metric {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,44 @@
+"""Immutable 2-D points.
+
+The paper places users and events on a 2-D grid (Fig. 1) and measures travel
+cost by Euclidean distance.  ``Point`` is deliberately tiny: a frozen pair of
+floats with vector arithmetic helpers used by the dataset generators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point on the planning plane.
+
+    >>> Point(0.0, 3.0).distance_to(Point(4.0, 0.0))
+    5.0
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance from this point to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """This point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    @staticmethod
+    def origin() -> "Point":
+        """The origin ``(0, 0)``."""
+        return Point(0.0, 0.0)

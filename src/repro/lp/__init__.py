@@ -1,0 +1,24 @@
+"""Linear-programming substrate.
+
+The GAP-based GEPC algorithm needs the LP relaxation of a Generalized
+Assignment Problem (Shmoys & Tardos 1993, via Plotkin-Shmoys-Tardos
+relaxation).  This package provides a small LP toolkit:
+
+* :mod:`repro.lp.model` — a builder for LPs in inequality/equality form,
+* :mod:`repro.lp.simplex` — a from-scratch two-phase dense primal simplex,
+* :mod:`repro.lp.solve` — backend dispatch between the simplex and
+  ``scipy.optimize.linprog`` (both validated against each other in tests).
+"""
+
+from repro.lp.model import LinearProgram, LPStatus, LPSolution
+from repro.lp.simplex import SimplexError, simplex_solve
+from repro.lp.solve import solve_lp
+
+__all__ = [
+    "LinearProgram",
+    "LPSolution",
+    "LPStatus",
+    "SimplexError",
+    "simplex_solve",
+    "solve_lp",
+]

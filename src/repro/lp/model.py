@@ -1,0 +1,154 @@
+"""LP model container shared by the simplex and scipy backends.
+
+An :class:`LinearProgram` is a minimisation problem
+
+    minimise    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                0 <= x <= upper
+
+All planning LPs in this repository (the GAP relaxation in particular) fit
+this shape: non-negative variables with optional individual upper bounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Solver outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class LPSolution:
+    """Result of solving a :class:`LinearProgram`.
+
+    ``x`` and ``objective`` are meaningful only when ``status`` is OPTIMAL.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None = None
+    objective: float | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+
+@dataclass
+class LinearProgram:
+    """A minimisation LP under construction.
+
+    Use :meth:`add_variable` to declare variables, then
+    :meth:`add_le_constraint` / :meth:`add_eq_constraint` with sparse
+    ``(index, coefficient)`` rows.
+    """
+
+    _costs: list[float] = field(default_factory=list)
+    _uppers: list[float] = field(default_factory=list)
+    _ub_rows: list[list[tuple[int, float]]] = field(default_factory=list)
+    _ub_rhs: list[float] = field(default_factory=list)
+    _eq_rows: list[list[tuple[int, float]]] = field(default_factory=list)
+    _eq_rhs: list[float] = field(default_factory=list)
+
+    @property
+    def n_variables(self) -> int:
+        return len(self._costs)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._ub_rows) + len(self._eq_rows)
+
+    def add_variable(self, cost: float, upper: float = np.inf) -> int:
+        """Declare a variable ``0 <= x <= upper`` with objective weight ``cost``.
+
+        Returns the variable's index.
+        """
+        if upper < 0:
+            raise ValueError(f"variable upper bound must be >= 0, got {upper}")
+        self._costs.append(float(cost))
+        self._uppers.append(float(upper))
+        return len(self._costs) - 1
+
+    def add_le_constraint(
+        self, row: list[tuple[int, float]], rhs: float
+    ) -> None:
+        """Add ``sum coeff * x_index <= rhs``."""
+        self._check_row(row)
+        self._ub_rows.append(list(row))
+        self._ub_rhs.append(float(rhs))
+
+    def add_eq_constraint(
+        self, row: list[tuple[int, float]], rhs: float
+    ) -> None:
+        """Add ``sum coeff * x_index == rhs``."""
+        self._check_row(row)
+        self._eq_rows.append(list(row))
+        self._eq_rhs.append(float(rhs))
+
+    def _check_row(self, row: list[tuple[int, float]]) -> None:
+        for index, _ in row:
+            if not 0 <= index < self.n_variables:
+                raise IndexError(f"unknown variable index {index}")
+
+    def sparse(self):
+        """Sparse ``(c, A_ub, b_ub, A_eq, b_eq, upper)`` with CSR matrices.
+
+        The GAP relaxation has O(n m) variables but only O(n + m)
+        constraints with O(n m) total non-zeros; a dense constraint matrix
+        would be O((n + m) * n m) — gigabytes at the paper's Vancouver
+        scale — so the scipy backend consumes this form.
+        """
+        from scipy import sparse as sp
+
+        n = self.n_variables
+        c = np.array(self._costs, dtype=float)
+        upper = np.array(self._uppers, dtype=float)
+
+        def build(rows):
+            data, row_idx, col_idx = [], [], []
+            for i, row in enumerate(rows):
+                for index, coeff in row:
+                    row_idx.append(i)
+                    col_idx.append(index)
+                    data.append(coeff)
+            return sp.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), n)
+            )
+
+        return (
+            c,
+            build(self._ub_rows),
+            np.array(self._ub_rhs, dtype=float),
+            build(self._eq_rows),
+            np.array(self._eq_rhs, dtype=float),
+            upper,
+        )
+
+    def dense(self) -> tuple[np.ndarray, ...]:
+        """Dense ``(c, A_ub, b_ub, A_eq, b_eq, upper)`` arrays."""
+        n = self.n_variables
+        c = np.array(self._costs, dtype=float)
+        upper = np.array(self._uppers, dtype=float)
+
+        a_ub = np.zeros((len(self._ub_rows), n))
+        for i, row in enumerate(self._ub_rows):
+            for index, coeff in row:
+                a_ub[i, index] += coeff
+        b_ub = np.array(self._ub_rhs, dtype=float)
+
+        a_eq = np.zeros((len(self._eq_rows), n))
+        for i, row in enumerate(self._eq_rows):
+            for index, coeff in row:
+                a_eq[i, index] += coeff
+        b_eq = np.array(self._eq_rhs, dtype=float)
+
+        return c, a_ub, b_ub, a_eq, b_eq, upper

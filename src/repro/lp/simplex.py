@@ -1,0 +1,194 @@
+"""A from-scratch two-phase dense primal simplex solver.
+
+This is the "built, not bought" LP backend behind the GAP-based GEPC
+algorithm.  It implements the textbook tableau method:
+
+1. rewrite the LP into standard equality form (slacks for ``<=`` rows and for
+   finite variable upper bounds),
+2. phase 1: minimise the sum of artificial variables to find a basic feasible
+   point (infeasible if the phase-1 optimum is positive),
+3. phase 2: minimise the true objective from that basis.
+
+Bland's anti-cycling rule keeps termination guaranteed; dense numpy row
+operations keep moderate instances (a few hundred variables) fast enough for
+tests and the reduced-scale benchmarks.  Larger instances should use the
+scipy backend selected by :func:`repro.lp.solve.solve_lp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lp.model import LinearProgram, LPSolution, LPStatus
+
+_TOL = 1e-9
+_MAX_ITERATIONS_FACTOR = 50
+
+
+class SimplexError(RuntimeError):
+    """Raised when the simplex fails to converge (iteration cap exceeded)."""
+
+
+def simplex_solve(program: LinearProgram) -> LPSolution:
+    """Solve ``program`` with the two-phase primal simplex method."""
+    c, a_ub, b_ub, a_eq, b_eq, upper = program.dense()
+    n = c.size
+
+    # Finite upper bounds become ordinary <= rows.
+    bound_rows = []
+    bound_rhs = []
+    for j in range(n):
+        if np.isfinite(upper[j]):
+            row = np.zeros(n)
+            row[j] = 1.0
+            bound_rows.append(row)
+            bound_rhs.append(upper[j])
+    if bound_rows:
+        a_ub = np.vstack([a_ub, np.array(bound_rows)]) if a_ub.size else np.array(bound_rows)
+        b_ub = np.concatenate([b_ub, np.array(bound_rhs)])
+
+    n_ub = a_ub.shape[0] if a_ub.size else 0
+    n_eq = a_eq.shape[0] if a_eq.size else 0
+    m = n_ub + n_eq
+    if m == 0:
+        # No constraints: optimum is 0 for non-negative costs, unbounded below
+        # for any negative cost on an unbounded variable.
+        if np.any(c < -_TOL):
+            return LPSolution(LPStatus.UNBOUNDED)
+        return LPSolution(LPStatus.OPTIMAL, np.zeros(n), 0.0)
+
+    # Standard form: A x + slacks = b.
+    total = n + n_ub
+    a = np.zeros((m, total))
+    b = np.zeros(m)
+    if n_ub:
+        a[:n_ub, :n] = a_ub
+        a[:n_ub, n : n + n_ub] = np.eye(n_ub)
+        b[:n_ub] = b_ub
+    if n_eq:
+        a[n_ub:, :n] = a_eq
+        b[n_ub:] = b_eq
+
+    # Make RHS non-negative so artificials give an identity basis.
+    negative = b < 0
+    a[negative] *= -1.0
+    b[negative] *= -1.0
+
+    # Phase 1 tableau with one artificial per row.
+    tableau = np.zeros((m, total + m))
+    tableau[:, :total] = a
+    tableau[:, total:] = np.eye(m)
+    basis = list(range(total, total + m))
+    rhs = b.copy()
+
+    phase1_cost = np.zeros(total + m)
+    phase1_cost[total:] = 1.0
+    status = _run_simplex(tableau, rhs, basis, phase1_cost)
+    if status is LPStatus.UNBOUNDED:  # pragma: no cover - phase 1 is bounded
+        raise SimplexError("phase 1 reported unbounded")
+    phase1_value = phase1_cost[basis] @ rhs
+    if phase1_value > 1e-7:
+        return LPSolution(LPStatus.INFEASIBLE)
+
+    # Drive any artificial still in the basis out (or drop a redundant row).
+    keep_rows = _evict_artificials(tableau, rhs, basis, total)
+    tableau = tableau[keep_rows, :total]
+    rhs = rhs[keep_rows]
+    basis = [basis[i] for i in range(len(basis)) if keep_rows[i]]
+
+    # Phase 2 on the true objective.
+    phase2_cost = np.zeros(total)
+    phase2_cost[:n] = c
+    status = _run_simplex(tableau, rhs, basis, phase2_cost)
+    if status is LPStatus.UNBOUNDED:
+        return LPSolution(LPStatus.UNBOUNDED)
+
+    x = np.zeros(total)
+    for row, variable in enumerate(basis):
+        x[variable] = rhs[row]
+    solution = x[:n]
+    return LPSolution(LPStatus.OPTIMAL, solution, float(c @ solution))
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    rhs: np.ndarray,
+    basis: list[int],
+    cost: np.ndarray,
+) -> LPStatus:
+    """Iterate pivots in place until optimal or unbounded (Bland's rule)."""
+    m, total = tableau.shape
+    max_iterations = _MAX_ITERATIONS_FACTOR * (total + m + 10)
+    for _ in range(max_iterations):
+        # Reduced costs relative to the current basis.
+        y = cost[basis] @ tableau
+        reduced = cost[:total] - y
+        reduced[basis] = 0.0
+        entering = -1
+        for j in range(total):
+            if reduced[j] < -_TOL:
+                entering = j  # Bland: smallest index
+                break
+        if entering < 0:
+            return LPStatus.OPTIMAL
+
+        column = tableau[:, entering]
+        leaving = -1
+        best_ratio = np.inf
+        for i in range(m):
+            if column[i] > _TOL:
+                ratio = rhs[i] / column[i]
+                if ratio < best_ratio - _TOL or (
+                    abs(ratio - best_ratio) <= _TOL
+                    and (leaving < 0 or basis[i] < basis[leaving])
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return LPStatus.UNBOUNDED
+
+        _pivot(tableau, rhs, leaving, entering)
+        basis[leaving] = entering
+    raise SimplexError("simplex iteration cap exceeded (cycling?)")
+
+
+def _pivot(
+    tableau: np.ndarray, rhs: np.ndarray, row: int, col: int
+) -> None:
+    """Gauss-Jordan pivot on ``(row, col)`` in place."""
+    pivot_value = tableau[row, col]
+    tableau[row] /= pivot_value
+    rhs[row] /= pivot_value
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > 0:
+            factor = tableau[i, col]
+            tableau[i] -= factor * tableau[row]
+            rhs[i] -= factor * rhs[row]
+
+
+def _evict_artificials(
+    tableau: np.ndarray,
+    rhs: np.ndarray,
+    basis: list[int],
+    total: int,
+) -> np.ndarray:
+    """Pivot basic artificials out after phase 1.
+
+    Returns a boolean mask of rows to keep (a row whose artificial cannot be
+    replaced is redundant and dropped).
+    """
+    keep = np.ones(len(basis), dtype=bool)
+    for i, variable in enumerate(basis):
+        if variable < total:
+            continue
+        pivot_col = -1
+        for j in range(total):
+            if abs(tableau[i, j]) > _TOL:
+                pivot_col = j
+                break
+        if pivot_col < 0:
+            keep[i] = False  # redundant constraint
+            continue
+        _pivot(tableau, rhs, i, pivot_col)
+        basis[i] = pivot_col
+    return keep

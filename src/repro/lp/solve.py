@@ -1,0 +1,66 @@
+"""Backend dispatch for linear programs.
+
+Two interchangeable backends solve the same :class:`LinearProgram`:
+
+* ``"simplex"`` — the from-scratch solver in :mod:`repro.lp.simplex`
+  (reference implementation, used by default on small programs),
+* ``"scipy"`` — ``scipy.optimize.linprog`` with the HiGHS method
+  (used by default on large programs, where a dense Python tableau would be
+  too slow).
+
+Tests cross-validate both backends on random programs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.lp.model import LinearProgram, LPSolution, LPStatus
+from repro.lp.simplex import simplex_solve
+
+#: Programs with at most this many variables use the from-scratch simplex
+#: when backend="auto".
+AUTO_SIMPLEX_LIMIT = 160
+
+
+def solve_lp(program: LinearProgram, backend: str = "auto") -> LPSolution:
+    """Solve ``program`` with the requested backend.
+
+    Parameters
+    ----------
+    program:
+        The LP to solve (minimisation).
+    backend:
+        ``"simplex"``, ``"scipy"``, or ``"auto"`` (pick by size).
+    """
+    if backend == "auto":
+        backend = (
+            "simplex" if program.n_variables <= AUTO_SIMPLEX_LIMIT else "scipy"
+        )
+    if backend == "simplex":
+        return simplex_solve(program)
+    if backend == "scipy":
+        return _scipy_solve(program)
+    raise ValueError(f"unknown LP backend {backend!r}")
+
+
+def _scipy_solve(program: LinearProgram) -> LPSolution:
+    c, a_ub, b_ub, a_eq, b_eq, upper = program.sparse()
+    bounds = [(0.0, u if np.isfinite(u) else None) for u in upper]
+    result = optimize.linprog(
+        c,
+        A_ub=a_ub if a_ub.shape[0] else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=a_eq if a_eq.shape[0] else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        return LPSolution(LPStatus.INFEASIBLE)
+    if result.status == 3:
+        return LPSolution(LPStatus.UNBOUNDED)
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"scipy linprog failed: {result.message}")
+    return LPSolution(LPStatus.OPTIMAL, np.asarray(result.x), float(result.fun))

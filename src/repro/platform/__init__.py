@@ -1,0 +1,24 @@
+"""Simulated online EBSN platform.
+
+The paper's system context is an online service ("Plan for Today") that
+keeps a live plan while users and organisers submit changes.
+:class:`EBSNPlatform` wraps an instance, a GEPC solver, and the IEP engine
+into that service; :mod:`repro.platform.stream` generates realistic atomic-
+operation streams for it (the workload for the IEP experiments and the
+incremental-day example).
+"""
+
+from repro.platform.oplog import load_operations, save_operations
+from repro.platform.service import EBSNPlatform, PlatformLogEntry
+from repro.platform.simulation import DayReport, DaySimulation
+from repro.platform.stream import OperationStream
+
+__all__ = [
+    "DayReport",
+    "DaySimulation",
+    "EBSNPlatform",
+    "OperationStream",
+    "PlatformLogEntry",
+    "load_operations",
+    "save_operations",
+]

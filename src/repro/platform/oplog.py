@@ -1,0 +1,130 @@
+"""Operation logs: serialise atomic-operation streams as JSON.
+
+Pairs with :mod:`repro.datasets.io`: a saved dataset plus a saved operation
+log is a fully reproducible IEP workload — the unit of exchange for bug
+reports and cross-implementation comparisons.  Each operation serialises to
+a tagged dictionary; :func:`load_operations` rebuilds the exact objects.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.iep.operations import (
+    AtomicOperation,
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    LocationChange,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+_FORMAT_VERSION = 1
+
+
+def operation_to_dict(operation: AtomicOperation) -> dict:
+    """One atomic operation as a JSON-ready tagged dictionary."""
+    if isinstance(operation, EtaDecrease):
+        return {"op": "eta_decrease", "event": operation.event,
+                "new_upper": operation.new_upper}
+    if isinstance(operation, EtaIncrease):
+        return {"op": "eta_increase", "event": operation.event,
+                "new_upper": operation.new_upper}
+    if isinstance(operation, XiIncrease):
+        return {"op": "xi_increase", "event": operation.event,
+                "new_lower": operation.new_lower}
+    if isinstance(operation, XiDecrease):
+        return {"op": "xi_decrease", "event": operation.event,
+                "new_lower": operation.new_lower}
+    if isinstance(operation, TimeChange):
+        return {"op": "time_change", "event": operation.event,
+                "start": operation.new_interval.start,
+                "end": operation.new_interval.end}
+    if isinstance(operation, LocationChange):
+        return {"op": "location_change", "event": operation.event,
+                "x": operation.new_location.x, "y": operation.new_location.y}
+    if isinstance(operation, NewEvent):
+        return {"op": "new_event", "x": operation.location.x,
+                "y": operation.location.y, "lower": operation.lower,
+                "upper": operation.upper,
+                "start": operation.interval.start,
+                "end": operation.interval.end,
+                "utilities": list(operation.utilities),
+                "fee": operation.fee}
+    if isinstance(operation, UtilityChange):
+        return {"op": "utility_change", "user": operation.user,
+                "event": operation.event, "new_value": operation.new_value}
+    if isinstance(operation, BudgetChange):
+        return {"op": "budget_change", "user": operation.user,
+                "new_budget": operation.new_budget}
+    raise TypeError(f"unknown operation type {type(operation).__name__}")
+
+
+def operation_from_dict(document: dict) -> AtomicOperation:
+    """Rebuild an atomic operation from its tagged dictionary."""
+    kind = document.get("op")
+    if kind == "eta_decrease":
+        return EtaDecrease(document["event"], document["new_upper"])
+    if kind == "eta_increase":
+        return EtaIncrease(document["event"], document["new_upper"])
+    if kind == "xi_increase":
+        return XiIncrease(document["event"], document["new_lower"])
+    if kind == "xi_decrease":
+        return XiDecrease(document["event"], document["new_lower"])
+    if kind == "time_change":
+        return TimeChange(
+            document["event"], Interval(document["start"], document["end"])
+        )
+    if kind == "location_change":
+        return LocationChange(
+            document["event"], Point(document["x"], document["y"])
+        )
+    if kind == "new_event":
+        return NewEvent(
+            location=Point(document["x"], document["y"]),
+            lower=document["lower"],
+            upper=document["upper"],
+            interval=Interval(document["start"], document["end"]),
+            utilities=tuple(document["utilities"]),
+            fee=document.get("fee", 0.0),
+        )
+    if kind == "utility_change":
+        return UtilityChange(
+            document["user"], document["event"], document["new_value"]
+        )
+    if kind == "budget_change":
+        return BudgetChange(document["user"], document["new_budget"])
+    raise ValueError(f"unknown operation tag {kind!r}")
+
+
+def save_operations(
+    operations: Sequence[AtomicOperation], path: str | Path
+) -> Path:
+    """Write an operation log as JSON (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "operations": [operation_to_dict(op) for op in operations],
+    }
+    path.write_text(json.dumps(document, indent=1))
+    return path
+
+
+def load_operations(path: str | Path) -> list[AtomicOperation]:
+    """Read an operation log written by :func:`save_operations`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported operation-log version "
+            f"{document.get('format_version')}"
+        )
+    return [operation_from_dict(doc) for doc in document["operations"]]

@@ -1,0 +1,111 @@
+"""The EBSN planning service: solve once, repair incrementally.
+
+:class:`EBSNPlatform` is the deployment-shaped wrapper around the paper's
+algorithms: it owns the current instance and plan, answers user queries
+("what is my plan for today?"), and applies atomic operations through the
+IEP engine, keeping an audit log of utilities and negative impacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.constraints import check_plan
+from repro.core.gepc.base import GEPCSolver
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.iep.engine import IEPEngine
+from repro.core.iep.operations import AtomicOperation
+from repro.core.metrics import total_utility
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+
+@dataclass(frozen=True)
+class PlatformLogEntry:
+    """One audit record: the operation applied and its measured effect."""
+
+    operation: AtomicOperation
+    dif: int
+    utility_before: float
+    utility_after: float
+
+
+class EBSNPlatform:
+    """A stateful event-planning service over one EBSN instance."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        solver: GEPCSolver | None = None,
+    ) -> None:
+        self._instance = instance
+        self._solver = solver or GreedySolver()
+        self._engine = IEPEngine()
+        self._plan: GlobalPlan | None = None
+        self._log: list[PlatformLogEntry] = []
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def plan(self) -> GlobalPlan:
+        if self._plan is None:
+            raise RuntimeError("no plan yet; call publish_plans() first")
+        return self._plan
+
+    @property
+    def log(self) -> list[PlatformLogEntry]:
+        return list(self._log)
+
+    @property
+    def is_planned(self) -> bool:
+        return self._plan is not None
+
+    # ------------------------------------------------------------------ #
+    # Service operations
+    # ------------------------------------------------------------------ #
+
+    def publish_plans(self) -> float:
+        """Compute the day's global plan; returns its total utility."""
+        solution = self._solver.solve(self._instance)
+        self._plan = solution.plan
+        return total_utility(self._instance, self._plan)
+
+    def plan_for(self, user: int) -> list[int]:
+        """The "Plan for Today" of one user (event ids, start-sorted)."""
+        return self.plan.user_plan(user)
+
+    def attendees_of(self, event: int) -> list[int]:
+        """Organiser view: who is coming to ``event``."""
+        return self.plan.attendees(event)
+
+    def submit(self, operation: AtomicOperation) -> PlatformLogEntry:
+        """Apply one atomic operation incrementally and log its impact."""
+        before = total_utility(self._instance, self.plan)
+        result = self._engine.apply(self._instance, self.plan, operation)
+        self._instance = result.instance
+        self._plan = result.plan
+        entry = PlatformLogEntry(
+            operation=operation,
+            dif=result.dif,
+            utility_before=before,
+            utility_after=result.utility,
+        )
+        self._log.append(entry)
+        return entry
+
+    def audit(self) -> dict[str, float]:
+        """Service health numbers: current utility, cumulative impact, and
+        a feasibility self-check (0 violations expected)."""
+        violations = check_plan(self._instance, self.plan)
+        return {
+            "utility": total_utility(self._instance, self.plan),
+            "total_dif": float(sum(entry.dif for entry in self._log)),
+            "operations": float(len(self._log)),
+            "violations": float(len(violations)),
+        }

@@ -1,0 +1,185 @@
+"""Time-stepped day simulation over the EBSN platform.
+
+The paper's setting is daily planning: plans are published in the morning,
+changes arrive during the day, and each event eventually starts (locking
+its roster) and finishes.  :class:`DaySimulation` animates that lifecycle:
+
+* the clock advances through the planning horizon,
+* operations drawn from an :class:`OperationStream` arrive at random times
+  and are applied **only if their event has not started yet** (you cannot
+  shrink the capacity of a running event),
+* when an event starts, its roster is frozen and recorded as *held* (it met
+  its lower bound — the platform's plans guarantee that) with the utility
+  it realises,
+* the simulation ends with a day report: utility promised vs realised,
+  operations applied vs rejected, and cumulative negative impact.
+
+This is the system-level regression the unit tests cannot express: over an
+entire simulated day, *every* roster the platform freezes is viable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.gepc.base import GEPCSolver
+from repro.core.iep.operations import (
+    AtomicOperation,
+    BudgetChange,
+    UtilityChange,
+)
+from repro.core.model import Instance
+from repro.platform.service import EBSNPlatform
+from repro.platform.stream import OperationStream
+
+
+@dataclass
+class HeldEvent:
+    """A frozen roster: the event ran with these attendees."""
+
+    event: int
+    start: float
+    attendees: tuple[int, ...]
+    realised_utility: float
+
+
+@dataclass
+class DayReport:
+    """End-of-day summary."""
+
+    promised_utility: float
+    realised_utility: float
+    held_events: list[HeldEvent] = field(default_factory=list)
+    cancelled_events: list[int] = field(default_factory=list)
+    operations_applied: int = 0
+    operations_rejected: int = 0
+    total_dif: int = 0
+
+    @property
+    def events_held(self) -> int:
+        return len(self.held_events)
+
+
+class DaySimulation:
+    """Animate one planning day over a platform instance."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        solver: GEPCSolver | None = None,
+        n_operations: int = 20,
+        seed: int = 0,
+    ) -> None:
+        self._platform = EBSNPlatform(instance, solver=solver)
+        self._n_operations = n_operations
+        self._seed = seed
+
+    def run(self) -> DayReport:
+        platform = self._platform
+        promised = platform.publish_plans()
+        stream = OperationStream(seed=self._seed)
+        rng = random.Random(self._seed)
+
+        horizon = max(
+            (event.end for event in platform.instance.events), default=24.0
+        )
+        arrivals = sorted(
+            rng.uniform(0.0, horizon) for _ in range(self._n_operations)
+        )
+
+        started: set[int] = set()
+        report = DayReport(promised_utility=promised, realised_utility=0.0)
+
+        clock = 0.0
+        for arrival in arrivals + [horizon + 1.0]:
+            # Freeze every event that starts before the next arrival.
+            self._freeze_started(platform, started, clock, arrival, report)
+            clock = arrival
+            if arrival > horizon:
+                break
+            operation = self._draw(stream, platform)
+            if operation is None:
+                continue
+            if self._touches_started(operation, started):
+                report.operations_rejected += 1
+                continue
+            entry = platform.submit(operation)
+            report.operations_applied += 1
+            report.total_dif += entry.dif
+
+        # Events that never ran (zero attendance at start time).
+        report.cancelled_events = [
+            event
+            for event in range(platform.instance.n_events)
+            if event not in {held.event for held in report.held_events}
+        ]
+        report.realised_utility = sum(
+            held.realised_utility for held in report.held_events
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _freeze_started(
+        platform: EBSNPlatform,
+        started: set[int],
+        from_time: float,
+        to_time: float,
+        report: DayReport,
+    ) -> None:
+        instance = platform.instance
+        for event in range(instance.n_events):
+            if event in started:
+                continue
+            start = instance.events[event].start
+            if from_time <= start < to_time:
+                started.add(event)
+                attendees = tuple(platform.plan.attendees(event))
+                if attendees:
+                    if len(attendees) < instance.events[event].lower:
+                        raise RuntimeError(
+                            f"platform froze a non-viable roster for event "
+                            f"{event}: {len(attendees)} < "
+                            f"{instance.events[event].lower}"
+                        )
+                    report.held_events.append(
+                        HeldEvent(
+                            event=event,
+                            start=start,
+                            attendees=attendees,
+                            realised_utility=float(
+                                sum(
+                                    instance.utility[user, event]
+                                    for user in attendees
+                                )
+                            ),
+                        )
+                    )
+
+    def _draw(
+        self, stream: OperationStream, platform: EBSNPlatform
+    ) -> AtomicOperation | None:
+        try:
+            return next(
+                iter(stream.mixed(platform.instance, platform.plan, 1))
+            )
+        except StopIteration:  # pragma: no cover - mixed always yields
+            return None
+
+    @staticmethod
+    def _touches_started(
+        operation: AtomicOperation, started: set[int]
+    ) -> bool:
+        """Whether the operation targets an event that already started.
+
+        User-side operations (budget, utility) are rejected only if they
+        target a started event; pure user changes always apply.
+        """
+        if isinstance(operation, BudgetChange):
+            return False
+        if isinstance(operation, UtilityChange):
+            return operation.event in started
+        event = getattr(operation, "event", None)
+        return event is not None and event in started

@@ -1,0 +1,187 @@
+"""Random atomic-operation streams (the IEP workload generator).
+
+Section V-C's protocol — "randomly select 1 event, and decrease its eta,
+increase its xi, and change its t^s and t^t" — is generalised here into a
+configurable stream over all ten operation types, so both the paper's
+benchmarks and the richer platform example draw from one generator.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.core.iep.operations import (
+    AtomicOperation,
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    LocationChange,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+
+class OperationStream:
+    """Draws random valid atomic operations against a live instance."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    # -------------------------- paper's three ------------------------- #
+
+    def eta_decrease(
+        self, instance: Instance, plan: GlobalPlan | None = None
+    ) -> EtaDecrease | None:
+        """A random valid eta decrease (prefers events that are attended,
+        so the operation actually exercises Algorithm 3)."""
+        candidates = [
+            j
+            for j in range(instance.n_events)
+            if instance.events[j].upper > max(instance.events[j].lower, 1)
+        ]
+        if plan is not None:
+            attended = [j for j in candidates if plan.attendance(j) > 0]
+            candidates = attended or candidates
+        if not candidates:
+            return None
+        event = self._rng.choice(candidates)
+        spec = instance.events[event]
+        floor = max(spec.lower, 1)
+        if plan is not None and plan.attendance(event) > floor:
+            # Bite into the current attendance so the repair has work to do.
+            new_upper = self._rng.randint(floor, plan.attendance(event) - 1)
+        else:
+            new_upper = self._rng.randint(floor, spec.upper - 1)
+        return EtaDecrease(event, new_upper)
+
+    def xi_increase(
+        self, instance: Instance, plan: GlobalPlan | None = None
+    ) -> XiIncrease | None:
+        """A random valid xi increase."""
+        candidates = [
+            j
+            for j in range(instance.n_events)
+            if instance.events[j].lower < instance.events[j].upper
+        ]
+        if not candidates:
+            return None
+        event = self._rng.choice(candidates)
+        spec = instance.events[event]
+        ceiling = spec.upper
+        if plan is not None:
+            # Stay within reach of the user population.
+            ceiling = min(ceiling, max(spec.lower + 1, instance.n_users // 2))
+        new_lower = self._rng.randint(spec.lower + 1, max(spec.lower + 1, ceiling))
+        return XiIncrease(event, new_lower)
+
+    def time_change(self, instance: Instance) -> TimeChange | None:
+        """A random event shifted elsewhere in the horizon (duration kept)."""
+        if instance.n_events == 0:
+            return None
+        event = self._rng.randrange(instance.n_events)
+        spec = instance.events[event]
+        duration = spec.interval.duration
+        horizon = max((e.end for e in instance.events), default=24.0)
+        start = self._rng.uniform(0.0, max(horizon - duration, 0.1))
+        return TimeChange(event, Interval(start, start + duration))
+
+    # ----------------------------- the rest --------------------------- #
+
+    def location_change(self, instance: Instance) -> LocationChange | None:
+        if instance.n_events == 0:
+            return None
+        event = self._rng.randrange(instance.n_events)
+        xs = [e.location.x for e in instance.events]
+        ys = [e.location.y for e in instance.events]
+        return LocationChange(
+            event,
+            Point(
+                self._rng.uniform(min(xs), max(xs)),
+                self._rng.uniform(min(ys), max(ys)),
+            ),
+        )
+
+    def eta_increase(self, instance: Instance) -> EtaIncrease | None:
+        if instance.n_events == 0:
+            return None
+        event = self._rng.randrange(instance.n_events)
+        spec = instance.events[event]
+        return EtaIncrease(event, spec.upper + self._rng.randint(1, 10))
+
+    def xi_decrease(self, instance: Instance) -> XiDecrease | None:
+        candidates = [
+            j for j in range(instance.n_events) if instance.events[j].lower > 0
+        ]
+        if not candidates:
+            return None
+        event = self._rng.choice(candidates)
+        return XiDecrease(
+            event, self._rng.randint(0, instance.events[event].lower - 1)
+        )
+
+    def new_event(self, instance: Instance) -> NewEvent:
+        horizon = max((e.end for e in instance.events), default=24.0)
+        duration = self._rng.uniform(1.0, 3.0)
+        start = self._rng.uniform(0.0, max(horizon - duration, 0.1))
+        lower = self._rng.randint(0, 5)
+        return NewEvent(
+            location=Point(self._rng.uniform(0, 30), self._rng.uniform(0, 30)),
+            lower=lower,
+            upper=lower + self._rng.randint(5, 40),
+            interval=Interval(start, start + duration),
+            utilities=tuple(
+                round(self._rng.random(), 3) if self._rng.random() < 0.6 else 0.0
+                for _ in range(instance.n_users)
+            ),
+        )
+
+    def utility_change(self, instance: Instance) -> UtilityChange:
+        user = self._rng.randrange(instance.n_users)
+        event = self._rng.randrange(instance.n_events)
+        new_value = 0.0 if self._rng.random() < 0.5 else round(self._rng.random(), 3)
+        return UtilityChange(user, event, new_value)
+
+    def budget_change(self, instance: Instance) -> BudgetChange:
+        user = self._rng.randrange(instance.n_users)
+        factor = self._rng.choice([0.5, 0.8, 1.2, 1.5])
+        return BudgetChange(user, instance.users[user].budget * factor)
+
+    # ----------------------------- streams ---------------------------- #
+
+    def mixed(
+        self,
+        instance: Instance,
+        plan: GlobalPlan,
+        count: int,
+    ) -> Iterator[AtomicOperation]:
+        """A mixed stream of ``count`` operations over a live platform.
+
+        Note: the drawn operations are valid against the *current* instance;
+        callers applying them sequentially should redraw against the updated
+        instance (as :class:`repro.platform.service.EBSNPlatform` does in the
+        incremental-day example).
+        """
+        drawers = [
+            lambda: self.eta_decrease(instance, plan),
+            lambda: self.xi_increase(instance, plan),
+            lambda: self.time_change(instance),
+            lambda: self.location_change(instance),
+            lambda: self.eta_increase(instance),
+            lambda: self.xi_decrease(instance),
+            lambda: self.utility_change(instance),
+            lambda: self.budget_change(instance),
+        ]
+        produced = 0
+        while produced < count:
+            operation = self._rng.choice(drawers)()
+            if operation is not None:
+                produced += 1
+                yield operation

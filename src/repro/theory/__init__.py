@@ -1,0 +1,19 @@
+"""Executable versions of the paper's reduction constructions.
+
+* :func:`gap_to_xi_gepc` — Theorem 2's construction (GAP instance to a
+  xi-GEPC instance), used to probe the NP-hardness proof empirically,
+* :func:`xi_gepc_to_gap` — Section III-A's forward reduction (the one the
+  GAP-based solver uses), exposed standalone for analysis,
+* :func:`probe_paper_inequality` — an honest check of the proof's key claim
+  ``D_i <= sum p_ij <= (2 + eps) D_i``: the left inequality always holds
+  (triangle inequality); the right one is *loose in general*, and this
+  module demonstrates it (see ``tests/test_theory.py``).
+"""
+
+from repro.theory.reductions import (
+    gap_to_xi_gepc,
+    probe_paper_inequality,
+    xi_gepc_to_gap,
+)
+
+__all__ = ["gap_to_xi_gepc", "probe_paper_inequality", "xi_gepc_to_gap"]

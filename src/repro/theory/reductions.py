@@ -1,0 +1,163 @@
+"""The paper's reduction constructions, executable.
+
+Theorem 2 proves xi-GEPC NP-hard by reducing GAP to it:  events = jobs,
+users = machines, ``xi_j = 1``, conflict-free times, ``d(u_i, e_j) =
+p_ij / 2``, ``B_i = T_i / (2 + eps)``, ``mu(u_i, e_j) = 1 - c_ij``; a
+schedule of cost ``C`` corresponds to a plan of utility ``m - C``.
+
+Two implementation notes the paper leaves implicit:
+
+1. The declared distances are generally not Euclidean-realisable in the
+   plane, so the construction uses :class:`repro.geo.matrix_metric
+   .MatrixMetric` (index-coded points, matrix-backed distances).
+2. The proof picks event-to-event distances "satisfying
+   ``d(e_j, e_j') < max_i (p_ij + p_ij')``".  We pick
+   ``0.5 * min_i (p_ij + p_ij')``, which additionally guarantees the
+   *sound* half of the proof's key inequality — ``D_i <= sum_j p_ij``
+   (each leg between events is at most the detour through the user's
+   home).  The *other* half, ``sum_j p_ij <= (2 + eps) D_i``, is loose in
+   general: a user far from a cluster of mutually-near events attends
+   ``k`` of them with ``D_i ~ max p`` but ``sum p = k max p``.
+   :func:`probe_paper_inequality` measures the actual ratio, and
+   ``tests/test_theory.py`` pins a concrete counterexample — a
+   reproduction finding about the proof's tightness, not just the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.assignment.gap import GAPInstance
+from repro.core.costs import CostModel
+from repro.core.model import Event, Instance, User
+from repro.core.plan import GlobalPlan
+from repro.geo.matrix_metric import MatrixMetric, event_point, user_point
+from repro.timeline.interval import Interval
+
+
+def gap_to_xi_gepc(gap: GAPInstance, epsilon: float = 0.2) -> Instance:
+    """Theorem 2's construction: a xi-GEPC instance from a GAP instance.
+
+    Requires unit demands and costs in ``[0, 1]`` (so ``1 - c`` is a valid
+    utility).  The returned instance has ``xi_j = eta_j = 1`` and
+    conflict-free event times.
+    """
+    if (gap.demands != 1).any():
+        raise ValueError("Theorem 2's construction needs unit job demands")
+    if gap.costs.min() < 0 or gap.costs.max() > 1:
+        raise ValueError("costs must lie in [0, 1] to become utilities")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+    n, m = gap.n_machines, gap.n_jobs
+    user_event = gap.loads / 2.0
+    # d(e_j, e_j') = 0.5 * min_i (p_ij + p_ij'): strictly below the paper's
+    # max_i bound, and small enough that every event-to-event leg is at
+    # most the detour through any user's home (D_i <= sum p_ij sound).
+    event_event = np.zeros((m, m))
+    for j in range(m):
+        for k in range(j + 1, m):
+            d = 0.5 * float((gap.loads[:, j] + gap.loads[:, k]).min())
+            event_event[j, k] = event_event[k, j] = d
+
+    users = [
+        User(
+            i,
+            user_point(i),
+            budget=float(gap.capacities[i]) / (2.0 + epsilon),
+        )
+        for i in range(n)
+    ]
+    events = [
+        Event(
+            j,
+            event_point(j),
+            lower=1,
+            upper=1,
+            # Disjoint slots with positive gaps: no conflicts anywhere.
+            interval=Interval(2.0 * j, 2.0 * j + 1.0),
+        )
+        for j in range(m)
+    ]
+    utility = 1.0 - gap.costs
+    cost_model = CostModel(metric=MatrixMetric(user_event, event_event))
+    return Instance(users, events, utility, cost_model)
+
+
+def xi_gepc_to_gap(instance: Instance, epsilon: float = 0.2) -> GAPInstance:
+    """Section III-A's forward reduction (as used by the GAP-based solver).
+
+    Machines = users with capacity ``(2 + eps) B_i``; jobs = events with
+    demand ``xi_j``; cost ``1 - mu``; load ``2 d(u, e) + fee``.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    n, m = instance.n_users, instance.n_events
+    fees = np.asarray([instance.cost_model.fee(j) for j in range(m)])
+    loads = np.empty((n, m))
+    for i in range(n):
+        loads[i] = fees + 2.0 * np.asarray(
+            [instance.distances.user_event(i, j) for j in range(m)]
+        )
+    return GAPInstance(
+        costs=1.0 - instance.utility,
+        loads=loads,
+        capacities=np.asarray(
+            [(2.0 + epsilon) * user.budget for user in instance.users]
+        ),
+        forbidden=instance.utility <= 0.0,
+        demands=np.asarray([event.lower for event in instance.events]),
+    )
+
+
+@dataclass(frozen=True)
+class InequalityProbe:
+    """Measured tightness of ``D_i <= sum p_ij <= (2 + eps) D_i``."""
+
+    user: int
+    route_cost: float
+    load_sum: float
+
+    @property
+    def ratio(self) -> float:
+        """``sum p / D`` (the paper claims this is at most ``2 + eps``)."""
+        if self.route_cost == 0.0:
+            return 1.0
+        return self.load_sum / self.route_cost
+
+    @property
+    def lower_holds(self) -> bool:
+        """The sound direction: ``D_i <= sum_j p_ij``."""
+        return self.route_cost <= self.load_sum + 1e-9
+
+
+def probe_paper_inequality(
+    instance: Instance, plan: GlobalPlan
+) -> list[InequalityProbe]:
+    """Measure both halves of the proof's inequality on a concrete plan.
+
+    ``p_ij = 2 d(u_i, e_j) (+ fee)`` as in the reduction.  Returns one
+    probe per user with a non-empty plan.
+    """
+    probes = []
+    for user in range(instance.n_users):
+        events = plan.user_plan(user)
+        if not events:
+            continue
+        load_sum = float(
+            sum(
+                2.0 * instance.distances.user_event(user, event)
+                + instance.cost_model.fee(event)
+                for event in events
+            )
+        )
+        probes.append(
+            InequalityProbe(
+                user=user,
+                route_cost=instance.route_cost(user, events),
+                load_sum=load_sum,
+            )
+        )
+    return probes

@@ -1,0 +1,17 @@
+"""Time substrate: intervals, the paper's conflict rule, conflict graphs."""
+
+from repro.timeline.interval import Interval
+from repro.timeline.conflicts import (
+    conflict_graph,
+    conflict_ratio,
+    conflicts,
+    max_clique_upper_bound,
+)
+
+__all__ = [
+    "Interval",
+    "conflicts",
+    "conflict_graph",
+    "conflict_ratio",
+    "max_clique_upper_bound",
+]

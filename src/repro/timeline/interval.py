@@ -1,0 +1,48 @@
+"""Time intervals with the paper's strict sequencing rule.
+
+Section II of the paper defines a conflict between two events ``e_k`` (earlier
+start) and ``e_h`` as anything other than ``t_k^t < t_h^s``: the earlier event
+must *strictly* end before the later one starts, otherwise there is "no time
+to go" between them (the paper's Example 1 treats back-to-back events ``e_2``
+4:00-6:00 and ``e_4`` 6:00-8:00 as conflicting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Interval:
+    """A half-day event slot ``[start, end]`` in abstract time units.
+
+    ``start`` must be strictly less than ``end``; zero-length events are not
+    meaningful under the paper's conflict rule.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(
+                f"interval start must precede end, got [{self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def conflicts_with(self, other: "Interval") -> bool:
+        """Paper conflict rule: the earlier event must end strictly before the
+        later one starts (touching endpoints conflict)."""
+        first, second = (self, other) if self.start <= other.start else (other, self)
+        return not first.end < second.start
+
+    def shifted(self, delta: float) -> "Interval":
+        """This interval moved by ``delta`` time units."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def contains_time(self, t: float) -> bool:
+        """Whether instant ``t`` falls inside this interval (inclusive)."""
+        return self.start <= t <= self.end

@@ -1,0 +1,5 @@
+"""Standalone SVG visualisations of instances and plans (no dependencies)."""
+
+from repro.viz.svg import plan_map_svg, user_timeline_svg
+
+__all__ = ["plan_map_svg", "user_timeline_svg"]

@@ -1,0 +1,157 @@
+"""SVG renderers: city plan maps and per-user day timelines.
+
+Pure string building — no plotting dependencies — so examples can drop
+shareable artifacts next to the benchmark CSVs.  Two views:
+
+* :func:`plan_map_svg` — the Fig-1 view: users (circles) and events
+  (squares, sized by attendance) on the city plane, with route polylines
+  for a chosen set of users.
+* :func:`user_timeline_svg` — one user's day as a Gantt strip: their
+  events as boxes over the time axis.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+
+_PALETTE = (
+    "#4878CF", "#D65F5F", "#59A14F", "#B279A2", "#E49444", "#6DCCDA",
+)
+
+
+def _header(width: int, height: int) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fcfcf7"/>',
+    ]
+
+
+def plan_map_svg(
+    instance: Instance,
+    plan: GlobalPlan | None = None,
+    highlight_users: list[int] | None = None,
+    width: int = 640,
+    height: int = 640,
+) -> str:
+    """Render the instance (and optionally a plan) as an SVG map string."""
+    points = [user.location for user in instance.users]
+    points += [event.location for event in instance.events]
+    if not points:
+        return "\n".join(_header(width, height) + ["</svg>"])
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    span_x = (x_max - x_min) or 1.0
+    span_y = (y_max - y_min) or 1.0
+    margin = 30.0
+
+    def sx(x: float) -> float:
+        return margin + (x - x_min) / span_x * (width - 2 * margin)
+
+    def sy(y: float) -> float:
+        # SVG y grows downward; flip so the map reads like Fig 1.
+        return height - margin - (y - y_min) / span_y * (height - 2 * margin)
+
+    parts = _header(width, height)
+
+    # Route polylines for highlighted users (under the markers).
+    for index, user in enumerate(highlight_users or []):
+        if plan is None:
+            break
+        events = plan.user_plan(user)
+        if not events:
+            continue
+        colour = _PALETTE[index % len(_PALETTE)]
+        home = instance.users[user].location
+        waypoints = (
+            [home]
+            + [instance.events[event].location for event in events]
+            + [home]
+        )
+        coordinates = " ".join(
+            f"{sx(p.x):.1f},{sy(p.y):.1f}" for p in waypoints
+        )
+        parts.append(
+            f'<polyline points="{coordinates}" fill="none" '
+            f'stroke="{colour}" stroke-width="1.5" stroke-dasharray="5,3"/>'
+        )
+
+    for user in instance.users:
+        parts.append(
+            f'<circle cx="{sx(user.location.x):.1f}" '
+            f'cy="{sy(user.location.y):.1f}" r="2.5" fill="#555" '
+            f'opacity="0.6"><title>user {user.id}</title></circle>'
+        )
+
+    for event in instance.events:
+        attendance = plan.attendance(event.id) if plan is not None else 0
+        size = 6.0 + min(attendance, 30) * 0.5
+        held = attendance >= max(event.lower, 1)
+        colour = "#59A14F" if held else "#D65F5F"
+        x, y = sx(event.location.x), sy(event.location.y)
+        parts.append(
+            f'<rect x="{x - size / 2:.1f}" y="{y - size / 2:.1f}" '
+            f'width="{size:.1f}" height="{size:.1f}" fill="{colour}" '
+            f'opacity="0.85"><title>event {event.id}: {attendance} '
+            f'attendees (xi={event.lower}, eta={event.upper})</title></rect>'
+        )
+        parts.append(
+            f'<text x="{x + size:.1f}" y="{y:.1f}" font-size="9" '
+            f'fill="#333">e{event.id}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def user_timeline_svg(
+    instance: Instance,
+    plan: GlobalPlan,
+    user: int,
+    width: int = 720,
+    height: int = 90,
+) -> str:
+    """Render one user's day as a Gantt strip."""
+    events = plan.user_plan(user)
+    horizon_start = min((e.start for e in instance.events), default=0.0)
+    horizon_end = max((e.end for e in instance.events), default=24.0)
+    span = (horizon_end - horizon_start) or 1.0
+    margin = 40.0
+    lane_y, lane_h = 30.0, 28.0
+
+    def tx(t: float) -> float:
+        return margin + (t - horizon_start) / span * (width - 2 * margin)
+
+    parts = _header(width, height)
+    parts.append(
+        f'<line x1="{margin}" y1="{lane_y + lane_h + 8}" '
+        f'x2="{width - margin}" y2="{lane_y + lane_h + 8}" stroke="#999"/>'
+    )
+    for hour in range(int(horizon_start), int(horizon_end) + 1, 2):
+        parts.append(
+            f'<text x="{tx(hour):.1f}" y="{height - 8}" font-size="9" '
+            f'fill="#666" text-anchor="middle">{hour}h</text>'
+        )
+    parts.append(
+        f'<text x="4" y="{lane_y + lane_h / 2 + 4}" font-size="11" '
+        f'fill="#333">u{user}</text>'
+    )
+    for index, event in enumerate(events):
+        spec = instance.events[event]
+        colour = _PALETTE[index % len(_PALETTE)]
+        x0, x1 = tx(spec.start), tx(spec.end)
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{lane_y}" width="{max(x1 - x0, 2):.1f}" '
+            f'height="{lane_h}" fill="{colour}" opacity="0.8" rx="3">'
+            f'<title>event {event}: {spec.start:.1f}-{spec.end:.1f}h, '
+            f'utility {instance.utility[user, event]:.2f}</title></rect>'
+        )
+        parts.append(
+            f'<text x="{(x0 + x1) / 2:.1f}" y="{lane_y + lane_h / 2 + 4}" '
+            f'font-size="10" fill="#fff" text-anchor="middle">e{event}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

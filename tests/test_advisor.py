@@ -1,0 +1,78 @@
+"""Tests for the organiser advisor (dry-run impact predictions)."""
+
+import pytest
+
+from repro.core.advisor import (
+    Prediction,
+    best_time_change,
+    predict_impact,
+    suggest_time_slots,
+)
+from repro.core.gepc import GreedySolver
+from repro.core.iep import EtaDecrease, IEPEngine
+from repro.core.metrics import total_utility
+
+from tests.conftest import random_instance
+
+
+@pytest.fixture
+def solved():
+    instance = random_instance(2, n_users=12, n_events=6)
+    plan = GreedySolver(seed=2).solve(instance).plan
+    return instance, plan
+
+
+class TestPredictImpact:
+    def test_matches_actual_application(self, solved):
+        instance, plan = solved
+        event = next(
+            j for j in range(instance.n_events)
+            if plan.attendance(j) > max(instance.events[j].lower, 1)
+            and instance.events[j].upper > max(instance.events[j].lower, 1)
+        )
+        operation = EtaDecrease(event, max(instance.events[event].lower, 1))
+        prediction = predict_impact(instance, plan, operation)
+        actual = IEPEngine().apply(instance, plan, operation)
+        assert prediction.dif == actual.dif
+        assert prediction.utility == pytest.approx(actual.utility)
+
+    def test_dry_run_leaves_inputs_untouched(self, solved):
+        instance, plan = solved
+        snapshot = plan.copy()
+        utility_before = total_utility(instance, plan)
+        suggest_time_slots(instance, plan, 0, n_candidates=4)
+        assert plan == snapshot
+        assert total_utility(instance, plan) == utility_before
+
+
+class TestSuggestions:
+    def test_ranked_by_disruption_then_utility(self, solved):
+        instance, plan = solved
+        ranked = suggest_time_slots(instance, plan, 0, n_candidates=6)
+        for earlier, later in zip(ranked, ranked[1:]):
+            assert (earlier.dif, -earlier.utility) <= (later.dif, -later.utility)
+
+    def test_free_slot_found_with_zero_impact(self, solved):
+        """With a sparse calendar there is always a slot nobody minds."""
+        instance, plan = solved
+        best = best_time_change(instance, plan, 0, n_candidates=12)
+        assert best is not None
+        assert best.dif == 0
+
+    def test_candidate_count_respected(self, solved):
+        instance, plan = solved
+        ranked = suggest_time_slots(instance, plan, 1, n_candidates=5)
+        assert 4 <= len(ranked) <= 5  # current slot may be excluded
+
+    def test_invalid_candidate_count(self, solved):
+        instance, plan = solved
+        with pytest.raises(ValueError):
+            suggest_time_slots(instance, plan, 0, n_candidates=0)
+
+    def test_prediction_ordering_helper(self):
+        a = Prediction(None, dif=0, utility=5.0)
+        b = Prediction(None, dif=1, utility=9.0)
+        c = Prediction(None, dif=0, utility=4.0)
+        assert a.better_than(b)
+        assert a.better_than(c)
+        assert not b.better_than(a)

@@ -1,0 +1,110 @@
+"""Tests for the theoretical-quantity instrumentation and ratio bounds."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    EmpiricalRatio,
+    RatioBounds,
+    copy_count,
+    empirical_ratio,
+    max_conflict_clique,
+    reachable_events,
+    uc_max,
+)
+from repro.core.gepc import ExactSolver, GAPBasedSolver, GreedySolver
+
+from tests.conftest import build_instance, random_instance
+
+
+class TestQuantities:
+    def test_reachable_events_budget_rule(self):
+        # Budget 10: only the event at round-trip 8 is reachable.
+        instance = build_instance(
+            [(0, 0, 10.0)],
+            [(4, 0, 0, 1, 0, 1), (6, 0, 0, 1, 2, 3)],
+            [[0.5, 0.5]],
+        )
+        assert reachable_events(instance, 0) == 1
+
+    def test_reachable_events_includes_fees(self):
+        from repro.core.costs import CostModel
+        from repro.core.model import Instance
+
+        base = build_instance(
+            [(0, 0, 10.0)],
+            [(4, 0, 0, 1, 0, 1)],
+            [[0.5]],
+        )
+        priced = Instance(
+            base.users, base.events, base.utility,
+            CostModel(fees=np.array([5.0])),
+        )
+        assert reachable_events(base, 0) == 1
+        assert reachable_events(priced, 0) == 0  # 8 + 5 > 10
+
+    def test_uc_max(self, paper_instance):
+        assert uc_max(paper_instance) == max(
+            reachable_events(paper_instance, user)
+            for user in range(paper_instance.n_users)
+        )
+
+    def test_max_conflict_clique(self, paper_instance):
+        # e1/e3 overlap and e2/e4 touch: largest mutual-conflict set is 2.
+        assert max_conflict_clique(paper_instance) == 2
+
+    def test_copy_count(self, paper_instance):
+        assert copy_count(paper_instance) == 1 + 2 + 3 + 1
+
+
+class TestRatioBounds:
+    def test_bounds_positive_and_ordered(self, paper_instance):
+        bounds = RatioBounds.of(paper_instance)
+        assert bounds.uc_max >= 1
+        assert 0.0 <= bounds.greedy <= 1.0
+        assert 0.0 <= bounds.gap_based <= 1.0
+
+    def test_greedy_formula(self, paper_instance):
+        bounds = RatioBounds.of(paper_instance)
+        assert bounds.greedy == pytest.approx(1.0 / (2 * bounds.uc_max))
+
+    def test_degenerate_single_event(self):
+        instance = build_instance(
+            [(0, 0, 100.0)], [(1, 1, 0, 1, 0, 1)], [[0.5]]
+        )
+        bounds = RatioBounds.of(instance)
+        assert bounds.uc_max == 1
+        assert bounds.gap_based == 1.0  # guard against division by zero
+
+
+class TestEmpiricalRatios:
+    def test_solvers_respect_their_guarantees(self):
+        """The paper's approximation guarantees hold empirically: measured
+        solver/OPT ratio always clears the worst-case bound."""
+        for seed in range(8):
+            instance = random_instance(seed, n_users=6, n_events=4)
+            optimum = ExactSolver().solve(instance).utility
+            bounds = RatioBounds.of(instance)
+            for solver, guaranteed in (
+                (GreedySolver(seed=seed), bounds.greedy),
+                (GAPBasedSolver(), bounds.gap_based),
+            ):
+                achieved = solver.solve(instance).utility
+                ratio = empirical_ratio(
+                    solver.name, achieved, optimum, guaranteed
+                )
+                assert ratio.satisfied, (seed, solver.name, ratio)
+
+    def test_ratio_packaging(self):
+        ratio = empirical_ratio("greedy", 8.0, 10.0, 0.5)
+        assert ratio.achieved == pytest.approx(0.8)
+        assert ratio.slack == pytest.approx(0.3)
+        assert ratio.satisfied
+
+    def test_zero_opt(self):
+        ratio = empirical_ratio("greedy", 0.0, 0.0, 0.5)
+        assert ratio.achieved == 1.0
+
+    def test_violated_bound_detected(self):
+        ratio = EmpiricalRatio("probe", 0.1, 0.5)
+        assert not ratio.satisfied

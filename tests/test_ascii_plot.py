@@ -1,0 +1,56 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        chart = ascii_chart(
+            "demo", [1, 2, 3], {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]}
+        )
+        assert chart.startswith("demo")
+        assert "* up" in chart
+        assert "o down" in chart
+
+    def test_grid_dimensions(self):
+        chart = ascii_chart(
+            "demo", [0, 1], {"a": [0.0, 1.0]}, width=30, height=8
+        )
+        plot_lines = [line for line in chart.splitlines() if line.startswith("  |")]
+        assert len(plot_lines) == 8
+        assert all(len(line) == 3 + 30 for line in plot_lines)
+
+    def test_monotone_series_touches_corners(self):
+        chart = ascii_chart("demo", [0, 10], {"a": [0.0, 5.0]}, width=20, height=5)
+        lines = [line[3:] for line in chart.splitlines() if line.startswith("  |")]
+        assert lines[0].rstrip().endswith("*")   # max at the right
+        assert lines[-1].startswith("*")         # min at the left
+
+    def test_log_scale_annotated(self):
+        chart = ascii_chart(
+            "demo", [1, 2], {"a": [0.001, 100.0]}, log_y=True
+        )
+        assert "(log10)" in chart
+
+    def test_log_scale_clamps_nonpositive(self):
+        chart = ascii_chart("demo", [1, 2], {"a": [0.0, 10.0]}, log_y=True)
+        assert "demo" in chart  # no crash on zero values
+
+    def test_flat_series(self):
+        chart = ascii_chart("flat", [1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart("dot", [1], {"a": [2.0]})
+        assert "dot" in chart
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_chart("none", [], {})
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(8)}
+        chart = ascii_chart("many", [0, 1], series)
+        assert "# s4" in chart
+        assert "* s6" in chart  # marker cycle wraps

@@ -1,0 +1,116 @@
+"""Tests for the baseline solvers (GEP, random, re-run)."""
+
+import pytest
+
+from repro.baselines import GEPSolver, RandomSolver, RerunBaseline
+from repro.core.constraints import check_plan, is_feasible, ViolationKind
+from repro.core.gepc import GreedySolver
+from repro.core.iep import EtaDecrease
+from repro.core.metrics import total_utility
+
+from tests.conftest import build_instance, random_instance
+
+
+class TestGEPBaseline:
+    def test_feasible_modulo_lower_bounds(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = GEPSolver().solve(instance)
+            assert is_feasible(instance, solution.plan, enforce_lower=False)
+
+    def test_motivating_violation_measured(self):
+        """The paper's motivation: ignoring lower bounds produces plans
+        that hold under-subscribed events."""
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50)],
+            [
+                (1, 1, 2, 3, 0.0, 1.0),
+                (2, 2, 2, 3, 0.5, 1.5),   # conflicts with event 0
+            ],
+            [[0.9, 0.8], [0.1, 0.9]],
+        )
+        solution = GEPSolver().solve(instance)
+        # Greedy utility-first: u0 -> event0, u1 -> event1: both events end
+        # up with a single attendee, violating both lower bounds.
+        assert solution.diagnostics["lower_violations"] > 0
+        violations = check_plan(instance, solution.plan)
+        assert ViolationKind.LOWER_BOUND in {v.kind for v in violations}
+
+    def test_utility_upper_bounds_gepc(self):
+        """Dropping constraints can only help: GEP utility >= GEPC utility
+        on the same instance (both greedy, same insertion order)."""
+        for seed in range(5):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            gep = GEPSolver().solve(instance)
+            gepc = GreedySolver(seed=seed).solve(instance)
+            # Not a theorem for heuristics, but holds in aggregate.
+            assert gep.utility >= gepc.utility * 0.8
+
+
+class TestRandomBaseline:
+    def test_feasible(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = RandomSolver(seed=seed).solve(instance)
+            assert is_feasible(instance, solution.plan)
+
+    def test_real_solvers_beat_random_in_aggregate(self):
+        random_total = greedy_total = 0.0
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            random_total += RandomSolver(seed=seed).solve(instance).utility
+            greedy_total += GreedySolver(seed=seed).solve(instance).utility
+        assert greedy_total > random_total
+
+    def test_deterministic_with_seed(self, paper_instance):
+        a = RandomSolver(seed=3).solve(paper_instance)
+        b = RandomSolver(seed=3).solve(paper_instance)
+        assert a.plan == b.plan
+
+
+class TestRerunBaseline:
+    def test_name(self):
+        assert RerunBaseline(GreedySolver()).name == "re-greedy"
+
+    def test_produces_feasible_plan_on_new_instance(self, paper_instance):
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        outcome = RerunBaseline(GreedySolver(seed=0)).apply(
+            paper_instance, plan, EtaDecrease(3, 1)
+        )
+        assert outcome.instance.events[3].upper == 1
+        assert is_feasible(outcome.instance, outcome.plan)
+
+    def test_dif_usually_exceeds_incremental(self):
+        """The motivation for IEP: re-solving ignores the old plan, so its
+        negative impact is typically much larger."""
+        from repro.core.iep import IEPEngine
+
+        total_rerun = total_iep = 0
+        for seed in range(5):
+            instance = random_instance(seed, n_users=12, n_events=6)
+            plan = GreedySolver(seed=seed).solve(instance).plan
+            attended = [
+                j for j in range(instance.n_events)
+                if plan.attendance(j) > max(instance.events[j].lower, 1)
+                and instance.events[j].upper > max(instance.events[j].lower, 1)
+            ]
+            if not attended:
+                continue
+            event = attended[0]
+            op = EtaDecrease(event, max(instance.events[event].lower, 1))
+            rerun = RerunBaseline(GreedySolver(seed=seed + 1)).apply(
+                instance, plan, op
+            )
+            incremental = IEPEngine().apply(instance, plan, op)
+            total_rerun += rerun.dif
+            total_iep += incremental.dif
+        assert total_iep <= total_rerun
+
+    def test_utility_reported(self, paper_instance):
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        outcome = RerunBaseline(GreedySolver(seed=0)).apply(
+            paper_instance, plan, EtaDecrease(3, 2)
+        )
+        assert outcome.utility == pytest.approx(
+            total_utility(outcome.instance, outcome.plan)
+        )

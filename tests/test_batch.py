@@ -1,0 +1,130 @@
+"""Tests for the batch IEP engine (multi-operation repair, future work)."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.iep import (
+    BatchIEPEngine,
+    BudgetChange,
+    EtaDecrease,
+    IEPEngine,
+    TimeChange,
+    UtilityChange,
+    XiIncrease,
+)
+from repro.core.metrics import total_utility
+from repro.platform.stream import OperationStream
+from repro.timeline.interval import Interval
+
+from tests.conftest import random_instance
+
+
+def solved(instance, seed=0):
+    return GreedySolver(seed=seed).solve(instance).plan
+
+
+def draw_batch(instance, plan, count, seed=0):
+    """A batch of operations valid against the evolving instance."""
+    stream = OperationStream(seed=seed)
+    engine = IEPEngine()
+    operations = []
+    current_instance, current_plan = instance, plan
+    while len(operations) < count:
+        operation = next(
+            iter(stream.mixed(current_instance, current_plan, 1))
+        )
+        operations.append(operation)
+        result = engine.apply(current_instance, current_plan, operation)
+        current_instance, current_plan = result.instance, result.plan
+    return operations
+
+
+class TestBatchEngine:
+    def test_empty_batch_is_identity(self, paper_instance):
+        plan = solved(paper_instance)
+        result = BatchIEPEngine().apply(paper_instance, plan, [])
+        assert result.dif == 0
+        assert result.plan == plan
+
+    def test_single_operation_matches_sequential_feasibility(self):
+        instance = random_instance(2, n_users=12, n_events=6)
+        plan = solved(instance, 2)
+        operation = EtaDecrease(0, max(instance.events[0].lower, 1))
+        if operation.new_upper >= instance.events[0].upper:
+            return
+        batch = BatchIEPEngine().apply(instance, plan, [operation])
+        sequential = IEPEngine().apply(instance, plan, operation)
+        assert is_feasible(batch.instance, batch.plan)
+        assert batch.instance.events[0].upper == sequential.instance.events[0].upper
+
+    def test_mixed_batches_stay_feasible(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=12, n_events=6)
+            plan = solved(instance, seed)
+            operations = draw_batch(instance, plan, 8, seed=seed)
+            result = BatchIEPEngine().apply(instance, plan, operations)
+            assert is_feasible(result.instance, result.plan), seed
+
+    def test_inputs_untouched(self, paper_instance):
+        plan = solved(paper_instance)
+        snapshot = plan.copy()
+        BatchIEPEngine().apply(
+            paper_instance, plan, [EtaDecrease(3, 2), XiIncrease(0, 2)]
+        )
+        assert plan == snapshot
+
+    def test_conflicting_changes_resolved_once(self, paper_instance):
+        """Two changes that interact: shrinking e4 then moving e2 onto e3.
+        One batched pass handles both without intermediate churn."""
+        plan = solved(paper_instance)
+        operations = [
+            EtaDecrease(3, 1),
+            TimeChange(1, Interval(13.0, 14.0)),   # e2 onto the e1/e3 block
+        ]
+        result = BatchIEPEngine().apply(paper_instance, plan, operations)
+        assert is_feasible(result.instance, result.plan)
+
+    def test_zero_utility_assignments_stripped(self):
+        instance = random_instance(4, n_users=10, n_events=5)
+        plan = solved(instance, 4)
+        user = next(
+            u for u in range(instance.n_users) if plan.user_plan(u)
+        )
+        event = plan.user_plan(user)[0]
+        result = BatchIEPEngine().apply(
+            instance, plan, [UtilityChange(user, event, 0.0)]
+        )
+        assert not result.plan.contains(user, event)
+        assert is_feasible(result.instance, result.plan)
+
+    def test_budget_collapse_repaired(self):
+        instance = random_instance(5, n_users=10, n_events=5)
+        plan = solved(instance, 5)
+        busy = max(range(instance.n_users), key=lambda u: plan.route_cost(u))
+        result = BatchIEPEngine().apply(
+            instance, plan, [BudgetChange(busy, 0.0)]
+        )
+        assert result.plan.user_plan(busy) == []
+        assert is_feasible(result.instance, result.plan)
+
+    def test_batch_comparable_to_sequential(self):
+        """Batch utility lands in the same band as sequential application
+        (neither dominates in general; both must stay feasible)."""
+        for seed in range(4):
+            instance = random_instance(seed + 20, n_users=12, n_events=6)
+            plan = solved(instance, seed)
+            operations = draw_batch(instance, plan, 6, seed=seed)
+
+            batch = BatchIEPEngine().apply(instance, plan, operations)
+
+            engine = IEPEngine()
+            current_instance, current_plan = instance, plan
+            for operation in operations:
+                result = engine.apply(current_instance, current_plan, operation)
+                current_instance, current_plan = result.instance, result.plan
+            sequential_utility = total_utility(current_instance, current_plan)
+
+            assert is_feasible(batch.instance, batch.plan)
+            if sequential_utility > 0:
+                assert batch.utility >= 0.6 * sequential_utility, seed

@@ -1,0 +1,102 @@
+"""Tests for the benchmark harness: measurement, tables, memory."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, measure, scale_from_env
+from repro.bench.memory import peak_memory_mb
+from repro.bench.tables import format_series, format_table, write_csv
+
+
+class TestMeasure:
+    def test_measures_float_result(self):
+        outcome, result = measure("probe", lambda: 42.0)
+        assert outcome == 42.0
+        assert result.utility == 42.0
+        assert result.seconds >= 0.0
+        assert result.memory_mb >= 0.0
+
+    def test_measures_solution_like(self):
+        class Fake:
+            utility = 7.5
+
+        _, result = measure("fake", lambda: Fake())
+        assert result.utility == 7.5
+        assert result.label == "fake"
+
+    def test_memory_reflects_allocations(self):
+        def allocate():
+            blob = [0] * 2_000_000
+            return float(len(blob))
+
+        _, heavy = measure("heavy", allocate)
+        _, light = measure("light", lambda: 1.0)
+        assert heavy.memory_mb > light.memory_mb
+
+
+class TestPeakMemory:
+    def test_returns_result(self):
+        value, peak = peak_memory_mb(lambda: "hello")
+        assert value == "hello"
+        assert peak >= 0.0
+
+    def test_nested_measurement(self):
+        def outer():
+            inner_value, inner_peak = peak_memory_mb(lambda: [0] * 100_000)
+            assert inner_peak > 0
+            return 1.0
+
+        value, peak = peak_memory_mb(outer)
+        assert value == 1.0
+
+
+class TestScaleFromEnv:
+    def test_default_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert scale_from_env() == "quick"
+
+    def test_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert scale_from_env() == "paper"
+
+    def test_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            scale_from_env()
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Title", ["a", "bb"], [[1, 2.5], [30, 4.0]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_table_empty_rows(self):
+        text = format_table("Empty", ["x"], [])
+        assert "Empty" in text
+
+    def test_float_rendering(self):
+        text = format_table("T", ["v"], [[1234567.0], [0.00001], [3.5]])
+        assert "1.235e+06" in text
+        assert "1.000e-05" in text
+        assert "3.5" in text
+
+    def test_format_series(self):
+        text = format_series(
+            "Fig", "|U|", [10, 20], {"greedy": [1.0, 2.0], "gap": [1.5, 2.5]}
+        )
+        assert "greedy" in text and "gap" in text
+        assert "|U|" in text
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(
+            tmp_path / "sub" / "out.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[2] == "3,4"

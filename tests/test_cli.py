@@ -1,0 +1,84 @@
+"""Tests for the repro-gepc command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.city == "beijing"
+        assert args.solver == "greedy"
+        assert args.scale == 1.0
+
+    def test_city_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--city", "nowhere"])
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--city", "beijing"]) == 0
+        out = capsys.readouterr().out
+        assert "113" in out and "16" in out
+
+    def test_solve_greedy(self, capsys):
+        code = main(
+            ["solve", "--city", "beijing", "--solver", "greedy", "--scale", "0.3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out
+        assert "utility" in out
+
+    def test_solve_gap_small(self, capsys):
+        code = main(
+            ["solve", "--city", "beijing", "--solver", "gap", "--scale", "0.3"]
+        )
+        assert code == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--city", "beijing", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out and "greedy" in out
+
+    def test_export_and_solve_file(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "bj")
+        assert main(
+            ["export", "--city", "beijing", "--scale", "0.3", "--out", out_dir]
+        ) == 0
+        assert (tmp_path / "bj" / "meta.json").exists()
+        assert main(["solve-file", out_dir, "--solver", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "utility" in out
+
+    def test_replay(self, capsys, tmp_path):
+        from repro.core.iep import EtaIncrease
+        from repro.platform.oplog import save_operations
+
+        dataset = str(tmp_path / "city")
+        assert main(
+            ["export", "--city", "beijing", "--scale", "0.3", "--out", dataset]
+        ) == 0
+        oplog = save_operations(
+            [EtaIncrease(0, 999)], tmp_path / "ops.json"
+        )
+        assert main(["replay", dataset, str(oplog)]) == 0
+        out = capsys.readouterr().out
+        assert "Replay: 1 operations" in out
+        assert "violations" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "--city", "beijing", "--scale", "0.4",
+             "--operations", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "End-of-run audit" in out
+        assert "published" in out

@@ -1,0 +1,101 @@
+"""Tests for Definition 1's constraint checker."""
+
+import pytest
+
+from repro.core.constraints import (
+    ViolationKind,
+    check_plan,
+    is_feasible,
+)
+from repro.core.plan import GlobalPlan
+
+
+def kinds(violations):
+    return {violation.kind for violation in violations}
+
+
+class TestTimeConflicts:
+    def test_detects_overlap(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(0, 0)  # e1
+        plan.add(0, 2)  # e3 overlaps e1
+        assert ViolationKind.TIME_CONFLICT in kinds(check_plan(paper_instance, plan))
+
+    def test_detects_touching(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(3, 1)  # e2 16-18
+        plan.add(3, 3)  # e4 18-20 touches
+        assert ViolationKind.TIME_CONFLICT in kinds(check_plan(paper_instance, plan))
+
+    def test_clean_sequence_passes(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(3, 2)  # e3 13:30-15
+        plan.add(3, 3)  # e4 18-20
+        assert ViolationKind.TIME_CONFLICT not in kinds(
+            check_plan(paper_instance, plan)
+        )
+
+
+class TestBudget:
+    def test_over_budget_flagged(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(4, 1)  # u5 budget 10, e2 costs 2*sqrt(50) ~ 14.1
+        violations = check_plan(paper_instance, plan)
+        assert ViolationKind.BUDGET_EXCEEDED in kinds(violations)
+
+    def test_within_budget_passes(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(0, 0)
+        plan.add(0, 1)  # the paper's D_1 = 16.53 <= 18
+        assert is_feasible(paper_instance, plan, enforce_lower=False)
+
+
+class TestBounds:
+    def test_upper_bound_violation(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        for user in range(4):
+            if small_instance.utility[user, 1] > 0:
+                plan.add(user, 1)  # eta_1 = 2, three positive users
+        assert ViolationKind.UPPER_BOUND in kinds(check_plan(small_instance, plan))
+
+    def test_lower_bound_violation(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        plan.add(0, 2)  # xi_2 = 2, only one attendee
+        violations = check_plan(small_instance, plan)
+        assert ViolationKind.LOWER_BOUND in kinds(violations)
+
+    def test_lower_bound_ignored_when_disabled(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        plan.add(0, 2)
+        assert is_feasible(small_instance, plan, enforce_lower=False)
+
+    def test_unheld_event_is_fine(self, small_instance):
+        plan = GlobalPlan(small_instance)  # nobody attends anything
+        assert is_feasible(small_instance, plan)
+
+    def test_zero_utility_assignment_flagged(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        plan.add(2, 1)  # utility 0.0
+        assert ViolationKind.ZERO_UTILITY in kinds(check_plan(small_instance, plan))
+
+
+class TestReporting:
+    def test_violation_str(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        plan.add(0, 2)
+        violation = check_plan(small_instance, plan)[0]
+        text = str(violation)
+        assert "lower_bound" in text
+        assert "event=2" in text
+
+    def test_multiple_violations_all_reported(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(0, 0)
+        plan.add(0, 2)   # conflict
+        plan.add(4, 1)   # budget
+        violations = check_plan(paper_instance, plan)
+        assert ViolationKind.TIME_CONFLICT in kinds(violations)
+        assert ViolationKind.BUDGET_EXCEEDED in kinds(violations)
+
+    def test_empty_plan_feasible(self, paper_instance):
+        assert is_feasible(paper_instance, GlobalPlan(paper_instance))

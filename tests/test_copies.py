@@ -1,0 +1,58 @@
+"""Tests for the xi-GEPC copy expansion."""
+
+import pytest
+
+from repro.core.gepc.copies import CopyExpansion
+
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def instance():
+    return build_instance(
+        [(0, 0, 50), (1, 1, 50)],
+        [
+            (2, 2, 2, 3, 0.0, 1.0),
+            (3, 3, 0, 2, 2.0, 3.0),
+            (4, 4, 3, 4, 0.5, 1.5),  # conflicts with event 0
+        ],
+        [[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]],
+    )
+
+
+class TestExpansion:
+    def test_counts(self, instance):
+        expansion = CopyExpansion.for_instance(instance)
+        assert expansion.n_copies == 2 + 0 + 3
+        assert expansion.copies_of[0] == [0, 1]
+        assert expansion.copies_of[1] == []
+        assert expansion.copies_of[2] == [2, 3, 4]
+
+    def test_original_map(self, instance):
+        expansion = CopyExpansion.for_instance(instance)
+        assert expansion.original_of == [0, 0, 2, 2, 2]
+
+    def test_override_lowers(self, instance):
+        expansion = CopyExpansion.for_instance(instance, lowers=[1, 1, 0])
+        assert expansion.n_copies == 2
+        assert expansion.original_of == [0, 1]
+
+    def test_override_length_checked(self, instance):
+        with pytest.raises(ValueError):
+            CopyExpansion.for_instance(instance, lowers=[1, 1])
+
+    def test_same_event_copies_conflict(self, instance):
+        expansion = CopyExpansion.for_instance(instance)
+        assert expansion.copies_conflict(instance, 0, 1)
+
+    def test_cross_event_conflicts_follow_time(self, instance):
+        expansion = CopyExpansion.for_instance(instance)
+        # copy 0 (event 0) vs copy 2 (event 2): events overlap in time.
+        assert expansion.copies_conflict(instance, 0, 2)
+
+    def test_non_conflicting_copies(self, instance):
+        expansion = CopyExpansion.for_instance(
+            instance, lowers=[1, 1, 1]
+        )
+        # event 0 [0,1] and event 1 [2,3] are disjoint in time.
+        assert not expansion.copies_conflict(instance, 0, 1)

@@ -1,0 +1,122 @@
+"""Cross-product invariants: every solver x every cost model stays feasible.
+
+The composite-cost extension must be orthogonal to the algorithm layer:
+both GEPC solvers, the exact oracles, and the full IEP engine are exercised
+under Euclidean/Manhattan metrics with and without admission fees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.costs import CostModel
+from repro.core.gepc import (
+    ExactSolver,
+    GAPBasedSolver,
+    GreedySolver,
+    ILPSolver,
+)
+from repro.core.iep import (
+    BudgetChange,
+    EtaDecrease,
+    IEPEngine,
+    TimeChange,
+    XiIncrease,
+)
+from repro.core.model import Instance
+from repro.geo.metrics import EUCLIDEAN, MANHATTAN
+from repro.timeline.interval import Interval
+
+from tests.conftest import random_instance
+
+
+def cost_models(n_events, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "euclidean-free": CostModel(),
+        "manhattan-free": CostModel(metric=MANHATTAN),
+        "euclidean-fees": CostModel(fees=rng.uniform(0, 6, n_events)),
+        "manhattan-fees": CostModel(
+            metric=MANHATTAN, fees=rng.uniform(0, 6, n_events)
+        ),
+    }
+
+
+def with_model(base, model):
+    return Instance(base.users, base.events, base.utility, model)
+
+
+@pytest.mark.parametrize("model_name", list(cost_models(1)))
+class TestSolversUnderCostModels:
+    def test_greedy_feasible(self, model_name):
+        for seed in range(3):
+            base = random_instance(seed, n_users=8, n_events=5)
+            instance = with_model(
+                base, cost_models(base.n_events, seed)[model_name]
+            )
+            solution = GreedySolver(seed=seed).solve(instance)
+            assert is_feasible(instance, solution.plan), (model_name, seed)
+
+    def test_gap_based_feasible(self, model_name):
+        for seed in range(2):
+            base = random_instance(seed, n_users=7, n_events=4)
+            instance = with_model(
+                base, cost_models(base.n_events, seed)[model_name]
+            )
+            solution = GAPBasedSolver().solve(instance)
+            assert is_feasible(instance, solution.plan), (model_name, seed)
+
+    def test_exact_oracles_agree(self, model_name):
+        for seed in range(2):
+            base = random_instance(seed, n_users=5, n_events=4)
+            instance = with_model(
+                base, cost_models(base.n_events, seed)[model_name]
+            )
+            dp = ExactSolver().solve(instance)
+            ilp = ILPSolver().solve(instance)
+            assert dp.utility == pytest.approx(ilp.utility, abs=1e-6), (
+                model_name, seed,
+            )
+
+    def test_approximations_bounded_by_exact(self, model_name):
+        for seed in range(2):
+            base = random_instance(seed, n_users=5, n_events=4)
+            instance = with_model(
+                base, cost_models(base.n_events, seed)[model_name]
+            )
+            optimum = ExactSolver().solve(instance).utility
+            assert GreedySolver(seed=seed).solve(instance).utility <= optimum + 1e-9
+            assert GAPBasedSolver().solve(instance).utility <= optimum + 1e-9
+
+
+@pytest.mark.parametrize("model_name", list(cost_models(1)))
+class TestIEPUnderCostModels:
+    def test_repairs_feasible(self, model_name):
+        engine = IEPEngine()
+        for seed in range(2):
+            base = random_instance(seed, n_users=10, n_events=5)
+            instance = with_model(
+                base, cost_models(base.n_events, seed)[model_name]
+            )
+            plan = GreedySolver(seed=seed).solve(instance).plan
+            operations = []
+            spec0 = instance.events[0]
+            if spec0.upper > max(spec0.lower, 1):
+                operations.append(EtaDecrease(0, max(spec0.lower, 1)))
+            spec1 = instance.events[1]
+            if spec1.lower + 1 <= spec1.upper:
+                operations.append(XiIncrease(1, spec1.lower + 1))
+            operations.append(
+                TimeChange(
+                    2,
+                    Interval(30.0, 30.0 + instance.events[2].interval.duration),
+                )
+            )
+            operations.append(
+                BudgetChange(0, instance.users[0].budget * 0.4)
+            )
+            for operation in operations:
+                result = engine.apply(instance, plan, operation)
+                assert is_feasible(result.instance, result.plan), (
+                    model_name, seed, operation,
+                )

@@ -1,0 +1,152 @@
+"""Degenerate-instance robustness: empty sets, singletons, extremes."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import (
+    ExactSolver,
+    GAPBasedSolver,
+    GreedySolver,
+    ILPSolver,
+)
+from repro.core.gepc.regret import RegretSolver
+from repro.core.iep import IEPEngine, NewEvent
+from repro.core.model import Instance, User
+from repro.core.plan import GlobalPlan
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+from tests.conftest import build_instance
+
+
+def no_events_instance():
+    return Instance(
+        [User(0, Point(0, 0), 10.0), User(1, Point(1, 1), 10.0)],
+        [],
+        np.zeros((2, 0)),
+    )
+
+
+def single_user_instance():
+    return build_instance(
+        [(0, 0, 100.0)],
+        [
+            (1, 0, 0, 1, 0.0, 1.0),
+            (2, 0, 1, 1, 2.0, 3.0),
+        ],
+        [[0.9, 0.8]],
+    )
+
+
+def all_zero_utilities():
+    return build_instance(
+        [(0, 0, 100.0), (1, 1, 100.0)],
+        [(1, 0, 0, 2, 0.0, 1.0)],
+        [[0.0], [0.0]],
+    )
+
+
+class TestNoEvents:
+    @pytest.mark.parametrize(
+        "solver",
+        [GreedySolver(seed=0), GAPBasedSolver(), RegretSolver(), ExactSolver()],
+        ids=lambda s: s.name,
+    )
+    def test_solvers_return_empty_plans(self, solver):
+        instance = no_events_instance()
+        solution = solver.solve(instance)
+        assert solution.plan.size() == 0
+        assert solution.utility == 0.0
+        assert is_feasible(instance, solution.plan)
+
+    def test_new_event_bootstraps_planning(self):
+        instance = no_events_instance()
+        plan = GlobalPlan(instance)
+        operation = NewEvent(
+            Point(0.5, 0.5), 1, 2, Interval(1.0, 2.0), (0.9, 0.8)
+        )
+        result = IEPEngine().apply(instance, plan, operation)
+        assert result.instance.n_events == 1
+        assert result.plan.attendance(0) == 2
+        assert is_feasible(result.instance, result.plan)
+
+
+class TestSingleUser:
+    def test_exact_takes_both_events(self):
+        instance = single_user_instance()
+        solution = ExactSolver().solve(instance)
+        assert solution.utility == pytest.approx(1.7)
+
+    def test_all_solvers_feasible(self):
+        instance = single_user_instance()
+        for solver in (
+            GreedySolver(seed=0),
+            GAPBasedSolver(),
+            RegretSolver(),
+            ILPSolver(),
+        ):
+            solution = solver.solve(instance)
+            assert is_feasible(instance, solution.plan), solver.name
+
+
+class TestAllZeroUtilities:
+    @pytest.mark.parametrize(
+        "solver",
+        [GreedySolver(seed=0), GAPBasedSolver(), RegretSolver(), ExactSolver()],
+        ids=lambda s: s.name,
+    )
+    def test_nothing_assigned(self, solver):
+        instance = all_zero_utilities()
+        solution = solver.solve(instance)
+        assert solution.plan.size() == 0
+
+
+class TestExtremes:
+    def test_zero_budget_user_stays_home(self):
+        instance = build_instance(
+            [(0, 0, 0.0)],
+            [(1, 0, 0, 1, 0.0, 1.0)],
+            [[0.9]],
+        )
+        for solver in (GreedySolver(seed=0), GAPBasedSolver()):
+            solution = solver.solve(instance)
+            assert solution.plan.user_plan(0) == []
+
+    def test_event_at_user_home_with_zero_budget(self):
+        # Distance 0: even a zero-budget user can attend.
+        instance = build_instance(
+            [(0, 0, 0.0)],
+            [(0, 0, 0, 1, 0.0, 1.0)],
+            [[0.9]],
+        )
+        solution = GreedySolver(seed=0).solve(instance)
+        assert solution.plan.contains(0, 0)
+
+    def test_huge_lower_bound_everywhere(self):
+        instance = build_instance(
+            [(0, 0, 50.0), (1, 1, 50.0)],
+            [(1, 0, 2, 2, 0.0, 1.0), (2, 0, 2, 2, 2.0, 3.0)],
+            [[0.9, 0.8], [0.7, 0.6]],
+        )
+        solution = GreedySolver(seed=0).solve(instance)
+        assert is_feasible(instance, solution.plan)
+        # Both events can be held (both users can do both).
+        assert solution.plan.attendance(0) == 2
+        assert solution.plan.attendance(1) == 2
+
+    def test_all_events_conflicting(self):
+        instance = build_instance(
+            [(0, 0, 100.0), (1, 1, 100.0)],
+            [
+                (1, 0, 0, 2, 0.0, 10.0),
+                (2, 0, 0, 2, 1.0, 9.0),
+                (3, 0, 0, 2, 2.0, 8.0),
+            ],
+            [[0.9, 0.8, 0.7], [0.6, 0.5, 0.4]],
+        )
+        for solver in (GreedySolver(seed=0), GAPBasedSolver(), ExactSolver()):
+            solution = solver.solve(instance)
+            assert is_feasible(instance, solution.plan)
+            for user in range(2):
+                assert len(solution.plan.user_plan(user)) <= 1

@@ -1,0 +1,87 @@
+"""Tests for the IEP engine: dispatch, immutability, sequencing."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.iep import (
+    BudgetChange,
+    EtaDecrease,
+    IEPEngine,
+    TimeChange,
+    XiIncrease,
+)
+from repro.core.iep.operations import AtomicOperation
+from repro.core.metrics import total_utility
+from repro.platform.stream import OperationStream
+from repro.timeline.interval import Interval
+
+from tests.conftest import random_instance
+
+
+class TestEngine:
+    def test_inputs_never_mutated(self, paper_instance):
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        snapshot = plan.copy()
+        utility_before = total_utility(paper_instance, plan)
+        IEPEngine().apply(paper_instance, plan, EtaDecrease(3, 1))
+        assert plan == snapshot
+        assert total_utility(paper_instance, plan) == utility_before
+
+    def test_result_carries_new_instance(self, paper_instance):
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        result = IEPEngine().apply(paper_instance, plan, EtaDecrease(3, 2))
+        assert result.instance.events[3].upper == 2
+        assert result.operation == EtaDecrease(3, 2)
+
+    def test_validation_errors_propagate(self, paper_instance):
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        with pytest.raises(ValueError):
+            IEPEngine().apply(paper_instance, plan, EtaDecrease(3, 9))
+
+    def test_unknown_operation_rejected(self, paper_instance):
+        class Bogus(AtomicOperation):
+            def apply_to_instance(self, instance):
+                return instance
+
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        with pytest.raises(TypeError):
+            IEPEngine().apply(paper_instance, plan, Bogus())
+
+    def test_utility_property(self, paper_instance):
+        plan = GreedySolver(seed=0).solve(paper_instance).plan
+        result = IEPEngine().apply(paper_instance, plan, EtaDecrease(3, 2))
+        assert result.utility == pytest.approx(
+            total_utility(result.instance, result.plan)
+        )
+
+    def test_apply_sequence_chains_state(self):
+        instance = random_instance(2, n_users=12, n_events=6)
+        plan = GreedySolver(seed=2).solve(instance).plan
+        stream = OperationStream(seed=5)
+        operations = []
+        # Draw three independent operations valid on the initial instance
+        # whose event attributes chain safely (times only).
+        for event in range(3):
+            duration = instance.events[event].interval.duration
+            operations.append(
+                TimeChange(event, Interval(50.0 + event * 10, 50.0 + event * 10 + duration))
+            )
+        results = IEPEngine().apply_sequence(instance, plan, operations)
+        assert len(results) == 3
+        for result in results:
+            assert is_feasible(result.instance, result.plan)
+        # Later results reflect earlier changes.
+        assert results[-1].instance.events[0].interval.start == 50.0
+
+    def test_mixed_stream_keeps_feasibility(self):
+        """Long-run robustness: 40 random operations, always feasible."""
+        instance = random_instance(7, n_users=15, n_events=8)
+        plan = GreedySolver(seed=7).solve(instance).plan
+        stream = OperationStream(seed=7)
+        engine = IEPEngine()
+        for _ in range(40):
+            operation = next(iter(stream.mixed(instance, plan, 1)))
+            result = engine.apply(instance, plan, operation)
+            assert is_feasible(result.instance, result.plan), operation
+            instance, plan = result.instance, result.plan

@@ -1,0 +1,73 @@
+"""Smoke tests keeping every example script runnable.
+
+Examples are documentation that compiles; these tests execute each one's
+``main`` (with reduced workloads where the module exposes knobs) so API
+drift breaks the build instead of the README.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+
+
+def load(name):
+    module = importlib.import_module(name)
+    importlib.reload(module)  # isolate module-level state between tests
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "GEPC" in out
+        assert "dif(P, P')" in out
+
+    def test_city_weekend(self, capsys, monkeypatch, tmp_path):
+        module = load("city_weekend")
+        # Redirect the SVG artifacts away from the repo's results dir.
+        monkeypatch.setattr(
+            module, "_write_svgs", lambda *args, **kwargs: None
+        )
+        module.main("beijing")
+        out = capsys.readouterr().out
+        assert "Organiser dashboard" in out
+
+    def test_incremental_day(self, capsys, monkeypatch):
+        module = load("incremental_day")
+        monkeypatch.setattr(module, "N_OPERATIONS", 5)
+        module.main()
+        out = capsys.readouterr().out
+        assert "End of day (incremental)" in out
+        assert "0 violations" in out
+
+    def test_lower_bound_motivation(self, capsys):
+        load("lower_bound_motivation").main()
+        out = capsys.readouterr().out
+        assert "GEPC (lower bounds enforced)" in out
+
+    def test_priced_events(self, capsys):
+        load("priced_events").main()
+        out = capsys.readouterr().out
+        assert "three cost models" in out
+
+    def test_full_day_simulation(self, capsys):
+        load("full_day_simulation").main()
+        out = capsys.readouterr().out
+        assert "Day report" in out
+        assert "delivery ratio" in out
+
+    def test_reduction_probe(self, capsys):
+        load("reduction_probe").main()
+        out = capsys.readouterr().out
+        assert "Accounting identity" in out
+        assert "Adversarial cluster" in out

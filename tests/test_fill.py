@@ -1,0 +1,79 @@
+"""Tests for the step-2 capacity filler (UtilityFill)."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc.fill import UtilityFill
+from repro.core.metrics import total_utility
+from repro.core.plan import GlobalPlan
+
+from tests.conftest import build_instance, random_instance
+
+
+class TestFill:
+    def test_fills_open_events(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        # Seed each event to its lower bound so everything is "held".
+        plan.add(0, 0)                      # e1: xi=1
+        plan.add(1, 2); plan.add(2, 2); plan.add(3, 2)  # e3: xi=3
+        plan.add(4, 3)                      # e4: xi=1
+        added = UtilityFill().fill(paper_instance, plan)
+        assert added > 0
+        assert is_feasible(paper_instance, plan, enforce_lower=False)
+
+    def test_never_opens_unheld_lower_bounded_event(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        added = UtilityFill().fill(small_instance, plan)
+        # Events 0 and 2 have lower bounds and zero attendance: stay closed.
+        assert plan.attendance(0) == 0
+        assert plan.attendance(2) == 0
+        # Event 1 has xi=0, so filling it is fine.
+        assert plan.attendance(1) > 0
+        assert added == plan.attendance(1)
+
+    def test_respects_excluded_events(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        UtilityFill().fill(small_instance, plan, excluded_events={1})
+        assert plan.attendance(1) == 0
+
+    def test_respects_only_users(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        UtilityFill().fill(small_instance, plan, only_users={0})
+        assert plan.user_plan(1) == []
+        assert plan.user_plan(0) != []
+
+    def test_respects_upper_bound(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        UtilityFill().fill(small_instance, plan)
+        assert plan.attendance(1) <= small_instance.events[1].upper
+
+    def test_prefers_higher_utility(self):
+        # One seat, two candidates; the higher-utility user must win it.
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50)],
+            [(1, 0, 0, 1, 0.0, 1.0)],
+            [[0.4], [0.9]],
+        )
+        plan = GlobalPlan(instance)
+        UtilityFill().fill(instance, plan)
+        assert plan.attendees(0) == [1]
+
+    def test_idempotent_when_saturated(self, small_instance):
+        plan = GlobalPlan(small_instance)
+        UtilityFill().fill(small_instance, plan)
+        assert UtilityFill().fill(small_instance, plan) == 0
+
+    def test_monotone_utility(self):
+        for seed in range(5):
+            instance = random_instance(seed)
+            plan = GlobalPlan(instance)
+            before = total_utility(instance, plan)
+            UtilityFill().fill(instance, plan)
+            assert total_utility(instance, plan) >= before
+
+    def test_keeps_feasibility_on_random_instances(self):
+        for seed in range(8):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            plan = GlobalPlan(instance)
+            UtilityFill().fill(instance, plan)
+            assert is_feasible(instance, plan)

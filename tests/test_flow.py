@@ -1,0 +1,144 @@
+"""Tests for the min-cost-flow substrate (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.graph import FlowNetwork
+from repro.flow.mincost import min_cost_flow
+
+
+class TestFlowNetwork:
+    def test_add_edge_creates_twin(self):
+        network = FlowNetwork(2)
+        arc = network.add_edge(0, 1, 5.0, 2.0)
+        assert network.arc(arc).capacity == 5.0
+        assert network.arc(arc ^ 1).capacity == 0.0
+        assert network.arc(arc ^ 1).cost == -2.0
+
+    def test_push_updates_both_directions(self):
+        network = FlowNetwork(2)
+        arc = network.add_edge(0, 1, 5.0, 1.0)
+        network.push(arc, 3.0)
+        assert network.flow_on(arc) == 3.0
+        assert network.arc(arc).residual == 2.0
+        assert network.arc(arc ^ 1).residual == 3.0
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(IndexError):
+            FlowNetwork(2).add_edge(0, 5, 1.0, 0.0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(2).add_edge(0, 1, -1.0, 0.0)
+
+    def test_add_node(self):
+        network = FlowNetwork(1)
+        assert network.add_node() == 1
+        assert network.n_nodes == 2
+
+
+class TestMinCostFlow:
+    def test_single_path(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 4.0, 1.0)
+        network.add_edge(1, 2, 4.0, 1.0)
+        result = min_cost_flow(network, 0, 2)
+        assert result.flow == 4.0
+        assert result.cost == 8.0
+
+    def test_prefers_cheap_path(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1.0, 10.0)
+        network.add_edge(1, 3, 1.0, 10.0)
+        network.add_edge(0, 2, 1.0, 1.0)
+        network.add_edge(2, 3, 1.0, 1.0)
+        result = min_cost_flow(network, 0, 3, max_flow=1.0)
+        assert result.flow == 1.0
+        assert result.cost == 2.0
+
+    def test_max_flow_cap(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 10.0, 1.0)
+        result = min_cost_flow(network, 0, 1, max_flow=3.0)
+        assert result.flow == 3.0
+
+    def test_disconnected(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 1.0, 1.0)
+        result = min_cost_flow(network, 0, 2)
+        assert result.flow == 0.0
+
+    def test_negative_costs(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 2.0, -5.0)
+        network.add_edge(1, 2, 2.0, 1.0)
+        result = min_cost_flow(network, 0, 2)
+        assert result.flow == 2.0
+        assert result.cost == -8.0
+
+    def test_result_unpacks(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 1.0, 3.0)
+        flow, cost = min_cost_flow(network, 0, 1)
+        assert (flow, cost) == (1.0, 3.0)
+
+    def test_assignment_problem(self):
+        """3x3 assignment: optimal matching found via unit-capacity flow."""
+        costs = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        network = FlowNetwork(8)  # 0 src, 1 sink, 2-4 left, 5-7 right
+        for i in range(3):
+            network.add_edge(0, 2 + i, 1.0, 0.0)
+            network.add_edge(5 + i, 1, 1.0, 0.0)
+        for i in range(3):
+            for j in range(3):
+                network.add_edge(2 + i, 5 + j, 1.0, float(costs[i][j]))
+        result = min_cost_flow(network, 0, 1)
+        assert result.flow == 3.0
+        assert result.cost == 5.0  # 1 + 2 + 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 8))
+        edges = []
+        for _ in range(int(rng.integers(n, 2 * n))):
+            u, v = rng.choice(n, size=2, replace=False)
+            edges.append(
+                (int(u), int(v), int(rng.integers(1, 6)), int(rng.integers(0, 9)))
+            )
+        demand = int(rng.integers(1, 5))
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(n))
+        for u, v, cap, cost in edges:
+            if graph.has_edge(u, v):
+                continue
+            graph.add_edge(u, v, capacity=cap, weight=cost)
+
+        # networkx max_flow_min_cost needs the target reachable; compute the
+        # achievable flow first.
+        achievable = nx.maximum_flow_value(graph, 0, n - 1, capacity="capacity")
+        want = min(demand, achievable)
+
+        network = FlowNetwork(n)
+        for u, v, d in graph.edges(data=True):
+            network.add_edge(u, v, float(d["capacity"]), float(d["weight"]))
+        ours = min_cost_flow(network, 0, n - 1, max_flow=want)
+        assert ours.flow == pytest.approx(want)
+
+        if want > 0:
+            expected = nx.min_cost_flow_cost(
+                _with_demands(graph, 0, n - 1, want)
+            )
+            assert ours.cost == pytest.approx(expected)
+
+
+def _with_demands(graph: nx.DiGraph, source: int, sink: int, flow: int):
+    clone = graph.copy()
+    clone.nodes[source]["demand"] = -flow
+    clone.nodes[sink]["demand"] = flow
+    return clone

@@ -1,0 +1,231 @@
+"""Tests for the GAP substrate: LP relaxation and Shmoys-Tardos rounding."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assignment.gap import (
+    GAPInstance,
+    GAPStatus,
+    explode_to_copies,
+    solve_gap,
+    solve_lp_relaxation,
+)
+from repro.assignment.rounding import shmoys_tardos_round
+
+
+def random_gap(seed, n=3, m=6, demands=False):
+    rng = np.random.default_rng(seed)
+    return GAPInstance(
+        costs=rng.uniform(0, 1, (n, m)),
+        loads=rng.uniform(1, 4, (n, m)),
+        capacities=rng.uniform(8, 16, n),
+        demands=rng.integers(1, 3, m) if demands else None,
+    )
+
+
+def brute_force_optimum(gap: GAPInstance) -> float | None:
+    """Exact optimum for unit-demand instances (tiny sizes only)."""
+    best = None
+    for assignment in itertools.product(range(gap.n_machines), repeat=gap.n_jobs):
+        loads = np.zeros(gap.n_machines)
+        cost = 0.0
+        ok = True
+        for j, i in enumerate(assignment):
+            if gap.forbidden[i, j]:
+                ok = False
+                break
+            loads[i] += gap.loads[i, j]
+            cost += gap.costs[i, j]
+        if ok and (loads <= gap.capacities + 1e-9).all():
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+class TestGAPInstance:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GAPInstance(np.zeros((2, 3)), np.zeros((3, 2)), np.zeros(2))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            GAPInstance(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(3))
+
+    def test_demand_validation(self):
+        with pytest.raises(ValueError):
+            GAPInstance(
+                np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2),
+                demands=np.array([-1, 0, 0]),
+            )
+
+    def test_default_demands_are_unit(self):
+        gap = GAPInstance(np.zeros((2, 3)), np.zeros((2, 3)), np.ones(2))
+        assert gap.n_units == 3
+
+    def test_allowed_prunes_overweight(self):
+        gap = GAPInstance(
+            costs=np.zeros((1, 2)),
+            loads=np.array([[5.0, 1.0]]),
+            capacities=np.array([2.0]),
+        )
+        assert gap.allowed().tolist() == [[False, True]]
+
+    def test_allowed_respects_forbidden(self):
+        gap = GAPInstance(
+            costs=np.zeros((1, 1)),
+            loads=np.zeros((1, 1)),
+            capacities=np.ones(1),
+            forbidden=np.array([[True]]),
+        )
+        assert not gap.allowed().any()
+
+    def test_unit_cost_and_loads(self):
+        gap = random_gap(0)
+        assignment = [(0, 0), (1, 1)]
+        assert gap.unit_cost(assignment) == pytest.approx(
+            gap.costs[0, 0] + gap.costs[1, 1]
+        )
+        loads = gap.machine_loads(assignment)
+        assert loads[0] == pytest.approx(gap.loads[0, 0])
+
+
+class TestLPRelaxation:
+    def test_feasible_fractional(self):
+        gap = random_gap(1)
+        relaxed = solve_lp_relaxation(gap)
+        assert relaxed is not None
+        x, value = relaxed
+        assert np.allclose(x.sum(axis=0), gap.demands)
+        assert ((gap.loads * x).sum(axis=1) <= gap.capacities + 1e-6).all()
+        assert value == pytest.approx((gap.costs * x).sum(), abs=1e-6)
+
+    def test_infeasible_when_job_fits_nowhere(self):
+        gap = GAPInstance(
+            costs=np.zeros((1, 1)),
+            loads=np.array([[10.0]]),
+            capacities=np.array([1.0]),
+        )
+        assert solve_lp_relaxation(gap) is None
+
+    def test_infeasible_when_demand_exceeds_allowed_machines(self):
+        gap = GAPInstance(
+            costs=np.zeros((2, 1)),
+            loads=np.ones((2, 1)),
+            capacities=np.ones(2) * 5,
+            forbidden=np.array([[False], [True]]),
+            demands=np.array([2]),
+        )
+        assert solve_lp_relaxation(gap) is None
+
+    def test_lp_lower_bounds_integral_optimum(self):
+        for seed in range(6):
+            gap = random_gap(seed, n=3, m=5)
+            optimum = brute_force_optimum(gap)
+            relaxed = solve_lp_relaxation(gap)
+            if optimum is None:
+                continue
+            assert relaxed is not None
+            assert relaxed[1] <= optimum + 1e-6
+
+
+class TestExplode:
+    def test_unit_demands_identity(self):
+        gap = random_gap(2)
+        x, _ = solve_lp_relaxation(gap)
+        x_plus, job_of_copy = explode_to_copies(gap, x)
+        assert job_of_copy == list(range(gap.n_jobs))
+        assert np.allclose(x_plus, x)
+
+    def test_copy_columns_sum_to_one(self):
+        gap = random_gap(3, demands=True)
+        x, _ = solve_lp_relaxation(gap)
+        x_plus, job_of_copy = explode_to_copies(gap, x)
+        assert len(job_of_copy) == gap.n_units
+        assert np.allclose(x_plus.sum(axis=0), 1.0)
+
+    def test_mass_preserved_per_pair(self):
+        gap = random_gap(4, demands=True)
+        x, _ = solve_lp_relaxation(gap)
+        x_plus, job_of_copy = explode_to_copies(gap, x)
+        for j in range(gap.n_jobs):
+            copies = [k for k, job in enumerate(job_of_copy) if job == j]
+            assert np.allclose(x_plus[:, copies].sum(axis=1), x[:, j])
+
+    def test_zero_demand_skipped(self):
+        gap = GAPInstance(
+            costs=np.zeros((1, 2)),
+            loads=np.zeros((1, 2)),
+            capacities=np.ones(1),
+            demands=np.array([0, 1]),
+        )
+        x = np.array([[0.0, 1.0]])
+        x_plus, job_of_copy = explode_to_copies(gap, x)
+        assert job_of_copy == [1]
+
+
+class TestRounding:
+    def test_integral_input_passthrough(self):
+        gap = random_gap(5)
+        x = np.zeros((gap.n_machines, gap.n_jobs))
+        for j in range(gap.n_jobs):
+            x[j % gap.n_machines, j] = 1.0
+        machines = shmoys_tardos_round(gap, x)
+        assert machines == [j % gap.n_machines for j in range(gap.n_jobs)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_st_guarantees(self, seed):
+        """Rounded cost <= LP cost; loads <= capacity + max item."""
+        gap = random_gap(seed)
+        relaxed = solve_lp_relaxation(gap)
+        if relaxed is None:
+            return
+        x, lp_value = relaxed
+        machines = shmoys_tardos_round(gap, x)
+        assert machines is not None
+        assignment = list(zip(machines, range(gap.n_jobs)))
+        assert gap.unit_cost(assignment) <= lp_value + 1e-6
+        loads = gap.machine_loads(assignment)
+        bound = gap.capacities + gap.loads.max(axis=1)
+        assert (loads <= bound + 1e-6).all()
+
+
+class TestSolveGAP:
+    def test_optimal_status(self):
+        result = solve_gap(random_gap(7))
+        assert result.status is GAPStatus.OPTIMAL
+        assert result.cost <= result.lp_value + 1e-6
+
+    def test_infeasible_status(self):
+        gap = GAPInstance(
+            costs=np.zeros((1, 1)),
+            loads=np.array([[10.0]]),
+            capacities=np.array([1.0]),
+        )
+        assert solve_gap(gap).status is GAPStatus.INFEASIBLE
+
+    def test_demands_respected(self):
+        gap = random_gap(8, demands=True)
+        result = solve_gap(gap)
+        assert result.status is GAPStatus.OPTIMAL
+        placed: dict[int, list[int]] = {}
+        for machine, job in result.assignment:
+            placed.setdefault(job, []).append(machine)
+        for j in range(gap.n_jobs):
+            machines = placed.get(j, [])
+            assert len(machines) == gap.demands[j]
+            assert len(set(machines)) == len(machines)  # distinct machines
+
+    def test_beats_or_matches_brute_force_lp_bound(self):
+        for seed in range(5):
+            gap = random_gap(seed, n=3, m=5)
+            optimum = brute_force_optimum(gap)
+            result = solve_gap(gap)
+            if optimum is None or result.status is not GAPStatus.OPTIMAL:
+                continue
+            # ST guarantee: rounded cost never exceeds the integral optimum.
+            assert result.cost <= optimum + 1e-6

@@ -1,0 +1,73 @@
+"""Tests for the shared GEPC solver plumbing (base module)."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc.base import GEPCSolution, cancel_deficient_events
+from repro.core.metrics import total_utility
+from repro.core.plan import GlobalPlan
+
+from tests.conftest import build_instance
+
+
+@pytest.fixture
+def bounded_instance():
+    return build_instance(
+        [(0, 0, 50), (0, 1, 50), (0, 2, 50)],
+        [
+            (1, 1, 2, 3, 0.0, 1.0),   # xi=2
+            (2, 2, 0, 2, 2.0, 3.0),   # xi=0
+            (3, 3, 3, 3, 4.0, 5.0),   # xi=3
+        ],
+        [[0.9, 0.5, 0.4], [0.8, 0.6, 0.3], [0.7, 0.0, 0.2]],
+    )
+
+
+class TestCancelDeficientEvents:
+    def test_cancels_under_subscribed(self, bounded_instance):
+        plan = GlobalPlan(bounded_instance)
+        plan.add(0, 0)           # 1 < xi = 2
+        cancelled = cancel_deficient_events(bounded_instance, plan)
+        assert cancelled == {0}
+        assert plan.attendance(0) == 0
+
+    def test_keeps_satisfied_events(self, bounded_instance):
+        plan = GlobalPlan(bounded_instance)
+        plan.add(0, 0)
+        plan.add(1, 0)           # meets xi = 2
+        plan.add(0, 1)           # xi = 0 is always fine
+        cancelled = cancel_deficient_events(bounded_instance, plan)
+        assert cancelled == set()
+        assert plan.attendance(0) == 2
+
+    def test_empty_events_not_cancelled(self, bounded_instance):
+        plan = GlobalPlan(bounded_instance)
+        assert cancel_deficient_events(bounded_instance, plan) == set()
+
+    def test_single_pass_sufficient(self, bounded_instance):
+        """Cancelling one event only frees resources; a second pass finds
+        nothing new."""
+        plan = GlobalPlan(bounded_instance)
+        plan.add(0, 0)
+        plan.add(0, 2); plan.add(1, 2)   # 2 < xi = 3
+        first = cancel_deficient_events(bounded_instance, plan)
+        second = cancel_deficient_events(bounded_instance, plan)
+        assert first == {0, 2}
+        assert second == set()
+        assert is_feasible(bounded_instance, plan)
+
+
+class TestGEPCSolution:
+    def test_utility_property(self, bounded_instance):
+        plan = GlobalPlan(bounded_instance)
+        plan.add(0, 1)
+        solution = GEPCSolution(plan, solver="probe")
+        assert solution.utility == pytest.approx(
+            total_utility(bounded_instance, plan)
+        )
+
+    def test_defaults(self, bounded_instance):
+        solution = GEPCSolution(GlobalPlan(bounded_instance))
+        assert solution.cancelled == set()
+        assert solution.diagnostics == {}
+        assert solution.solver == ""

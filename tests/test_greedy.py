@@ -1,0 +1,87 @@
+"""Tests for the greedy-based GEPC algorithm (Algorithm 2)."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import ExactSolver, GreedySolver
+from repro.core.metrics import total_utility
+
+from tests.conftest import random_instance
+
+
+class TestGreedySolver:
+    def test_feasible_on_paper_instance(self, paper_instance):
+        solution = GreedySolver(seed=0).solve(paper_instance)
+        assert is_feasible(paper_instance, solution.plan)
+
+    def test_feasible_on_random_instances(self):
+        for seed in range(10):
+            instance = random_instance(seed, n_users=12, n_events=6)
+            solution = GreedySolver(seed=seed).solve(instance)
+            assert is_feasible(instance, solution.plan), seed
+
+    def test_never_exceeds_exact(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=6, n_events=4)
+            greedy = GreedySolver(seed=seed).solve(instance)
+            exact = ExactSolver().solve(instance)
+            assert greedy.utility <= exact.utility + 1e-9
+
+    def test_deterministic_for_fixed_seed(self, paper_instance):
+        a = GreedySolver(seed=42).solve(paper_instance)
+        b = GreedySolver(seed=42).solve(paper_instance)
+        assert a.plan == b.plan
+
+    def test_order_sensitivity(self):
+        """The paper notes user order affects total utility (Example 5)."""
+        instance = random_instance(4, n_users=10, n_events=6)
+        utilities = {
+            round(GreedySolver(seed=seed).solve(instance).utility, 6)
+            for seed in range(12)
+        }
+        assert len(utilities) > 1
+
+    def test_cancelled_events_have_zero_attendance(self):
+        for seed in range(8):
+            instance = random_instance(
+                seed, n_users=5, n_events=6, zero_fraction=0.6
+            )
+            solution = GreedySolver(seed=seed).solve(instance)
+            for event in solution.cancelled:
+                assert solution.plan.attendance(event) == 0
+
+    def test_held_events_meet_lower_bounds(self):
+        for seed in range(8):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = GreedySolver(seed=seed).solve(instance)
+            for event in range(instance.n_events):
+                count = solution.plan.attendance(event)
+                assert count == 0 or count >= instance.events[event].lower
+
+    def test_fill_step_never_hurts(self):
+        for seed in range(5):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            with_fill = GreedySolver(seed=seed, fill=True).solve(instance)
+            without = GreedySolver(seed=seed, fill=False).solve(instance)
+            assert with_fill.utility >= without.utility - 1e-9
+
+    def test_diagnostics_populated(self, paper_instance):
+        solution = GreedySolver(seed=0).solve(paper_instance)
+        assert "copies_grabbed" in solution.diagnostics
+        assert "fill_added" in solution.diagnostics
+
+    def test_solution_utility_property(self, paper_instance):
+        solution = GreedySolver(seed=0).solve(paper_instance)
+        assert solution.utility == pytest.approx(
+            total_utility(paper_instance, solution.plan)
+        )
+
+    def test_greedy_user_takes_favourite_first(self, paper_instance):
+        """Example 5: u1 picks e3 first (highest utility 0.9), then cannot
+        take e1 (conflict)."""
+        solution = GreedySolver(seed=None).solve(paper_instance)
+        # Regardless of order, any user attending e3 with higher utility for
+        # e3 than e1 cannot also attend e1.
+        for user in range(paper_instance.n_users):
+            plan = solution.plan.user_plan(user)
+            assert not (0 in plan and 2 in plan)

@@ -1,0 +1,38 @@
+"""Tests for ExperimentResult and remaining harness surface."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, measure
+
+
+class TestExperimentResult:
+    def test_fields(self):
+        result = ExperimentResult(
+            label="probe", utility=1.5, seconds=0.25, memory_mb=3.0
+        )
+        assert result.label == "probe"
+        assert result.extra == {}
+
+    def test_extra_is_per_instance(self):
+        a = ExperimentResult("a", 0, 0, 0)
+        b = ExperimentResult("b", 0, 0, 0)
+        a.extra["k"] = 1.0
+        assert b.extra == {}
+
+
+class TestMeasureContract:
+    def test_int_result_accepted(self):
+        outcome, result = measure("int", lambda: 7)
+        assert outcome == 7
+        assert result.utility == 7.0
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            measure("bad", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    def test_solution_object_utility_extracted(self):
+        class WithUtility:
+            utility = 2.25
+
+        _, result = measure("obj", WithUtility)
+        assert result.utility == 2.25

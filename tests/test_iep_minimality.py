@@ -1,0 +1,134 @@
+"""Brute-force verification of the IEP minimal-negative-impact claims.
+
+Definition 2 asks for plans whose ``dif`` is minimal among feasible plans
+of the changed instance.  On tiny instances we can enumerate *every*
+feasible plan and compute the true minimum, then check the algorithms:
+
+* Algorithm 3 (eta decrease) achieves the exact minimum (the paper proves
+  ``dif = n_j - eta'_j``),
+* Algorithm 4 achieves the minimum whenever the repaired event stays held,
+* Algorithm 5 achieves it in *most* cases, but its composite repair
+  (removals + Delta-heap transfers) is greedy: a transfer costs one dif
+  unit even when a cleverer global reshuffle could have avoided it.  The
+  paper's "which is clearly minimized" claim (Section IV-C) is therefore
+  heuristic, not exact — a reproduction finding recorded in
+  EXPERIMENTS.md; the test below pins both the typical equality and the
+  measured gap frequency.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.iep import EtaDecrease, IEPEngine, TimeChange, XiIncrease
+from repro.core.plan import GlobalPlan
+from repro.timeline.interval import Interval
+
+from tests.conftest import random_instance
+
+
+def enumerate_feasible_plans(instance):
+    """Yield every feasible global plan (tiny instances only)."""
+    per_user = []
+    for user in range(instance.n_users):
+        interesting = [
+            j for j in range(instance.n_events)
+            if instance.utility[user, j] > 0
+        ]
+        options = []
+        for size in range(len(interesting) + 1):
+            options.extend(itertools.combinations(interesting, size))
+        per_user.append(options)
+    for combo in itertools.product(*per_user):
+        plan = GlobalPlan(instance)
+        for user, events in enumerate(combo):
+            for event in events:
+                plan.add(user, event)
+        if is_feasible(instance, plan):
+            yield plan
+
+
+def brute_force_min_dif(old_plan, new_instance):
+    """The true minimum negative impact over all feasible new plans."""
+    from repro.core.metrics import dif
+
+    return min(
+        dif(old_plan, candidate)
+        for candidate in enumerate_feasible_plans(new_instance)
+    )
+
+
+def tiny(seed):
+    return random_instance(seed, n_users=4, n_events=3, max_upper=3)
+
+
+class TestMinimality:
+    def test_eta_decrease_exact_minimum(self):
+        engine = IEPEngine()
+        checked = 0
+        for seed in range(8):
+            instance = tiny(seed)
+            plan = GreedySolver(seed=seed).solve(instance).plan
+            for event in range(instance.n_events):
+                spec = instance.events[event]
+                floor = max(spec.lower, 1)
+                if spec.upper <= floor or plan.attendance(event) <= floor:
+                    continue
+                operation = EtaDecrease(event, floor)
+                result = engine.apply(instance, plan, operation)
+                minimum = brute_force_min_dif(plan, result.instance)
+                assert result.dif == minimum, (seed, event)
+                checked += 1
+        assert checked > 0
+
+    def test_xi_increase_minimum_when_event_stays_held(self):
+        engine = IEPEngine()
+        checked = 0
+        for seed in range(8):
+            instance = tiny(seed)
+            plan = GreedySolver(seed=seed).solve(instance).plan
+            for event in range(instance.n_events):
+                spec = instance.events[event]
+                if spec.lower + 1 > spec.upper:
+                    continue
+                operation = XiIncrease(event, spec.lower + 1)
+                result = engine.apply(instance, plan, operation)
+                if result.plan.attendance(event) == 0 and plan.attendance(event) > 0:
+                    continue  # cancellation fallback: minimality not claimed
+                minimum = brute_force_min_dif(plan, result.instance)
+                assert result.dif == minimum, (seed, event)
+                checked += 1
+        assert checked > 0
+
+    def test_time_change_near_minimum(self):
+        """Algorithm 5's dif never beats the true minimum (sanity) and
+        equals it in the large majority of cases; the gap, when present,
+        comes from the greedy transfer stage (see the module docstring)."""
+        engine = IEPEngine()
+        checked = exact = 0
+        worst_gap = 0
+        for seed in range(6):
+            instance = tiny(seed)
+            plan = GreedySolver(seed=seed).solve(instance).plan
+            for event in range(instance.n_events):
+                duration = instance.events[event].interval.duration
+                for start in (0.0, 8.0):
+                    operation = TimeChange(
+                        event, Interval(start, start + duration)
+                    )
+                    result = engine.apply(instance, plan, operation)
+                    if (
+                        result.plan.attendance(event) == 0
+                        and plan.attendance(event) > 0
+                    ):
+                        continue
+                    minimum = brute_force_min_dif(plan, result.instance)
+                    assert result.dif >= minimum, (seed, event, start)
+                    worst_gap = max(worst_gap, result.dif - minimum)
+                    exact += result.dif == minimum
+                    checked += 1
+        assert checked > 0
+        assert exact / checked >= 0.8
+        assert worst_gap <= 2

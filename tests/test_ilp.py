@@ -1,0 +1,71 @@
+"""Tests for the set-partitioning ILP-exact solver."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import (
+    ExactSolver,
+    GAPBasedSolver,
+    GreedySolver,
+    ILPSolver,
+)
+
+from tests.conftest import build_instance, random_instance
+
+
+class TestILPSolver:
+    def test_matches_dp_exact(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=6, n_events=4)
+            ilp = ILPSolver().solve(instance)
+            dp = ExactSolver().solve(instance)
+            assert ilp.utility == pytest.approx(dp.utility, abs=1e-6), seed
+
+    def test_feasible(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=7, n_events=5)
+            solution = ILPSolver().solve(instance)
+            assert is_feasible(instance, solution.plan), seed
+
+    def test_upper_bounds_larger_than_dp_can_handle(self):
+        """The DP is exponential in prod(eta+1); the ILP is not."""
+        instance = random_instance(3, n_users=8, n_events=4, max_upper=8)
+        solution = ILPSolver().solve(instance)
+        assert is_feasible(instance, solution.plan)
+        # Must dominate both approximations.
+        assert solution.utility >= GreedySolver(seed=3).solve(instance).utility - 1e-9
+        assert solution.utility >= GAPBasedSolver().solve(instance).utility - 1e-9
+
+    def test_lower_bound_semantics(self):
+        # Only one interested user for a xi=2 event: not held.
+        instance = build_instance(
+            [(0, 0, 50), (1, 1, 50)],
+            [(2, 2, 2, 3, 0.0, 1.0)],
+            [[0.9], [0.0]],
+        )
+        solution = ILPSolver().solve(instance)
+        assert solution.plan.attendance(0) == 0
+        assert solution.cancelled == {0}
+
+    def test_forced_low_utility_join(self):
+        instance = build_instance(
+            [(0, 0, 50), (1, 1, 50)],
+            [(2, 2, 2, 2, 0.0, 1.0)],
+            [[1.0], [0.1]],
+        )
+        solution = ILPSolver().solve(instance)
+        assert solution.utility == pytest.approx(1.1)
+
+    def test_max_plan_size_restriction(self):
+        instance = random_instance(1, n_users=6, n_events=5)
+        restricted = ILPSolver(max_plan_size=1).solve(instance)
+        unrestricted = ILPSolver().solve(instance)
+        assert restricted.utility <= unrestricted.utility + 1e-9
+        assert is_feasible(instance, restricted.plan)
+
+    def test_diagnostics(self, small_instance):
+        solution = ILPSolver().solve(small_instance)
+        assert solution.diagnostics["columns"] > 0
+        assert solution.diagnostics["optimal_utility"] == pytest.approx(
+            solution.utility
+        )

@@ -1,0 +1,64 @@
+"""End-to-end lifecycle: generate -> save -> load -> solve -> churn ->
+replay -> audit.  One test that crosses every package boundary."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.core.iep import IEPEngine
+from repro.core.metrics import dif, total_utility
+from repro.datasets import MeetupConfig, generate_ebsn, load_instance, save_instance
+from repro.platform import EBSNPlatform, OperationStream
+from repro.platform.oplog import load_operations, save_operations
+
+
+class TestLifecycle:
+    def test_full_round(self, tmp_path):
+        # 1. Generate and persist a dataset.
+        original = generate_ebsn(
+            MeetupConfig(n_users=40, n_events=10, seed=21)
+        )
+        save_instance(original, tmp_path / "city")
+        instance = load_instance(tmp_path / "city")
+
+        # 2. Solve with both algorithms; both feasible, GAP >= greedy - eps.
+        greedy = GreedySolver(seed=0).solve(instance)
+        gap = GAPBasedSolver(backend="scipy").solve(instance)
+        assert is_feasible(instance, greedy.plan)
+        assert is_feasible(instance, gap.plan)
+        assert gap.utility >= greedy.utility * 0.9
+
+        # 3. Run a day of churn on the platform, recording the operations.
+        platform = EBSNPlatform(instance, solver=GreedySolver(seed=0))
+        morning_utility = platform.publish_plans()
+        morning_plan = platform.plan.copy()
+        stream = OperationStream(seed=21)
+        applied = []
+        for _ in range(12):
+            operation = next(
+                iter(stream.mixed(platform.instance, platform.plan, 1))
+            )
+            platform.submit(operation)
+            applied.append(operation)
+        audit = platform.audit()
+        assert audit["violations"] == 0.0
+
+        # 4. Persist and replay the workload from scratch: identical end state.
+        save_operations(applied, tmp_path / "ops.json")
+        replayed = load_operations(tmp_path / "ops.json")
+        engine = IEPEngine()
+        replay_instance = instance
+        replay_plan = GreedySolver(seed=0).solve(instance).plan
+        assert replay_plan == morning_plan
+        for operation in replayed:
+            result = engine.apply(replay_instance, replay_plan, operation)
+            replay_instance, replay_plan = result.instance, result.plan
+        assert replay_plan == platform.plan
+        assert total_utility(replay_instance, replay_plan) == pytest.approx(
+            audit["utility"]
+        )
+
+        # 5. The cumulative impact in the audit equals the per-step sum,
+        #    which can exceed the net morning-to-evening dif (events lost
+        #    then regained count once per loss).
+        assert audit["total_dif"] >= dif(morning_plan, platform.plan)

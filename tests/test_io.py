@@ -1,0 +1,98 @@
+"""Tests for Meetup-document JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.model import Instance
+from repro.datasets import (
+    MeetupConfig,
+    generate_ebsn,
+    load_instance,
+    save_instance,
+)
+from repro.geo.metrics import MANHATTAN
+
+from tests.conftest import random_instance
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = generate_ebsn(MeetupConfig(n_users=20, n_events=8, seed=3))
+        save_instance(original, tmp_path / "city")
+        loaded = load_instance(tmp_path / "city")
+
+        assert loaded.n_users == original.n_users
+        assert loaded.n_events == original.n_events
+        assert np.allclose(loaded.utility, original.utility)
+        for a, b in zip(loaded.users, original.users):
+            assert a == b
+        for a, b in zip(loaded.events, original.events):
+            assert a == b
+
+    def test_roundtrip_preserves_cost_model(self, tmp_path):
+        base = random_instance(1, n_users=5, n_events=3)
+        priced = Instance(
+            base.users, base.events, base.utility,
+            CostModel(metric=MANHATTAN, fees=np.array([1.0, 2.5, 0.0])),
+        )
+        save_instance(priced, tmp_path / "priced")
+        loaded = load_instance(tmp_path / "priced")
+        assert loaded.cost_model.metric.name == "manhattan"
+        assert loaded.cost_model.fee(1) == 2.5
+        # Route costs agree exactly.
+        assert loaded.route_cost(0, [0, 1]) == pytest.approx(
+            priced.route_cost(0, [0, 1])
+        )
+
+    def test_roundtrip_solver_equivalence(self, tmp_path):
+        """The loaded instance is solver-indistinguishable from the saved
+        one (same plan under the same seed)."""
+        from repro.core.gepc import GreedySolver
+
+        original = random_instance(7, n_users=10, n_events=5)
+        save_instance(original, tmp_path / "x")
+        loaded = load_instance(tmp_path / "x")
+        a = GreedySolver(seed=0).solve(original)
+        b = GreedySolver(seed=0).solve(loaded)
+        assert a.utility == pytest.approx(b.utility)
+
+    def test_documents_exist(self, tmp_path):
+        save_instance(random_instance(0), tmp_path / "docs")
+        for name in ("users.json", "events.json", "utility.json", "meta.json"):
+            assert (tmp_path / "docs" / name).exists()
+
+    def test_documents_are_valid_json(self, tmp_path):
+        save_instance(random_instance(0), tmp_path / "docs")
+        users = json.loads((tmp_path / "docs" / "users.json").read_text())
+        assert {"id", "location", "budget"} <= set(users[0])
+
+    def test_version_check(self, tmp_path):
+        save_instance(random_instance(0), tmp_path / "docs")
+        meta_path = tmp_path / "docs" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="format version"):
+            load_instance(tmp_path / "docs")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_instance(tmp_path / "nope")
+
+    def test_matrix_metric_instances_rejected(self, tmp_path):
+        import numpy as np
+
+        from repro.assignment.gap import GAPInstance
+        from repro.theory import gap_to_xi_gepc
+
+        gap = GAPInstance(
+            costs=np.full((2, 2), 0.5),
+            loads=np.ones((2, 2)),
+            capacities=np.full(2, 5.0),
+        )
+        instance = gap_to_xi_gepc(gap)
+        with pytest.raises(ValueError, match="cannot serialise"):
+            save_instance(instance, tmp_path / "matrix")

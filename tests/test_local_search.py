@@ -1,0 +1,69 @@
+"""Tests for the local-search improver (extension/ablation)."""
+
+import pytest
+
+from repro.baselines import RandomSolver
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver, LocalSearchImprover
+
+from tests.conftest import build_instance, random_instance
+
+
+class TestLocalSearch:
+    def test_never_decreases_utility(self):
+        for seed in range(8):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            base = GreedySolver(seed=seed).solve(instance)
+            improved = LocalSearchImprover().improve(base)
+            assert improved.utility >= base.utility - 1e-9
+
+    def test_preserves_feasibility(self):
+        for seed in range(8):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            base = GreedySolver(seed=seed).solve(instance)
+            improved = LocalSearchImprover().improve(base)
+            assert is_feasible(instance, improved.plan), seed
+
+    def test_improves_random_baseline(self):
+        total_gain = 0.0
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            base = RandomSolver(seed=seed).solve(instance)
+            improved = LocalSearchImprover().improve(base)
+            total_gain += improved.utility - base.utility
+        assert total_gain > 0.0
+
+    def test_input_solution_untouched(self, paper_instance):
+        base = GreedySolver(seed=0).solve(paper_instance)
+        before = base.plan.copy()
+        LocalSearchImprover().improve(base)
+        assert base.plan == before
+
+    def test_finds_transfer_improvement(self):
+        # One seat held by the low-utility user; transfer move must hand it
+        # to the high-utility one.
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50)],
+            [(1, 0, 1, 1, 0.0, 1.0)],
+            [[0.2], [0.9]],
+        )
+        from repro.core.gepc.base import GEPCSolution
+        from repro.core.plan import GlobalPlan
+
+        plan = GlobalPlan(instance)
+        plan.add(0, 0)
+        improved = LocalSearchImprover().improve(
+            GEPCSolution(plan, solver="seed")
+        )
+        assert improved.plan.attendees(0) == [1]
+        assert improved.utility == pytest.approx(0.9)
+
+    def test_round_cap_respected(self, paper_instance):
+        base = GreedySolver(seed=0).solve(paper_instance)
+        improved = LocalSearchImprover(max_rounds=1).improve(base)
+        assert improved.diagnostics["local_search_rounds"] <= 1.0
+
+    def test_solver_name_tagged(self, paper_instance):
+        base = GreedySolver(seed=0).solve(paper_instance)
+        improved = LocalSearchImprover().improve(base)
+        assert improved.solver == "greedy+local-search"

@@ -1,0 +1,191 @@
+"""Tests for the LP substrate: model, from-scratch simplex, scipy parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.model import LinearProgram, LPStatus
+from repro.lp.simplex import simplex_solve
+from repro.lp.solve import AUTO_SIMPLEX_LIMIT, solve_lp
+
+
+def build_lp(costs, ub_rows=(), eq_rows=(), uppers=None):
+    program = LinearProgram()
+    for k, cost in enumerate(costs):
+        upper = np.inf if uppers is None else uppers[k]
+        program.add_variable(cost, upper=upper)
+    for row, rhs in ub_rows:
+        program.add_le_constraint(list(enumerate(row)), rhs)
+    for row, rhs in eq_rows:
+        program.add_eq_constraint(list(enumerate(row)), rhs)
+    return program
+
+
+class TestModel:
+    def test_variable_indices_sequential(self):
+        program = LinearProgram()
+        assert program.add_variable(1.0) == 0
+        assert program.add_variable(2.0) == 1
+        assert program.n_variables == 2
+
+    def test_rejects_negative_upper(self):
+        with pytest.raises(ValueError):
+            LinearProgram().add_variable(0.0, upper=-1.0)
+
+    def test_rejects_unknown_index(self):
+        program = LinearProgram()
+        program.add_variable(1.0)
+        with pytest.raises(IndexError):
+            program.add_le_constraint([(3, 1.0)], 1.0)
+
+    def test_dense_shapes(self):
+        program = build_lp([1.0, 2.0], ub_rows=[((1.0, 1.0), 3.0)],
+                           eq_rows=[((1.0, -1.0), 0.0)])
+        c, a_ub, b_ub, a_eq, b_eq, upper = program.dense()
+        assert c.shape == (2,)
+        assert a_ub.shape == (1, 2)
+        assert a_eq.shape == (1, 2)
+        assert b_ub.tolist() == [3.0]
+        assert b_eq.tolist() == [0.0]
+
+    def test_dense_accumulates_duplicate_indices(self):
+        program = LinearProgram()
+        x = program.add_variable(1.0)
+        program.add_le_constraint([(x, 1.0), (x, 2.0)], 4.0)
+        _, a_ub, *_ = program.dense()
+        assert a_ub[0, x] == 3.0
+
+    def test_constraint_count(self):
+        program = build_lp([0.0], ub_rows=[((1.0,), 1.0)], eq_rows=[((1.0,), 1.0)])
+        assert program.n_constraints == 2
+
+
+class TestSimplex:
+    def test_basic_maximisation(self):
+        # max x + 2y s.t. x + y <= 3, y bounded -> min -x - 2y.
+        program = build_lp([-1.0, -2.0], ub_rows=[((1.0, 1.0), 3.0)])
+        solution = simplex_solve(program)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(-6.0)
+        assert solution.x.tolist() == pytest.approx([0.0, 3.0])
+
+    def test_respects_upper_bounds(self):
+        program = build_lp([-1.0], uppers=[2.5])
+        solution = simplex_solve(program)
+        assert solution.objective == pytest.approx(-2.5)
+
+    def test_infeasible(self):
+        # x <= 1 and x == 2.
+        program = build_lp(
+            [0.0], ub_rows=[((1.0,), 1.0)], eq_rows=[((1.0,), 2.0)]
+        )
+        assert simplex_solve(program).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        program = build_lp([-1.0])
+        assert simplex_solve(program).status is LPStatus.UNBOUNDED
+
+    def test_no_constraints_nonnegative_costs(self):
+        program = build_lp([1.0, 0.0])
+        solution = simplex_solve(program)
+        assert solution.objective == 0.0
+
+    def test_equality_system(self):
+        # min x + y s.t. x + y == 4, x - y == 2  ->  x=3, y=1.
+        program = build_lp(
+            [1.0, 1.0],
+            eq_rows=[((1.0, 1.0), 4.0), ((1.0, -1.0), 2.0)],
+        )
+        solution = simplex_solve(program)
+        assert solution.x.tolist() == pytest.approx([3.0, 1.0])
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_redundant_constraints(self):
+        program = build_lp(
+            [1.0, 1.0],
+            eq_rows=[((1.0, 1.0), 4.0), ((2.0, 2.0), 8.0)],
+        )
+        solution = simplex_solve(program)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(4.0)
+
+    def test_negative_rhs(self):
+        # -x <= -2 means x >= 2.
+        program = build_lp([1.0], ub_rows=[((-1.0,), -2.0)])
+        solution = simplex_solve(program)
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic Beale-style degeneracy; Bland's rule must terminate.
+        program = build_lp(
+            [-0.75, 150.0, -0.02, 6.0],
+            ub_rows=[
+                ((0.25, -60.0, -0.04, 9.0), 0.0),
+                ((0.5, -90.0, -0.02, 3.0), 0.0),
+                ((0.0, 0.0, 1.0, 0.0), 1.0),
+            ],
+        )
+        solution = simplex_solve(program)
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(-0.05)
+
+
+class TestBackendParity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_programs_agree_with_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        n_vars = int(rng.integers(1, 6))
+        n_cons = int(rng.integers(1, 5))
+        costs = rng.uniform(-5, 5, n_vars)
+        uppers = rng.uniform(0.5, 4, n_vars)
+        program = build_lp(
+            costs,
+            ub_rows=[
+                (rng.uniform(0, 3, n_vars), float(rng.uniform(1, 10)))
+                for _ in range(n_cons)
+            ],
+            uppers=uppers,
+        )
+        ours = solve_lp(program, backend="simplex")
+        scipys = solve_lp(program, backend="scipy")
+        assert ours.status == scipys.status
+        if ours.is_optimal:
+            assert ours.objective == pytest.approx(
+                scipys.objective, rel=1e-6, abs=1e-7
+            )
+
+    def test_equality_parity(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            n = int(rng.integers(2, 5))
+            program = build_lp(
+                rng.uniform(-2, 2, n),
+                eq_rows=[(rng.uniform(0.1, 2, n), float(rng.uniform(1, 5)))],
+                uppers=rng.uniform(1, 5, n),
+            )
+            ours = solve_lp(program, backend="simplex")
+            scipys = solve_lp(program, backend="scipy")
+            assert ours.status == scipys.status
+            if ours.is_optimal:
+                assert ours.objective == pytest.approx(scipys.objective, abs=1e-6)
+
+
+class TestDispatch:
+    def test_auto_uses_simplex_for_small(self):
+        program = build_lp([-1.0], uppers=[1.0])
+        assert solve_lp(program, backend="auto").objective == pytest.approx(-1.0)
+
+    def test_auto_limit_positive(self):
+        assert AUTO_SIMPLEX_LIMIT > 0
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_lp(build_lp([1.0]), backend="cplex")
+
+    def test_scipy_infeasible(self):
+        program = build_lp(
+            [0.0], ub_rows=[((1.0,), 1.0)], eq_rows=[((1.0,), 2.0)]
+        )
+        assert solve_lp(program, backend="scipy").status is LPStatus.INFEASIBLE

@@ -1,0 +1,101 @@
+"""Tests for the sparse LP path (the scipy backend's memory fix)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.lp.model import LinearProgram
+from repro.lp.solve import solve_lp
+
+
+def build_program(seed, n_vars=8, n_ub=4, n_eq=2):
+    rng = np.random.default_rng(seed)
+    program = LinearProgram()
+    for _ in range(n_vars):
+        program.add_variable(float(rng.uniform(-3, 3)), upper=float(rng.uniform(1, 5)))
+    for _ in range(n_ub):
+        row = [
+            (int(j), float(rng.uniform(0.1, 2)))
+            for j in rng.choice(n_vars, size=3, replace=False)
+        ]
+        program.add_le_constraint(row, float(rng.uniform(2, 8)))
+    for _ in range(n_eq):
+        row = [
+            (int(j), float(rng.uniform(0.1, 2)))
+            for j in rng.choice(n_vars, size=3, replace=False)
+        ]
+        program.add_eq_constraint(row, float(rng.uniform(1, 3)))
+    return program
+
+
+class TestSparseForm:
+    def test_matches_dense(self):
+        for seed in range(6):
+            program = build_program(seed)
+            c_d, aub_d, bub_d, aeq_d, beq_d, up_d = program.dense()
+            c_s, aub_s, bub_s, aeq_s, beq_s, up_s = program.sparse()
+            assert np.allclose(c_d, c_s)
+            assert np.allclose(aub_d, aub_s.toarray())
+            assert np.allclose(aeq_d, aeq_s.toarray())
+            assert np.allclose(bub_d, bub_s)
+            assert np.allclose(beq_d, beq_s)
+            assert np.allclose(up_d, up_s)
+
+    def test_sparse_is_csr(self):
+        _, aub, _, aeq, _, _ = build_program(0).sparse()
+        assert sp.issparse(aub) and aub.format == "csr"
+        assert sp.issparse(aeq)
+
+    def test_duplicate_indices_accumulate(self):
+        program = LinearProgram()
+        x = program.add_variable(1.0)
+        program.add_le_constraint([(x, 1.0), (x, 2.0)], 4.0)
+        _, aub, *_ = program.sparse()
+        assert aub.toarray()[0, x] == 3.0
+
+    def test_empty_constraint_blocks(self):
+        program = LinearProgram()
+        program.add_variable(1.0, upper=2.0)
+        c, aub, bub, aeq, beq, upper = program.sparse()
+        assert aub.shape == (0, 1)
+        assert aeq.shape == (0, 1)
+
+    def test_backends_still_agree(self):
+        for seed in range(6):
+            program = build_program(seed)
+            ours = solve_lp(program, backend="simplex")
+            scipys = solve_lp(program, backend="scipy")
+            assert ours.status == scipys.status
+            if ours.is_optimal:
+                assert ours.objective == pytest.approx(
+                    scipys.objective, abs=1e-6
+                )
+
+    def test_large_sparse_program_is_light(self):
+        """A GAP-shaped LP (many variables, few constraints) must not
+        materialise a dense constraint matrix."""
+        import tracemalloc
+
+        n_users, n_events = 200, 50
+        program = LinearProgram()
+        variables = {}
+        for i in range(n_users):
+            for j in range(n_events):
+                variables[(i, j)] = program.add_variable(0.5, upper=1.0)
+        for j in range(n_events):
+            program.add_eq_constraint(
+                [(variables[(i, j)], 1.0) for i in range(n_users)], 5.0
+            )
+        for i in range(n_users):
+            program.add_le_constraint(
+                [(variables[(i, j)], 2.0) for j in range(n_events)], 30.0
+            )
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        solution = solve_lp(program, backend="scipy")
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert solution.is_optimal
+        # Dense A_ub alone would be 250 rows x 10k cols x 8B = 20 MB;
+        # the sparse path stays well under that.
+        assert peak < 15 * 1024 * 1024

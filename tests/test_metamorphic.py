@@ -1,0 +1,138 @@
+"""Metamorphic tests: known transformations with predictable effects.
+
+These tests change an instance in a way whose consequence is exactly known
+(translation, uniform scaling, relabelling) and verify the whole stack
+responds correctly — a strong end-to-end check on the geometry, cost, and
+solver layers together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gepc import ExactSolver, GreedySolver
+from repro.core.model import Event, Instance, User
+from repro.geo.point import Point
+
+from tests.conftest import random_instance
+
+
+def translated(instance, dx, dy):
+    users = [
+        User(u.id, u.location.translated(dx, dy), u.budget)
+        for u in instance.users
+    ]
+    events = [
+        Event(e.id, e.location.translated(dx, dy), e.lower, e.upper, e.interval)
+        for e in instance.events
+    ]
+    return Instance(users, events, instance.utility, instance.cost_model)
+
+
+def budget_scaled(instance, factor):
+    users = [
+        User(u.id, Point(u.location.x * factor, u.location.y * factor),
+             u.budget * factor)
+        for u in instance.users
+    ]
+    events = [
+        Event(e.id, Point(e.location.x * factor, e.location.y * factor),
+              e.lower, e.upper, e.interval)
+        for e in instance.events
+    ]
+    return Instance(users, events, instance.utility, instance.cost_model)
+
+
+class TestTranslationInvariance:
+    def test_route_costs_invariant(self):
+        instance = random_instance(0, n_users=6, n_events=5)
+        moved = translated(instance, 137.0, -42.0)
+        for user in range(instance.n_users):
+            for events in ([0], [0, 1], [2, 3, 4]):
+                assert moved.route_cost(user, list(events)) == pytest.approx(
+                    instance.route_cost(user, list(events))
+                )
+
+    def test_optimal_utility_invariant(self):
+        instance = random_instance(1, n_users=5, n_events=4)
+        moved = translated(instance, 50.0, 50.0)
+        assert ExactSolver().solve(moved).utility == pytest.approx(
+            ExactSolver().solve(instance).utility
+        )
+
+    def test_greedy_plan_identical(self):
+        instance = random_instance(2, n_users=8, n_events=5)
+        moved = translated(instance, -7.0, 3.0)
+        a = GreedySolver(seed=2).solve(instance)
+        b = GreedySolver(seed=2).solve(moved)
+        assert a.plan.user_plan(0) == b.plan.user_plan(0)
+        assert a.utility == pytest.approx(b.utility)
+
+
+class TestUniformScaling:
+    def test_geometry_and_budget_scale_together(self):
+        """Scaling all coordinates AND budgets by the same factor preserves
+        feasibility exactly, so plans and utilities are unchanged."""
+        instance = random_instance(3, n_users=8, n_events=5)
+        scaled = budget_scaled(instance, 3.5)
+        a = GreedySolver(seed=3).solve(instance)
+        b = GreedySolver(seed=3).solve(scaled)
+        assert a.utility == pytest.approx(b.utility)
+        for user in range(instance.n_users):
+            assert a.plan.user_plan(user) == b.plan.user_plan(user)
+
+    def test_optimum_scales_with_utility_matrix(self):
+        instance = random_instance(4, n_users=5, n_events=4)
+        factor = 0.5
+        damped = Instance(
+            instance.users,
+            instance.events,
+            instance.utility * factor,
+            instance.cost_model,
+        )
+        assert ExactSolver().solve(damped).utility == pytest.approx(
+            factor * ExactSolver().solve(instance).utility
+        )
+
+
+class TestMonotonicity:
+    def test_extra_budget_never_hurts_optimum(self):
+        instance = random_instance(5, n_users=5, n_events=4)
+        base = ExactSolver().solve(instance).utility
+        richer = Instance(
+            [
+                User(u.id, u.location, u.budget * 2)
+                for u in instance.users
+            ],
+            instance.events,
+            instance.utility,
+            instance.cost_model,
+        )
+        assert ExactSolver().solve(richer).utility >= base - 1e-9
+
+    def test_relaxed_upper_bounds_never_hurt_optimum(self):
+        instance = random_instance(6, n_users=5, n_events=4)
+        base = ExactSolver().solve(instance).utility
+        relaxed = Instance(
+            instance.users,
+            [
+                Event(e.id, e.location, e.lower, e.upper + 2, e.interval)
+                for e in instance.events
+            ],
+            instance.utility,
+            instance.cost_model,
+        )
+        assert ExactSolver().solve(relaxed).utility >= base - 1e-9
+
+    def test_dropping_lower_bounds_never_hurts_optimum(self):
+        instance = random_instance(7, n_users=5, n_events=4)
+        base = ExactSolver().solve(instance).utility
+        unconstrained = Instance(
+            instance.users,
+            [
+                Event(e.id, e.location, 0, e.upper, e.interval)
+                for e in instance.events
+            ],
+            instance.utility,
+            instance.cost_model,
+        )
+        assert ExactSolver().solve(unconstrained).utility >= base - 1e-9

@@ -1,0 +1,76 @@
+"""Tests for utility and negative-impact metrics."""
+
+import pytest
+
+from repro.core.metrics import dif, per_user_dif, total_utility, user_utility
+from repro.core.plan import GlobalPlan
+
+from tests.conftest import build_instance
+
+
+class TestUtility:
+    def test_user_utility(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(0, 0)
+        plan.add(0, 1)
+        # Paper Section II: mu_1 = 0.7 + 0.6 = 1.3.
+        assert user_utility(paper_instance, plan, 0) == pytest.approx(1.3)
+
+    def test_total_utility_sums_users(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(0, 0)
+        plan.add(1, 2)
+        plan.add(4, 3)
+        expected = 0.7 + 0.8 + 0.7
+        assert total_utility(paper_instance, plan) == pytest.approx(expected)
+
+    def test_empty_plan_zero(self, paper_instance):
+        assert total_utility(paper_instance, GlobalPlan(paper_instance)) == 0.0
+
+
+class TestDif:
+    def test_identical_plans_zero(self, paper_instance):
+        plan = GlobalPlan(paper_instance)
+        plan.add(0, 0)
+        assert dif(plan, plan.copy()) == 0
+
+    def test_removal_counts(self, paper_instance):
+        old = GlobalPlan(paper_instance)
+        old.add(0, 0)
+        old.add(1, 2)
+        new = old.copy()
+        new.remove(0, 0)
+        assert dif(old, new) == 1
+
+    def test_additions_free(self, paper_instance):
+        """Definition 2 only counts *lost* events, not gained ones."""
+        old = GlobalPlan(paper_instance)
+        new = old.copy()
+        new.add(0, 0)
+        new.add(1, 2)
+        assert dif(old, new) == 0
+
+    def test_swap_counts_once(self, paper_instance):
+        old = GlobalPlan(paper_instance)
+        old.add(3, 3)
+        new = GlobalPlan(paper_instance)
+        new.add(3, 1)
+        # Paper Example 3: u4 swaps e4 for e2 -> dif = 1.
+        assert dif(old, new) == 1
+
+    def test_per_user_breakdown(self, paper_instance):
+        old = GlobalPlan(paper_instance)
+        old.add(0, 0)
+        old.add(0, 1)
+        old.add(2, 2)
+        new = GlobalPlan(paper_instance)
+        new.add(2, 2)
+        assert per_user_dif(old, new) == [2, 0, 0, 0, 0]
+        assert dif(old, new) == 2
+
+    def test_population_mismatch_rejected(self, paper_instance):
+        other = build_instance(
+            [(0, 0, 10)], [(1, 1, 0, 1, 0, 1)], [[0.5]]
+        )
+        with pytest.raises(ValueError):
+            dif(GlobalPlan(paper_instance), GlobalPlan(other))

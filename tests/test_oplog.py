@@ -1,0 +1,150 @@
+"""Tests for operation-log serialisation."""
+
+import json
+
+import pytest
+
+from repro.core.gepc import GreedySolver
+from repro.core.iep import (
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    IEPEngine,
+    LocationChange,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+from repro.geo.point import Point
+from repro.platform.oplog import (
+    load_operations,
+    operation_from_dict,
+    operation_to_dict,
+    save_operations,
+)
+from repro.platform.stream import OperationStream
+from repro.timeline.interval import Interval
+
+from tests.conftest import random_instance
+
+ALL_OPERATIONS = [
+    EtaDecrease(1, 2),
+    EtaIncrease(0, 9),
+    XiIncrease(2, 3),
+    XiDecrease(2, 0),
+    TimeChange(1, Interval(4.0, 6.0)),
+    LocationChange(0, Point(3.5, -1.0)),
+    NewEvent(Point(1, 2), 1, 5, Interval(0.5, 1.5), (0.1, 0.9), fee=2.0),
+    UtilityChange(3, 1, 0.75),
+    BudgetChange(2, 17.5),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("operation", ALL_OPERATIONS, ids=lambda op: type(op).__name__)
+    def test_every_type_round_trips(self, operation):
+        assert operation_from_dict(operation_to_dict(operation)) == operation
+
+    def test_file_round_trip(self, tmp_path):
+        path = save_operations(ALL_OPERATIONS, tmp_path / "log" / "ops.json")
+        assert load_operations(path) == ALL_OPERATIONS
+
+    def test_log_is_plain_json(self, tmp_path):
+        path = save_operations(ALL_OPERATIONS[:2], tmp_path / "ops.json")
+        document = json.loads(path.read_text())
+        assert document["operations"][0]["op"] == "eta_decrease"
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown operation tag"):
+            operation_from_dict({"op": "teleport"})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            operation_to_dict(object())
+
+    def test_version_check(self, tmp_path):
+        path = save_operations([], tmp_path / "ops.json")
+        document = json.loads(path.read_text())
+        document["format_version"] = 42
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="version"):
+            load_operations(path)
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: any representable operation survives the round trip."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    _events = st.integers(0, 50)
+    _users = st.integers(0, 200)
+    _counts = st.integers(0, 100)
+    _coords = st.floats(-100, 100, allow_nan=False)
+    _scores = st.floats(0, 1, allow_nan=False)
+
+    _intervals = st.builds(
+        lambda start, duration: Interval(start, start + duration),
+        st.floats(0, 50, allow_nan=False),
+        st.floats(0.1, 10, allow_nan=False),
+    )
+    _operations = st.one_of(
+        st.builds(EtaDecrease, _events, _counts),
+        st.builds(EtaIncrease, _events, _counts),
+        st.builds(XiIncrease, _events, _counts),
+        st.builds(XiDecrease, _events, _counts),
+        st.builds(TimeChange, _events, _intervals),
+        st.builds(
+            LocationChange, _events, st.builds(Point, _coords, _coords)
+        ),
+        st.builds(UtilityChange, _users, _events, _scores),
+        st.builds(
+            BudgetChange, _users, st.floats(0, 1000, allow_nan=False)
+        ),
+        st.builds(
+            NewEvent,
+            st.builds(Point, _coords, _coords),
+            st.integers(0, 10),
+            st.integers(10, 20),
+            _intervals,
+            st.tuples(_scores, _scores, _scores),
+            st.floats(0, 50, allow_nan=False),
+        ),
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_operations)
+    def test_round_trip(self, operation):
+        assert operation_from_dict(operation_to_dict(operation)) == operation
+
+
+class TestReplay:
+    def test_replayed_workload_identical(self, tmp_path):
+        """Saving a drawn stream and replaying it produces the exact same
+        final plan — the reproducible-workload property."""
+        instance = random_instance(5, n_users=12, n_events=6)
+        plan = GreedySolver(seed=5).solve(instance).plan
+        stream = OperationStream(seed=5)
+        engine = IEPEngine()
+
+        operations = []
+        current_instance, current_plan = instance, plan
+        for _ in range(8):
+            operation = next(
+                iter(stream.mixed(current_instance, current_plan, 1))
+            )
+            operations.append(operation)
+            result = engine.apply(current_instance, current_plan, operation)
+            current_instance, current_plan = result.instance, result.plan
+
+        path = save_operations(operations, tmp_path / "workload.json")
+        replayed = load_operations(path)
+
+        replay_instance, replay_plan = instance, plan
+        for operation in replayed:
+            result = engine.apply(replay_instance, replay_plan, operation)
+            replay_instance, replay_plan = result.instance, result.plan
+
+        assert replay_plan == current_plan

@@ -1,0 +1,167 @@
+"""Scenario tests that walk the paper's worked examples (1-3, 6-8).
+
+The fixture geometry reproduces the paper's published distances for u1, e1,
+e2 exactly (Fig. 1 is not numerically specified elsewhere), so Example 1's
+travel cost and Example 3/6/7's repair behaviour can be checked end-to-end.
+"""
+
+import math
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.iep import (
+    EtaDecrease,
+    IEPEngine,
+    TimeChange,
+    XiIncrease,
+)
+from repro.core.metrics import dif, total_utility
+from repro.core.plan import GlobalPlan
+from repro.timeline.interval import Interval
+
+
+@pytest.fixture
+def table1_plan(paper_instance):
+    """The coloured plan of Table I: P1={e1,e2}, P2=P3={e2,e3},
+    P4={e3,e4}, P5={e4}."""
+    plan = GlobalPlan(paper_instance)
+    plan.add(0, 0); plan.add(0, 1)
+    plan.add(1, 1); plan.add(1, 2)
+    plan.add(2, 1); plan.add(2, 2)
+    plan.add(3, 2); plan.add(3, 3)
+    plan.add(4, 3)
+    return plan
+
+
+class TestExample1And2:
+    def test_travel_cost_d1(self, paper_instance):
+        """D_1 = sqrt(17) + sqrt(41) + 6 = 16.53."""
+        assert paper_instance.route_cost(0, [0, 1]) == pytest.approx(
+            16.53, abs=0.005
+        )
+
+    def test_table1_plan_is_feasible(self, paper_instance, table1_plan):
+        """Example 2 verifies every Definition-1 constraint."""
+        assert is_feasible(paper_instance, table1_plan)
+
+    def test_table1_plan_utility(self, paper_instance, table1_plan):
+        """Example 2: the coloured plan's global utility is 6.3."""
+        assert total_utility(paper_instance, table1_plan) == pytest.approx(6.3)
+
+    def test_e2_upper_bound_check(self, paper_instance, table1_plan):
+        """Example 2: e2 is in 3 individual plans, 3 <= eta_2 = 4."""
+        assert table1_plan.attendance(1) == 3
+
+    def test_e3_lower_bound_check(self, paper_instance, table1_plan):
+        """Example 2: e3 is in 3 plans, 3 >= xi_3 = 3."""
+        assert table1_plan.attendance(2) == 3
+
+
+class TestExample3And6:
+    """eta_4 decreased from 5 to 1 (Algorithm 3)."""
+
+    def test_no_update_when_slack(self, paper_instance, table1_plan):
+        """Example 6 first case: eta_4 5 -> 4 needs no change."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, EtaDecrease(3, 4)
+        )
+        assert result.dif == 0
+        assert result.plan == table1_plan
+
+    def test_eviction_picks_lowest_utility(self, paper_instance, table1_plan):
+        """u4 (utility 0.6) is evicted from e4 rather than u5 (0.7)."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, EtaDecrease(3, 1)
+        )
+        assert not result.plan.contains(3, 3)
+        assert result.plan.contains(4, 3)
+
+    def test_evicted_user_refilled_with_e2(self, paper_instance, table1_plan):
+        """The paper adds e2 to u4's plan after the eviction."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, EtaDecrease(3, 1)
+        )
+        assert result.plan.contains(3, 1)
+
+    def test_negative_impact_is_one(self, paper_instance, table1_plan):
+        """Example 3: dif(P, P') = 1, and no other plan is touched."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, EtaDecrease(3, 1)
+        )
+        assert result.dif == 1
+        for user in (0, 1, 2, 4):
+            before = set(table1_plan.user_plan(user))
+            after = set(result.plan.user_plan(user))
+            assert before <= after
+
+    def test_result_feasible(self, paper_instance, table1_plan):
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, EtaDecrease(3, 1)
+        )
+        assert is_feasible(result.instance, result.plan)
+
+
+class TestExample7:
+    """xi_4 increased (Algorithm 4)."""
+
+    def test_no_update_when_already_met(self, paper_instance, table1_plan):
+        """Example 7 first case: xi_4 1 -> 2 and e4 already has 2 users."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, XiIncrease(3, 2)
+        )
+        assert result.dif == 0
+
+    def test_transfer_uses_best_delta(self, paper_instance, table1_plan):
+        """xi_4 1 -> 3: u2 (Delta = 0.4-0.5 = -0.1, the largest) moves from
+        e2 to e4; dif = 1."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, XiIncrease(3, 3)
+        )
+        assert result.dif == 1
+        assert result.plan.contains(1, 3)       # u2 now attends e4
+        assert not result.plan.contains(1, 1)   # and left e2
+        assert result.plan.attendance(3) == 3
+        assert is_feasible(result.instance, result.plan)
+
+    def test_donor_event_stays_above_lower_bound(
+        self, paper_instance, table1_plan
+    ):
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, XiIncrease(3, 3)
+        )
+        assert result.plan.attendance(1) >= result.instance.events[1].lower
+
+
+class TestExample8:
+    """e1 moved to 15:30-17:30 (Algorithm 5)."""
+
+    def test_conflicting_attendee_removed(self, paper_instance, table1_plan):
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, TimeChange(0, Interval(15.5, 17.5))
+        )
+        # u1's plan had e2 16:00-18:00; moved e1 overlaps it, so e1 goes.
+        assert not result.plan.contains(0, 0)
+        assert result.plan.contains(0, 1)
+
+    def test_event_rescued_by_other_user(self, paper_instance, table1_plan):
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, TimeChange(0, Interval(15.5, 17.5))
+        )
+        # Someone else (u4 or u5 in our geometry) keeps e1 above xi_1 = 1.
+        assert result.plan.attendance(0) >= 1
+        assert is_feasible(result.instance, result.plan)
+
+    def test_negative_impact_minimal(self, paper_instance, table1_plan):
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, TimeChange(0, Interval(15.5, 17.5))
+        )
+        assert result.dif == 1  # only u1 lost an event
+
+    def test_harmless_time_change_keeps_plan(self, paper_instance, table1_plan):
+        """Shifting e1 inside a free window breaks nothing."""
+        result = IEPEngine().apply(
+            paper_instance, table1_plan, TimeChange(0, Interval(13.0, 14.0))
+        )
+        assert result.dif == 0
+        assert result.plan.contains(0, 0)

@@ -1,0 +1,122 @@
+"""Property tests for GlobalPlan's internal caches under mutation storms.
+
+The route-cost cache and attendance counters are the hottest shared state
+in the repository; these hypothesis tests hammer them with random
+add/remove sequences and verify they always equal a from-scratch recompute.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import Event, Instance, User
+from repro.core.plan import GlobalPlan
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+
+def make_instance(seed: int) -> Instance:
+    rng = np.random.default_rng(seed)
+    n, m = 5, 6
+    users = [
+        User(i, Point(*rng.uniform(0, 10, 2)), float(rng.uniform(50, 100)))
+        for i in range(n)
+    ]
+    events = []
+    for j in range(m):
+        start = float(rng.uniform(0, 30))
+        events.append(
+            Event(
+                j,
+                Point(*rng.uniform(0, 10, 2)),
+                0,
+                n,
+                Interval(start, start + float(rng.uniform(0.5, 3))),
+            )
+        )
+    utility = rng.uniform(0.01, 1.0, (n, m))
+    return Instance(users, events, utility)
+
+
+@st.composite
+def mutation_sequences(draw):
+    seed = draw(st.integers(0, 1000))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "clear"]),
+                st.integers(0, 4),   # user
+                st.integers(0, 5),   # event
+            ),
+            max_size=40,
+        )
+    )
+    return seed, steps
+
+
+class TestCacheConsistency:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(mutation_sequences())
+    def test_route_cache_matches_recompute(self, case):
+        seed, steps = case
+        instance = make_instance(seed)
+        plan = GlobalPlan(instance)
+        for action, user, event in steps:
+            if action == "add" and not plan.contains(user, event):
+                plan.add(user, event)
+            elif action == "remove" and plan.contains(user, event):
+                plan.remove(user, event)
+            elif action == "clear":
+                plan.clear_event(event)
+        for user in range(instance.n_users):
+            assert plan.route_cost(user) == pytest.approx(
+                instance.route_cost(user, plan.user_plan(user))
+            )
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(mutation_sequences())
+    def test_attendance_matches_membership(self, case):
+        seed, steps = case
+        instance = make_instance(seed)
+        plan = GlobalPlan(instance)
+        for action, user, event in steps:
+            if action == "add" and not plan.contains(user, event):
+                plan.add(user, event)
+            elif action == "remove" and plan.contains(user, event):
+                plan.remove(user, event)
+            elif action == "clear":
+                plan.clear_event(event)
+        for event in range(instance.n_events):
+            assert plan.attendance(event) == len(plan.attendees(event))
+        assert plan.size() == sum(
+            len(plan.user_plan(user)) for user in range(instance.n_users)
+        )
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(mutation_sequences())
+    def test_plans_stay_start_sorted(self, case):
+        seed, steps = case
+        instance = make_instance(seed)
+        plan = GlobalPlan(instance)
+        for action, user, event in steps:
+            if action == "add" and not plan.contains(user, event):
+                plan.add(user, event)
+            elif action == "remove" and plan.contains(user, event):
+                plan.remove(user, event)
+        for user in range(instance.n_users):
+            events = plan.user_plan(user)
+            starts = [instance.events[j].start for j in events]
+            assert starts == sorted(starts)

@@ -1,0 +1,120 @@
+"""Tests for the simulated EBSN platform and operation streams."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.iep.operations import (
+    EtaDecrease,
+    TimeChange,
+    XiIncrease,
+)
+from repro.platform import EBSNPlatform, OperationStream
+
+from tests.conftest import random_instance
+
+
+class TestPlatform:
+    def test_requires_publish_first(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        with pytest.raises(RuntimeError, match="publish_plans"):
+            platform.plan_for(0)
+
+    def test_publish_returns_utility(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        utility = platform.publish_plans()
+        assert utility > 0
+        assert platform.is_planned
+
+    def test_plan_for_user(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        platform.publish_plans()
+        for user in range(paper_instance.n_users):
+            plan = platform.plan_for(user)
+            assert all(0 <= event < paper_instance.n_events for event in plan)
+
+    def test_attendees_view(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        platform.publish_plans()
+        for event in range(paper_instance.n_events):
+            attendees = platform.attendees_of(event)
+            for user in attendees:
+                assert event in platform.plan_for(user)
+
+    def test_submit_updates_state_and_log(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        platform.publish_plans()
+        entry = platform.submit(EtaDecrease(3, 2))
+        assert platform.instance.events[3].upper == 2
+        assert platform.log == [entry]
+        assert entry.utility_before >= 0
+
+    def test_audit_zero_violations(self):
+        instance = random_instance(3, n_users=12, n_events=6)
+        platform = EBSNPlatform(instance, solver=GreedySolver(seed=3))
+        platform.publish_plans()
+        stream = OperationStream(seed=3)
+        for _ in range(15):
+            operation = next(
+                iter(stream.mixed(platform.instance, platform.plan, 1))
+            )
+            platform.submit(operation)
+        audit = platform.audit()
+        assert audit["violations"] == 0.0
+        assert audit["operations"] == 15.0
+
+    def test_custom_solver_used(self, paper_instance):
+        class Probe(GreedySolver):
+            called = False
+
+            def solve(self, instance):
+                Probe.called = True
+                return super().solve(instance)
+
+        platform = EBSNPlatform(paper_instance, solver=Probe())
+        platform.publish_plans()
+        assert Probe.called
+
+
+class TestOperationStream:
+    def test_eta_decrease_valid(self):
+        instance = random_instance(0, n_users=10, n_events=6)
+        plan = GreedySolver(seed=0).solve(instance).plan
+        stream = OperationStream(seed=0)
+        operation = stream.eta_decrease(instance, plan)
+        assert operation is not None
+        operation.validate(instance)
+
+    def test_xi_increase_valid(self):
+        instance = random_instance(0, n_users=10, n_events=6)
+        stream = OperationStream(seed=0)
+        operation = stream.xi_increase(instance)
+        assert operation is not None
+        operation.validate(instance)
+
+    def test_time_change_keeps_duration(self):
+        instance = random_instance(0, n_users=10, n_events=6)
+        operation = OperationStream(seed=1).time_change(instance)
+        original = instance.events[operation.event].interval.duration
+        assert operation.new_interval.duration == pytest.approx(original)
+
+    def test_new_event_utilities_cover_users(self):
+        instance = random_instance(0, n_users=10, n_events=6)
+        operation = OperationStream(seed=2).new_event(instance)
+        assert len(operation.utilities) == 10
+        operation.validate(instance)
+
+    def test_mixed_stream_length_and_validity(self):
+        instance = random_instance(1, n_users=12, n_events=6)
+        plan = GreedySolver(seed=1).solve(instance).plan
+        operations = list(OperationStream(seed=1).mixed(instance, plan, 10))
+        assert len(operations) == 10
+        for operation in operations:
+            operation.validate(instance)
+
+    def test_streams_deterministic(self):
+        instance = random_instance(1, n_users=12, n_events=6)
+        plan = GreedySolver(seed=1).solve(instance).plan
+        a = list(OperationStream(seed=9).mixed(instance, plan, 5))
+        b = list(OperationStream(seed=9).mixed(instance, plan, 5))
+        assert a == b

@@ -1,0 +1,205 @@
+"""Property-based tests: cross-cutting invariants under hypothesis.
+
+These are the repository's strongest guards: for *any* generated instance,
+every solver must produce a feasible plan, every IEP repair must keep it
+feasible and never lose more assignments than it reports, and the metrics
+must obey their algebraic identities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.core.iep import (
+    BudgetChange,
+    EtaDecrease,
+    IEPEngine,
+    TimeChange,
+    UtilityChange,
+    XiIncrease,
+)
+from repro.core.metrics import dif, per_user_dif, total_utility
+from repro.core.model import Event, Instance, User
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+SOLVER_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def instances(draw, max_users=8, max_events=5):
+    n = draw(st.integers(2, max_users))
+    m = draw(st.integers(1, max_events))
+    users = [
+        User(
+            i,
+            Point(
+                draw(st.floats(0, 10, allow_nan=False)),
+                draw(st.floats(0, 10, allow_nan=False)),
+            ),
+            draw(st.floats(5, 50, allow_nan=False)),
+        )
+        for i in range(n)
+    ]
+    events = []
+    for j in range(m):
+        start = draw(st.floats(0, 20, allow_nan=False))
+        duration = draw(st.floats(0.5, 4, allow_nan=False))
+        lower = draw(st.integers(0, 2))
+        upper = lower + draw(st.integers(0 if lower else 1, 3))
+        events.append(
+            Event(
+                j,
+                Point(
+                    draw(st.floats(0, 10, allow_nan=False)),
+                    draw(st.floats(0, 10, allow_nan=False)),
+                ),
+                lower,
+                max(upper, 1),
+                Interval(start, start + duration),
+            )
+        )
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    utility = np.round(rng.uniform(0, 1, (n, m)), 3)
+    utility[rng.uniform(0, 1, (n, m)) < 0.25] = 0.0
+    return Instance(users, events, utility)
+
+
+class TestSolverInvariants:
+    @SOLVER_SETTINGS
+    @given(instances(), st.integers(0, 100))
+    def test_greedy_always_feasible(self, instance, seed):
+        solution = GreedySolver(seed=seed).solve(instance)
+        assert is_feasible(instance, solution.plan)
+
+    @SOLVER_SETTINGS
+    @given(instances(max_users=6, max_events=4))
+    def test_gap_based_always_feasible(self, instance):
+        solution = GAPBasedSolver().solve(instance)
+        assert is_feasible(instance, solution.plan)
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_cancelled_events_empty(self, instance):
+        solution = GreedySolver(seed=0).solve(instance)
+        for event in solution.cancelled:
+            assert solution.plan.attendance(event) == 0
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_utility_equals_metric(self, instance):
+        solution = GreedySolver(seed=0).solve(instance)
+        assert solution.utility == pytest.approx(
+            total_utility(instance, solution.plan)
+        )
+
+
+class TestIEPInvariants:
+    engine = IEPEngine()
+
+    @SOLVER_SETTINGS
+    @given(instances(), st.integers(0, 3))
+    def test_eta_decrease_feasible_and_bounded_dif(self, instance, pick):
+        plan = GreedySolver(seed=1).solve(instance).plan
+        event = pick % instance.n_events
+        spec = instance.events[event]
+        floor = max(spec.lower, 1)
+        if spec.upper <= floor:
+            return
+        result = self.engine.apply(instance, plan, EtaDecrease(event, floor))
+        assert is_feasible(result.instance, result.plan)
+        # Algorithm 3's minimal impact: exactly the overflow.
+        overflow = max(0, plan.attendance(event) - floor)
+        assert result.dif == overflow
+
+    @SOLVER_SETTINGS
+    @given(instances(), st.integers(0, 3))
+    def test_xi_increase_feasible(self, instance, pick):
+        plan = GreedySolver(seed=1).solve(instance).plan
+        event = pick % instance.n_events
+        spec = instance.events[event]
+        if spec.lower + 1 > spec.upper:
+            return
+        result = self.engine.apply(
+            instance, plan, XiIncrease(event, spec.lower + 1)
+        )
+        assert is_feasible(result.instance, result.plan)
+
+    @SOLVER_SETTINGS
+    @given(instances(), st.integers(0, 3), st.floats(0, 20, allow_nan=False))
+    def test_time_change_feasible(self, instance, pick, start):
+        plan = GreedySolver(seed=1).solve(instance).plan
+        event = pick % instance.n_events
+        duration = instance.events[event].interval.duration
+        result = self.engine.apply(
+            instance, plan, TimeChange(event, Interval(start, start + duration))
+        )
+        assert is_feasible(result.instance, result.plan)
+
+    @SOLVER_SETTINGS
+    @given(instances(), st.integers(0, 5), st.floats(0, 1))
+    def test_budget_change_feasible(self, instance, pick, factor):
+        plan = GreedySolver(seed=1).solve(instance).plan
+        user = pick % instance.n_users
+        result = self.engine.apply(
+            instance,
+            plan,
+            BudgetChange(user, instance.users[user].budget * factor),
+        )
+        assert is_feasible(result.instance, result.plan)
+
+    @SOLVER_SETTINGS
+    @given(instances(), st.integers(0, 5), st.integers(0, 3))
+    def test_utility_drop_feasible(self, instance, u_pick, e_pick):
+        plan = GreedySolver(seed=1).solve(instance).plan
+        user = u_pick % instance.n_users
+        event = e_pick % instance.n_events
+        result = self.engine.apply(
+            instance, plan, UtilityChange(user, event, 0.0)
+        )
+        assert is_feasible(result.instance, result.plan)
+        assert not result.plan.contains(user, event)
+
+
+class TestMetricIdentities:
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_dif_self_zero(self, instance):
+        plan = GreedySolver(seed=2).solve(instance).plan
+        assert dif(plan, plan.copy()) == 0
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_dif_equals_per_user_sum(self, instance):
+        plan = GreedySolver(seed=2).solve(instance).plan
+        other = GreedySolver(seed=3).solve(instance).plan
+        assert dif(plan, other) == sum(per_user_dif(plan, other))
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_dif_triangle_inequality(self, instance):
+        a = GreedySolver(seed=2).solve(instance).plan
+        b = GreedySolver(seed=3).solve(instance).plan
+        c = GreedySolver(seed=4).solve(instance).plan
+        assert dif(a, c) <= dif(a, b) + dif(b, c)
+
+    @SOLVER_SETTINGS
+    @given(instances())
+    def test_utility_additive_over_users(self, instance):
+        from repro.core.metrics import user_utility
+
+        plan = GreedySolver(seed=2).solve(instance).plan
+        assert total_utility(instance, plan) == pytest.approx(
+            sum(
+                user_utility(instance, plan, user)
+                for user in range(instance.n_users)
+            )
+        )

@@ -1,0 +1,88 @@
+"""Tests for the regret-based xi-GEPC solver."""
+
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import ExactSolver, GreedySolver
+from repro.core.gepc.regret import RegretSolver
+
+from tests.conftest import build_instance, random_instance
+
+
+class TestRegretSolver:
+    def test_feasible_on_random_instances(self):
+        for seed in range(8):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = RegretSolver().solve(instance)
+            assert is_feasible(instance, solution.plan), seed
+
+    def test_never_exceeds_exact(self):
+        for seed in range(5):
+            instance = random_instance(seed, n_users=6, n_events=4)
+            regret = RegretSolver().solve(instance)
+            exact = ExactSolver().solve(instance)
+            assert regret.utility <= exact.utility + 1e-9
+
+    def test_resolves_contested_seat_first(self):
+        """The regret rule settles contested seats while options remain:
+        event 1's only candidate keeps it, while flexible users cover
+        event 0."""
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50)],
+            [
+                (1, 0, 1, 1, 0.0, 1.0),
+                (0, 2, 1, 1, 0.5, 1.5),   # conflicts with event 0
+            ],
+            # u0 can do either (slightly prefers e0); u1 can ONLY do e0.
+            [[0.8, 0.7], [0.6, 0.0]],
+        )
+        solution = RegretSolver().solve(instance)
+        # regret(e0) considers u0 (0.8) and u1 (0.6) -> 0.2;
+        # regret(e1) has a single candidate -> 0.7 (max).  e1 goes to u0,
+        # then e0 to u1: both events held.
+        assert solution.plan.attendance(0) == 1
+        assert solution.plan.attendance(1) == 1
+        assert solution.utility == pytest.approx(0.7 + 0.6)
+
+    def test_greedy_misses_the_same_trap(self):
+        """Contrast case for the test above: a user-order greedy can give
+        e0 to u0 and strand e1 (documenting why regret exists)."""
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50)],
+            [
+                (1, 0, 1, 1, 0.0, 1.0),
+                (0, 2, 1, 1, 0.5, 1.5),
+            ],
+            [[0.8, 0.7], [0.6, 0.0]],
+        )
+        regret = RegretSolver().solve(instance)
+        greedy_utilities = {
+            round(GreedySolver(seed=seed).solve(instance).utility, 6)
+            for seed in range(4)
+        }
+        assert regret.utility >= max(greedy_utilities) - 1e-9
+
+    def test_competitive_with_greedy_in_aggregate(self):
+        regret_total = greedy_total = 0.0
+        for seed in range(8):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            regret_total += RegretSolver().solve(instance).utility
+            greedy_total += GreedySolver(seed=seed).solve(instance).utility
+        assert regret_total >= greedy_total * 0.95
+
+    def test_deterministic(self, paper_instance):
+        a = RegretSolver().solve(paper_instance)
+        b = RegretSolver().solve(paper_instance)
+        assert a.plan == b.plan
+
+    def test_held_events_meet_bounds(self):
+        for seed in range(5):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = RegretSolver().solve(instance)
+            for event in range(instance.n_events):
+                count = solution.plan.attendance(event)
+                assert count == 0 or count >= instance.events[event].lower
+
+    def test_diagnostics(self, paper_instance):
+        solution = RegretSolver().solve(paper_instance)
+        assert solution.diagnostics["copies_placed"] > 0

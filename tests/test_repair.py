@@ -1,0 +1,99 @@
+"""Tests for the public plan sanitiser (fuzz: corrupt, then repair)."""
+
+import random
+
+import pytest
+
+from repro.core.constraints import check_plan, is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.plan import GlobalPlan
+from repro.core.repair import sanitize_plan
+
+from tests.conftest import build_instance, random_instance
+
+
+def corrupt(instance, seed):
+    """A deliberately broken plan: assignments added with no checks."""
+    rng = random.Random(seed)
+    plan = GlobalPlan(instance)
+    for user in range(instance.n_users):
+        for event in range(instance.n_events):
+            if rng.random() < 0.5 and not plan.contains(user, event):
+                plan.add(user, event)
+    return plan
+
+
+class TestSanitize:
+    def test_feasible_plan_untouched(self):
+        instance = random_instance(0, n_users=10, n_events=6)
+        plan = GreedySolver(seed=0).solve(instance).plan
+        before = plan.copy()
+        diagnostics = sanitize_plan(instance, plan)
+        assert plan == before
+        assert diagnostics["conflicts_evicted"] == 0.0
+
+    def test_corrupt_plans_become_feasible(self):
+        for seed in range(10):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            plan = corrupt(instance, seed)
+            assert check_plan(instance, plan)  # genuinely broken
+            sanitize_plan(instance, plan)
+            assert is_feasible(instance, plan), seed
+
+    def test_zero_utility_stripped(self):
+        instance = build_instance(
+            [(0, 0, 50)],
+            [(1, 1, 0, 1, 0, 1)],
+            [[0.0]],
+        )
+        plan = GlobalPlan(instance)
+        plan.add(0, 0)
+        diagnostics = sanitize_plan(instance, plan)
+        assert diagnostics["zero_utility_removed"] == 1.0
+        assert plan.user_plan(0) == []
+
+    def test_overflow_keeps_best_attendees(self):
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50), (0, 2, 50)],
+            [(1, 1, 0, 2, 0, 1)],
+            [[0.9], [0.3], [0.7]],
+        )
+        plan = GlobalPlan(instance)
+        for user in range(3):
+            plan.add(user, 0)
+        sanitize_plan(instance, plan)
+        assert plan.attendees(0) == [0, 2]
+
+    def test_deficient_event_repaired_or_cancelled(self):
+        instance = build_instance(
+            [(0, 0, 50), (0, 1, 50)],
+            [(1, 1, 2, 3, 0, 1)],
+            [[0.9], [0.8]],
+        )
+        plan = GlobalPlan(instance)
+        plan.add(0, 0)  # 1 < xi = 2
+        sanitize_plan(instance, plan)
+        assert plan.attendance(0) in (0, 2)
+        assert is_feasible(instance, plan)
+
+    def test_fill_after_flag(self):
+        instance = random_instance(3, n_users=8, n_events=5)
+        plan = corrupt(instance, 3)
+        diagnostics = sanitize_plan(instance, plan, fill_after=False)
+        assert "refilled" not in diagnostics
+        assert is_feasible(instance, plan)
+
+    def test_diagnostics_counted(self):
+        instance = random_instance(4, n_users=10, n_events=6)
+        plan = corrupt(instance, 4)
+        diagnostics = sanitize_plan(instance, plan)
+        total_actions = sum(
+            diagnostics.get(key, 0.0)
+            for key in (
+                "zero_utility_removed",
+                "conflicts_evicted",
+                "budget_shed",
+                "overflow_evicted",
+            )
+        )
+        assert total_actions > 0

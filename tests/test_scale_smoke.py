@@ -1,0 +1,83 @@
+"""City-scale smoke tests: the full stack at Table-IV sizes.
+
+Not micro-tests — these run whole pipelines at realistic sizes to catch
+integration problems (quadratic blowups, cache staleness across rebinding,
+counter drift over long operation sequences) that small fixtures miss.
+Kept to a few seconds total.
+"""
+
+import pytest
+
+from repro.core.constraints import check_plan, is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.gepc.regret import RegretSolver
+from repro.core.iep import BatchIEPEngine, IEPEngine
+from repro.core.metrics import total_utility
+from repro.datasets import make_city
+from repro.platform import EBSNPlatform, OperationStream
+from repro.platform.simulation import DaySimulation
+
+
+@pytest.fixture(scope="module")
+def beijing():
+    return make_city("beijing")
+
+
+@pytest.fixture(scope="module")
+def beijing_plan(beijing):
+    return GreedySolver(seed=0).solve(beijing).plan
+
+
+class TestCityScale:
+    def test_greedy_full_beijing(self, beijing, beijing_plan):
+        assert is_feasible(beijing, beijing_plan)
+        assert total_utility(beijing, beijing_plan) > 100
+
+    def test_regret_full_beijing(self, beijing):
+        solution = RegretSolver().solve(beijing)
+        assert is_feasible(beijing, solution.plan)
+
+    def test_long_operation_sequence(self, beijing, beijing_plan):
+        """60 chained atomic operations, feasibility audited at the end
+        and attendance counters cross-checked against the plans."""
+        engine = IEPEngine()
+        stream = OperationStream(seed=9)
+        instance, plan = beijing, beijing_plan
+        for _ in range(60):
+            operation = next(iter(stream.mixed(instance, plan, 1)))
+            result = engine.apply(instance, plan, operation)
+            instance, plan = result.instance, result.plan
+        assert not check_plan(instance, plan)
+        for event in range(instance.n_events):
+            assert plan.attendance(event) == len(plan.attendees(event))
+
+    def test_batch_of_many_operations(self, beijing, beijing_plan):
+        engine = IEPEngine()
+        stream = OperationStream(seed=10)
+        instance, plan = beijing, beijing_plan
+        operations = []
+        for _ in range(20):
+            operation = next(iter(stream.mixed(instance, plan, 1)))
+            operations.append(operation)
+            result = engine.apply(instance, plan, operation)
+            instance, plan = result.instance, result.plan
+        batch = BatchIEPEngine().apply(beijing, beijing_plan, operations)
+        assert is_feasible(batch.instance, batch.plan)
+
+    def test_platform_day_at_scale(self, beijing):
+        report = DaySimulation(
+            beijing, solver=GreedySolver(seed=0), n_operations=25, seed=11
+        ).run()
+        assert report.events_held > 0
+        assert report.realised_utility > 0
+
+    def test_platform_audit_clean_after_churn(self, beijing):
+        platform = EBSNPlatform(beijing, solver=GreedySolver(seed=1))
+        platform.publish_plans()
+        stream = OperationStream(seed=12)
+        for _ in range(30):
+            operation = next(
+                iter(stream.mixed(platform.instance, platform.plan, 1))
+            )
+            platform.submit(operation)
+        assert platform.audit()["violations"] == 0.0

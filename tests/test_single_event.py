@@ -1,0 +1,110 @@
+"""Tests for the single-event-per-user baseline ([3]'s restricted model)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import SingleEventSolver
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver
+
+from tests.conftest import build_instance, random_instance
+
+
+def brute_force_matching(instance):
+    """Exact max-utility one-event-per-user assignment (tiny instances)."""
+    best = 0.0
+    choices = [
+        [None]
+        + [
+            event
+            for event in range(instance.n_events)
+            if instance.utility[user, event] > 0.0
+            and 2.0 * instance.distances.user_event(user, event)
+            <= instance.users[user].budget + 1e-9
+        ]
+        for user in range(instance.n_users)
+    ]
+    for combo in itertools.product(*choices):
+        counts = [0] * instance.n_events
+        utility = 0.0
+        feasible = True
+        for user, event in enumerate(combo):
+            if event is None:
+                continue
+            counts[event] += 1
+            if counts[event] > instance.events[event].upper:
+                feasible = False
+                break
+            utility += instance.utility[user, event]
+        if feasible:
+            best = max(best, utility)
+    return best
+
+
+class TestSingleEventSolver:
+    def test_one_event_per_user(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = SingleEventSolver().solve(instance)
+            for user in range(instance.n_users):
+                assert len(solution.plan.user_plan(user)) <= 1
+
+    def test_feasible(self):
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            solution = SingleEventSolver().solve(instance)
+            assert is_feasible(instance, solution.plan), seed
+
+    def test_matching_is_exact_before_cancellation(self):
+        """With no lower bounds the flow matching is the true optimum of
+        the restricted model."""
+        for seed in range(4):
+            instance = random_instance(
+                seed, n_users=5, n_events=4, max_upper=3
+            )
+            # Zero out lower bounds so cancellation never interferes.
+            from repro.core.model import Event, Instance
+
+            relaxed = Instance(
+                instance.users,
+                [
+                    Event(e.id, e.location, 0, e.upper, e.interval)
+                    for e in instance.events
+                ],
+                instance.utility,
+                instance.cost_model,
+            )
+            solution = SingleEventSolver().solve(relaxed)
+            assert solution.utility == pytest.approx(
+                brute_force_matching(relaxed), abs=1e-6
+            )
+
+    def test_multi_event_planning_dominates(self):
+        """The paper's generality claim: GEPC multi-event plans beat the
+        restricted model in aggregate."""
+        single_total = multi_total = 0.0
+        for seed in range(6):
+            instance = random_instance(seed, n_users=10, n_events=6)
+            single_total += SingleEventSolver().solve(instance).utility
+            multi_total += GreedySolver(seed=seed).solve(instance).utility
+        assert multi_total > single_total
+
+    def test_budget_excludes_far_events(self):
+        instance = build_instance(
+            [(0, 0, 5.0)],
+            [(10, 0, 0, 1, 0, 1)],   # round trip 20 > budget 5
+            [[0.9]],
+        )
+        solution = SingleEventSolver().solve(instance)
+        assert solution.plan.size() == 0
+
+    def test_lower_bounds_applied_by_cancellation(self):
+        instance = build_instance(
+            [(0, 0, 50)],
+            [(1, 1, 2, 3, 0, 1)],    # xi=2 but only 1 user
+            [[0.9]],
+        )
+        solution = SingleEventSolver().solve(instance)
+        assert solution.plan.attendance(0) == 0
+        assert solution.cancelled == {0}

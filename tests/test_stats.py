@@ -1,0 +1,54 @@
+"""Tests for the multi-run statistics helper."""
+
+import math
+
+import pytest
+
+from repro.bench.stats import Speedup, Stats, speedup, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.stdev == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.mean == 3.0
+        assert stats.stdev == pytest.approx(math.sqrt(2.5))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.n == 5
+
+    def test_ci_contains_mean(self):
+        stats = summarize([10.0, 12.0, 11.0, 13.0])
+        assert stats.ci_low <= stats.mean <= stats.ci_high
+
+    def test_ci_width_shrinks_with_n(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0])
+        assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        result = speedup([10.0, 10.0, 10.0], [2.0, 2.0, 2.0])
+        assert result.ratio == pytest.approx(5.0)
+
+    def test_significance_disjoint(self):
+        result = speedup([10.0, 10.1, 9.9], [2.0, 2.1, 1.9])
+        assert result.significant
+
+    def test_insignificance_overlapping(self):
+        result = speedup([10.0, 2.0, 6.0], [9.0, 3.0, 7.0])
+        assert not result.significant
+
+    def test_zero_candidate(self):
+        result = speedup([1.0], [0.0])
+        assert result.ratio == math.inf

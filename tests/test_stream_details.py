@@ -1,0 +1,124 @@
+"""Direct unit tests for every OperationStream drawer (beyond `mixed`)."""
+
+import pytest
+
+from repro.core.gepc import GreedySolver
+from repro.core.iep import IEPEngine
+from repro.core.constraints import is_feasible
+from repro.platform.stream import OperationStream
+
+from tests.conftest import build_instance, random_instance
+
+
+@pytest.fixture
+def instance():
+    return random_instance(3, n_users=10, n_events=6)
+
+
+@pytest.fixture
+def plan(instance):
+    return GreedySolver(seed=3).solve(instance).plan
+
+
+class TestDrawers:
+    def test_eta_decrease_prefers_attended_events(self, instance, plan):
+        stream = OperationStream(seed=0)
+        for _ in range(10):
+            operation = stream.eta_decrease(instance, plan)
+            if operation is None:
+                continue
+            operation.validate(instance)
+            # The drawer bites into attendance when it can, so the repair
+            # algorithm has actual work.
+            if plan.attendance(operation.event) > max(
+                instance.events[operation.event].lower, 1
+            ):
+                assert operation.new_upper < plan.attendance(operation.event)
+
+    def test_eta_increase_always_valid(self, instance):
+        stream = OperationStream(seed=1)
+        for _ in range(10):
+            operation = stream.eta_increase(instance)
+            operation.validate(instance)
+
+    def test_xi_decrease_only_on_lower_bounded_events(self, instance):
+        stream = OperationStream(seed=2)
+        for _ in range(10):
+            operation = stream.xi_decrease(instance)
+            if operation is None:
+                continue
+            operation.validate(instance)
+            assert instance.events[operation.event].lower > 0
+
+    def test_xi_decrease_none_when_no_lower_bounds(self):
+        instance = build_instance(
+            [(0, 0, 50)],
+            [(1, 1, 0, 3, 0, 1)],
+            [[0.5]],
+        )
+        assert OperationStream(seed=0).xi_decrease(instance) is None
+
+    def test_location_change_within_bounding_box(self, instance):
+        stream = OperationStream(seed=4)
+        xs = [e.location.x for e in instance.events]
+        ys = [e.location.y for e in instance.events]
+        for _ in range(10):
+            operation = stream.location_change(instance)
+            assert min(xs) <= operation.new_location.x <= max(xs)
+            assert min(ys) <= operation.new_location.y <= max(ys)
+
+    def test_budget_change_scales_existing_budget(self, instance):
+        stream = OperationStream(seed=5)
+        operation = stream.budget_change(instance)
+        user_budget = instance.users[operation.user].budget
+        assert operation.new_budget == pytest.approx(
+            user_budget * operation.new_budget / user_budget
+        )
+        assert operation.new_budget > 0
+
+    def test_utility_change_valid_range(self, instance):
+        stream = OperationStream(seed=6)
+        for _ in range(10):
+            operation = stream.utility_change(instance)
+            operation.validate(instance)
+
+    def test_empty_instance_drawers(self):
+        instance = build_instance(
+            [(0, 0, 10)], [(1, 1, 0, 1, 0, 1)], [[0.5]]
+        )
+        bare = build_instance([(0, 0, 10)], [], [[]])
+        stream = OperationStream(seed=7)
+        assert stream.time_change(bare) is None
+        assert stream.location_change(bare) is None
+        assert stream.eta_increase(bare) is None
+
+
+class TestDrawnOperationsRepairCleanly:
+    """Each drawer's output must survive the engine end to end."""
+
+    @pytest.mark.parametrize(
+        "drawer",
+        [
+            "eta_decrease",
+            "xi_increase",
+            "time_change",
+            "location_change",
+            "eta_increase",
+            "xi_decrease",
+            "utility_change",
+            "budget_change",
+        ],
+    )
+    def test_engine_accepts(self, instance, plan, drawer):
+        stream = OperationStream(seed=8)
+        engine = IEPEngine()
+        for _ in range(5):
+            method = getattr(stream, drawer)
+            try:
+                operation = method(instance, plan)
+            except TypeError:
+                operation = method(instance)
+            if operation is None:
+                continue
+            result = engine.apply(instance, plan, operation)
+            assert is_feasible(result.instance, result.plan), drawer

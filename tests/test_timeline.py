@@ -1,0 +1,154 @@
+"""Tests for intervals and the paper's conflict rule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeline.conflicts import (
+    as_networkx,
+    conflict_graph,
+    conflict_ratio,
+    conflicts,
+    max_clique_upper_bound,
+)
+from repro.timeline.interval import Interval
+
+
+def interval(start, duration):
+    return Interval(start, start + duration)
+
+
+intervals_strategy = st.builds(
+    interval,
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0.1, 10, allow_nan=False),
+)
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 5.0)
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 4.0)
+
+    def test_duration(self):
+        assert Interval(1.0, 3.5).duration == 2.5
+
+    def test_overlapping_conflict(self):
+        # Paper Example 1: e1 13-15 conflicts with e3 13:30-15.
+        assert Interval(13, 15).conflicts_with(Interval(13.5, 15))
+
+    def test_touching_conflict(self):
+        # Paper Example 1: e2 16-18 conflicts with e4 18-20 ("no time to
+        # go from e2 to e4").
+        assert Interval(16, 18).conflicts_with(Interval(18, 20))
+
+    def test_strictly_before_no_conflict(self):
+        assert not Interval(13, 15).conflicts_with(Interval(16, 18))
+
+    def test_conflict_symmetric(self):
+        a, b = Interval(0, 2), Interval(1, 3)
+        assert a.conflicts_with(b) == b.conflicts_with(a)
+
+    def test_nested_conflict(self):
+        assert Interval(0, 10).conflicts_with(Interval(2, 3))
+
+    def test_shifted(self):
+        assert Interval(1, 2).shifted(3.0) == Interval(4, 5)
+
+    def test_contains_time(self):
+        span = Interval(2, 4)
+        assert span.contains_time(2) and span.contains_time(4)
+        assert not span.contains_time(4.01)
+
+    def test_ordering(self):
+        assert Interval(1, 2) < Interval(2, 3)
+
+    @given(intervals_strategy, intervals_strategy)
+    def test_conflict_matches_definition(self, a, b):
+        first, second = (a, b) if a.start <= b.start else (b, a)
+        assert a.conflicts_with(b) == (not first.end < second.start)
+
+
+class TestConflictGraph:
+    def test_simple_chain(self):
+        ivs = [Interval(0, 2), Interval(1, 3), Interval(4, 5)]
+        adjacency = conflict_graph(ivs)
+        assert adjacency[0] == {1}
+        assert adjacency[1] == {0}
+        assert adjacency[2] == set()
+
+    def test_matches_pairwise_predicate(self):
+        ivs = [interval(s, d) for s, d in [(0, 3), (1, 1), (2, 5), (8, 1), (9, 2)]]
+        adjacency = conflict_graph(ivs)
+        for i in range(len(ivs)):
+            for j in range(len(ivs)):
+                if i != j:
+                    assert (j in adjacency[i]) == conflicts(ivs[i], ivs[j])
+
+    @given(st.lists(intervals_strategy, max_size=12))
+    def test_graph_is_symmetric_and_irreflexive(self, ivs):
+        adjacency = conflict_graph(ivs)
+        for i, neighbours in enumerate(adjacency):
+            assert i not in neighbours
+            for j in neighbours:
+                assert i in adjacency[j]
+
+    @given(st.lists(intervals_strategy, max_size=12))
+    def test_graph_matches_brute_force(self, ivs):
+        adjacency = conflict_graph(ivs)
+        for i in range(len(ivs)):
+            expected = {
+                j
+                for j in range(len(ivs))
+                if j != i and conflicts(ivs[i], ivs[j])
+            }
+            assert adjacency[i] == expected
+
+    def test_empty(self):
+        assert conflict_graph([]) == []
+
+
+class TestConflictStats:
+    def test_ratio_none(self):
+        assert conflict_ratio([Interval(0, 1), Interval(2, 3)]) == 0.0
+
+    def test_ratio_all(self):
+        assert conflict_ratio([Interval(0, 2), Interval(1, 3)]) == 1.0
+
+    def test_ratio_half(self):
+        ivs = [Interval(0, 2), Interval(1, 3), Interval(5, 6), Interval(8, 9)]
+        assert conflict_ratio(ivs) == 0.5
+
+    def test_ratio_empty(self):
+        assert conflict_ratio([]) == 0.0
+
+    def test_max_clique_disjoint(self):
+        assert max_clique_upper_bound([Interval(0, 1), Interval(2, 3)]) == 1
+
+    def test_max_clique_triple(self):
+        ivs = [Interval(0, 10), Interval(1, 9), Interval(2, 8), Interval(20, 21)]
+        assert max_clique_upper_bound(ivs) == 3
+
+    def test_max_clique_touching(self):
+        # Touching endpoints count as overlap under the paper's rule.
+        assert max_clique_upper_bound([Interval(0, 2), Interval(2, 4)]) == 2
+
+    def test_max_clique_empty(self):
+        assert max_clique_upper_bound([]) == 0
+
+    @given(st.lists(intervals_strategy, min_size=1, max_size=10))
+    def test_max_clique_at_least_degree_based_bound(self, ivs):
+        import networkx as nx
+
+        graph = as_networkx(ivs)
+        clique = max(len(c) for c in nx.find_cliques(graph))
+        assert max_clique_upper_bound(ivs) == clique
+
+    def test_as_networkx_nodes(self):
+        graph = as_networkx([Interval(0, 1), Interval(5, 6)])
+        assert set(graph.nodes) == {0, 1}
+        assert graph.number_of_edges() == 0

@@ -1,0 +1,86 @@
+"""Tests for the SVG renderers (structure checks on the output string)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.gepc import GreedySolver
+from repro.viz import plan_map_svg, user_timeline_svg
+
+from tests.conftest import random_instance
+
+
+def parsed(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestPlanMap:
+    def test_valid_xml(self):
+        instance = random_instance(0, n_users=10, n_events=5)
+        plan = GreedySolver(seed=0).solve(instance).plan
+        root = parsed(plan_map_svg(instance, plan))
+        assert root.tag.endswith("svg")
+
+    def test_marker_counts(self):
+        instance = random_instance(1, n_users=10, n_events=5)
+        plan = GreedySolver(seed=1).solve(instance).plan
+        svg = plan_map_svg(instance, plan)
+        assert svg.count("<circle") == instance.n_users
+        # background rect + one rect per event
+        assert svg.count("<rect") == 1 + instance.n_events
+
+    def test_routes_drawn_for_highlighted_users(self):
+        instance = random_instance(2, n_users=10, n_events=5)
+        plan = GreedySolver(seed=2).solve(instance).plan
+        busy = [
+            user for user in range(instance.n_users) if plan.user_plan(user)
+        ][:2]
+        svg = plan_map_svg(instance, plan, highlight_users=busy)
+        assert svg.count("<polyline") == len(busy)
+
+    def test_no_plan_still_renders(self):
+        instance = random_instance(3, n_users=5, n_events=3)
+        svg = plan_map_svg(instance)
+        assert "<svg" in svg and "</svg>" in svg
+
+    def test_coordinates_within_viewbox(self):
+        instance = random_instance(4, n_users=8, n_events=4)
+        plan = GreedySolver(seed=4).solve(instance).plan
+        root = parsed(plan_map_svg(instance, plan, width=500, height=400))
+        for circle in root.iter("{http://www.w3.org/2000/svg}circle"):
+            assert 0 <= float(circle.get("cx")) <= 500
+            assert 0 <= float(circle.get("cy")) <= 400
+
+
+class TestUserTimeline:
+    def test_valid_xml_and_boxes(self):
+        instance = random_instance(5, n_users=10, n_events=6)
+        plan = GreedySolver(seed=5).solve(instance).plan
+        user = max(
+            range(instance.n_users), key=lambda u: len(plan.user_plan(u))
+        )
+        svg = user_timeline_svg(instance, plan, user)
+        parsed(svg)
+        # background + one box per attended event
+        assert svg.count("<rect") == 1 + len(plan.user_plan(user))
+
+    def test_empty_plan_renders_axis_only(self):
+        instance = random_instance(6, n_users=5, n_events=3)
+        plan = GreedySolver(seed=6).solve(instance).plan
+        idle = next(
+            (u for u in range(instance.n_users) if not plan.user_plan(u)),
+            None,
+        )
+        if idle is None:
+            return
+        svg = user_timeline_svg(instance, plan, idle)
+        assert svg.count("<rect") == 1  # background only
+
+    def test_titles_carry_utilities(self):
+        instance = random_instance(7, n_users=10, n_events=5)
+        plan = GreedySolver(seed=7).solve(instance).plan
+        user = max(
+            range(instance.n_users), key=lambda u: len(plan.user_plan(u))
+        )
+        svg = user_timeline_svg(instance, plan, user)
+        assert "utility" in svg

@@ -1,0 +1,53 @@
+"""Zero-user instances and other empty-population corners."""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import is_feasible
+from repro.core.gepc import GreedySolver
+from repro.core.model import Event, Instance
+from repro.core.plan import GlobalPlan
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+from repro.viz import plan_map_svg
+
+
+def zero_user_instance():
+    events = [Event(0, Point(1, 1), 0, 3, Interval(0, 1))]
+    return Instance([], events, np.zeros((0, 1)))
+
+
+class TestZeroUsers:
+    def test_instance_constructs(self):
+        instance = zero_user_instance()
+        assert instance.n_users == 0
+        assert instance.n_events == 1
+
+    def test_empty_plan_feasible(self):
+        instance = zero_user_instance()
+        assert is_feasible(instance, GlobalPlan(instance))
+
+    def test_greedy_handles(self):
+        instance = zero_user_instance()
+        solution = GreedySolver(seed=0).solve(instance)
+        assert solution.plan.size() == 0
+
+    def test_svg_renders(self):
+        instance = zero_user_instance()
+        svg = plan_map_svg(instance)
+        assert "<svg" in svg
+
+    def test_uc_max_zero(self):
+        from repro.core.analysis import uc_max
+
+        assert uc_max(zero_user_instance()) == 0
+
+
+class TestTotallyEmpty:
+    def test_instance_with_nothing(self):
+        instance = Instance([], [], np.zeros((0, 0)))
+        assert is_feasible(instance, GlobalPlan(instance))
+        solution = GreedySolver(seed=0).solve(instance)
+        assert solution.utility == 0.0
+        svg = plan_map_svg(instance)
+        assert svg.endswith("</svg>")
