@@ -13,7 +13,6 @@ import random
 import statistics
 
 import numpy as np
-import pytest
 
 from repro.bench.tables import format_table
 from repro.core.analysis import RatioBounds, empirical_ratio

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.bench.tables import format_table
 
-from conftest import archive, timed_memory_call
+from conftest import archive
 from iep_common import (
     make_re_gap,
     make_re_greedy,

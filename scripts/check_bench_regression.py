@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""CI gate: fail when a bench report regresses against the baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py bench_report.json \
+        results/bench_baseline.json [--max-slowdown 2.5] \
+        [--utility-rtol 1e-6] [--min-seconds 0.5]
+
+Checks, per baseline entry (matched by ``solver`` name):
+
+* **wall time** — fails when the measured time exceeds ``max-slowdown``
+  times the baseline *and* the absolute floor ``min-seconds`` (tiny
+  timings are pure noise on shared CI runners, so they are never gated).
+* **utility** — fails when the relative drift exceeds the tolerance.
+  A baseline entry may carry its own ``"utility_rtol"`` key to widen the
+  tolerance for solvers whose backend is version-sensitive (the LP-based
+  GAP solver); the CLI flag is the default for entries without one.
+* **coverage** — a baseline solver missing from the report fails; extra
+  report entries are reported but allowed (new benchmarks land before
+  their baseline does).
+
+Stdlib-only on purpose: CI runs it before (and independently of)
+installing the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict:
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != "repro.bench.report":
+        raise SystemExit(f"{path}: not a repro.bench.report document")
+    return document
+
+
+def check(
+    report: dict,
+    baseline: dict,
+    max_slowdown: float,
+    utility_rtol: float,
+    min_seconds: float,
+) -> list[str]:
+    """All regression messages (empty means the gate passes)."""
+    problems: list[str] = []
+    if report.get("schema_version") != baseline.get("schema_version"):
+        problems.append(
+            "schema_version mismatch: report "
+            f"{report.get('schema_version')} vs baseline "
+            f"{baseline.get('schema_version')} (regenerate the baseline)"
+        )
+        return problems
+    for key in ("preset", "city", "scale", "seed"):
+        if report.get(key) != baseline.get(key):
+            problems.append(
+                f"workload mismatch on {key!r}: report {report.get(key)!r} "
+                f"vs baseline {baseline.get(key)!r}"
+            )
+
+    measured = {entry["solver"]: entry for entry in report["entries"]}
+    for expected in baseline["entries"]:
+        name = expected["solver"]
+        entry = measured.pop(name, None)
+        if entry is None:
+            problems.append(f"{name}: missing from report")
+            continue
+        problems.extend(
+            _check_entry(
+                name, entry, expected, max_slowdown, utility_rtol, min_seconds
+            )
+        )
+    for name in measured:
+        print(f"note: {name}: in report but not in baseline (allowed)")
+    return problems
+
+
+def _check_entry(
+    name: str,
+    entry: dict,
+    expected: dict,
+    max_slowdown: float,
+    utility_rtol: float,
+    min_seconds: float,
+) -> list[str]:
+    problems: list[str] = []
+
+    wall = float(entry["wall_time_s"])
+    wall_baseline = float(expected["wall_time_s"])
+    allowed = max(max_slowdown * wall_baseline, min_seconds)
+    if wall > allowed:
+        problems.append(
+            f"{name}: wall time regressed: {wall:.4f}s > "
+            f"{allowed:.4f}s (baseline {wall_baseline:.4f}s "
+            f"x {max_slowdown}, floor {min_seconds}s)"
+        )
+
+    utility = float(entry["utility"])
+    utility_baseline = float(expected["utility"])
+    rtol = float(expected.get("utility_rtol", utility_rtol))
+    denominator = max(abs(utility_baseline), 1e-12)
+    drift = abs(utility - utility_baseline) / denominator
+    if drift > rtol:
+        problems.append(
+            f"{name}: utility drifted: {utility:.6f} vs baseline "
+            f"{utility_baseline:.6f} (|rel| {drift:.3e} > rtol {rtol:.1e})"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="freshly generated bench_report.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default="results/bench_baseline.json",
+        help="committed baseline (default: results/bench_baseline.json)",
+    )
+    parser.add_argument("--max-slowdown", type=float, default=2.5)
+    parser.add_argument("--utility-rtol", type=float, default=1e-6)
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.5,
+        help="never gate wall times whose allowance is under this floor",
+    )
+    args = parser.parse_args(argv)
+
+    report = load(args.report)
+    baseline = load(args.baseline)
+    problems = check(
+        report,
+        baseline,
+        max_slowdown=args.max_slowdown,
+        utility_rtol=args.utility_rtol,
+        min_seconds=args.min_seconds,
+    )
+    if problems:
+        print("bench regression check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    names = ", ".join(entry["solver"] for entry in baseline["entries"])
+    print(f"bench regression check passed ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,6 @@ from repro.core.gepc import (
     RegretSolver,
     UtilityFill,
 )
-from repro.core.repair import sanitize_plan
 from repro.core.iep import (
     BatchIEPEngine,
     BudgetChange,
@@ -57,6 +56,7 @@ from repro.core.iep import (
 from repro.core.metrics import dif, total_utility
 from repro.core.model import Event, Instance, User
 from repro.core.plan import GlobalPlan
+from repro.core.repair import sanitize_plan
 from repro.datasets import (
     generate_ebsn,
     load_instance,

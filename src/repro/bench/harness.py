@@ -11,12 +11,12 @@ wall-clock time, and peak memory — for one (algorithm, workload) cell.
 from __future__ import annotations
 
 import os
-import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bench.memory import peak_memory_mb
+from repro.obs import Recorder, get_recorder
 
 
 @dataclass
@@ -35,15 +35,23 @@ def measure(label: str, call: Callable[[], Any]) -> tuple[Any, ExperimentResult]
 
     ``call`` must return an object with a ``utility`` attribute (GEPC
     solutions and IEP results both do) or a plain float.
+
+    Timing goes through the shared :mod:`repro.obs` recorder: with a
+    recorder active the run shows up as a ``bench.<label>`` span (nesting
+    the solver's own phase spans under it); otherwise a detached local
+    recorder provides the monotonic timing alone.
     """
-    start = time.perf_counter()
-    outcome, memory = peak_memory_mb(call)
-    seconds = time.perf_counter() - start
+    recorder = get_recorder()
+    timer = recorder if recorder.enabled else Recorder()
+    span = timer.span(f"bench.{label}")
+    with span:
+        outcome, memory = peak_memory_mb(call)
+    recorder.gauge(f"bench.{label}.peak_mib", memory)
     utility = outcome if isinstance(outcome, (int, float)) else outcome.utility
     return outcome, ExperimentResult(
         label=label,
         utility=float(utility),
-        seconds=seconds,
+        seconds=span.elapsed,
         memory_mb=memory,
     )
 

@@ -1,0 +1,173 @@
+"""Machine-readable benchmark report for the CI regression gate.
+
+``python -m repro.bench.report --preset small --out bench_report.json``
+runs a fixed, seeded workload (both GEPC solvers plus an IEP operation
+stream) and emits a stable ``BENCH_REPORT.json`` document::
+
+    {
+      "schema": "repro.bench.report",
+      "schema_version": 1,
+      "preset": "small", "city": "beijing", "scale": 0.5, "seed": 0,
+      "entries": [
+        {"solver": "greedy", "wall_time_s": ..., "peak_mib": ...,
+         "utility": ..., "cancelled": 0,
+         "counters": {...}, "spans": {path: {calls, seconds}}},
+        ...
+      ]
+    }
+
+``scripts/check_bench_regression.py`` diffs this against the committed
+``results/bench_baseline.json``: wall time is gated at a slowdown factor
+(absolute times vary across machines), utility at a tolerance (greedy and
+the IEP stream are bit-deterministic for a fixed seed; the GAP solver gets
+slack for LP-backend variation).  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.harness import measure
+from repro.bench.tables import format_table
+from repro.core.gepc import GAPBasedSolver, GreedySolver
+from repro.obs import recording
+from repro.platform import EBSNPlatform, OperationStream
+
+SCHEMA = "repro.bench.report"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One fixed CI workload: a scaled city plus an operation stream."""
+
+    city: str
+    scale: float
+    operations: int
+
+
+PRESETS: dict[str, Preset] = {
+    "small": Preset(city="beijing", scale=0.5, operations=20),
+    "medium": Preset(city="auckland", scale=0.5, operations=30),
+    "large": Preset(city="vancouver", scale=0.25, operations=40),
+}
+
+
+def _solver_entry(name: str, solver, instance, seed: int) -> dict:
+    with recording() as recorder:
+        solution, result = measure(name, lambda: solver.solve(instance))
+    return {
+        "solver": name,
+        "seed": seed,
+        "wall_time_s": result.seconds,
+        "peak_mib": result.memory_mb,
+        "utility": result.utility,
+        "cancelled": len(solution.cancelled),
+        "counters": dict(recorder.counters),
+        "spans": recorder.snapshot()["spans"],
+    }
+
+
+def _iep_entry(instance, seed: int, operations: int) -> dict:
+    platform = EBSNPlatform(instance, solver=GreedySolver(seed=seed))
+    platform.publish_plans()
+    stream = OperationStream(seed=seed)
+
+    def run() -> float:
+        # Operations are drawn one at a time against the *current* state
+        # (a pre-generated batch would go stale as repairs mutate the plan).
+        for _ in range(operations):
+            operation = next(
+                iter(stream.mixed(platform.instance, platform.plan, 1))
+            )
+            platform.submit(operation)
+        return platform.audit()["utility"]
+
+    label = f"iep-mixed-{operations}"
+    with recording() as recorder:
+        _, result = measure(label, run)
+    return {
+        "solver": label,
+        "seed": seed,
+        "wall_time_s": result.seconds,
+        "peak_mib": result.memory_mb,
+        "utility": result.utility,
+        "cancelled": 0,
+        "counters": dict(recorder.counters),
+        "spans": recorder.snapshot()["spans"],
+    }
+
+
+def build_report(preset_name: str, seed: int = 0) -> dict:
+    """Run the preset workload and return the report document."""
+    try:
+        preset = PRESETS[preset_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset_name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    # Imported late: repro.datasets pulls numpy-heavy generator modules.
+    from repro.datasets import make_city
+
+    instance = make_city(preset.city, scale=preset.scale)
+    entries = [
+        _solver_entry("greedy", GreedySolver(seed=seed), instance, seed),
+        _solver_entry("gap", GAPBasedSolver(backend="scipy"), instance, seed),
+        _iep_entry(instance, seed, preset.operations),
+    ]
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "preset": preset_name,
+        "city": preset.city,
+        "scale": preset.scale,
+        "seed": seed,
+        "entries": entries,
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="Emit the BENCH_REPORT.json document CI diffs.",
+    )
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="bench_report.json")
+    args = parser.parse_args(argv)
+
+    report = build_report(args.preset, seed=args.seed)
+    path = write_report(report, args.out)
+    print(
+        format_table(
+            f"Bench report: {args.preset} "
+            f"({report['city']} x{report['scale']}) -> {path}",
+            ["solver", "utility", "time (s)", "peak (MiB)", "cancelled"],
+            [
+                [
+                    entry["solver"],
+                    entry["utility"],
+                    entry["wall_time_s"],
+                    entry["peak_mib"],
+                    entry["cancelled"],
+                ]
+                for entry in report["entries"]
+            ],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,10 @@ Installed as ``repro-gepc``::
     repro-gepc export --city beijing --out /tmp/beijing
     repro-gepc simulate --city auckland --scale 0.5 --operations 20
     repro-gepc replay /tmp/beijing /tmp/workload.json
+
+Every command accepts ``--trace`` (per-phase timing/counter table on
+stderr) and ``--trace-json PATH`` (machine-readable recorder snapshot);
+see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from repro.core.constraints import check_plan
 from repro.core.gepc import GAPBasedSolver, GreedySolver
 from repro.core.model import InstanceStats
 from repro.datasets import CITY_CONFIGS, load_instance, make_city, save_instance
+from repro.obs import recording, render_text, write_json
 from repro.platform import EBSNPlatform, OperationStream
 
 
@@ -177,6 +182,20 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
+def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a per-phase timing/counter table to stderr",
+    )
+    sub.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write the recorder snapshot as JSON to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gepc",
@@ -196,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--scale", type=float, default=1.0)
         sub.add_argument("--seed", type=int, default=0)
+        _add_trace_arguments(sub)
         sub.set_defaults(handler=handler)
     subparsers.choices["solve"].add_argument(
         "--solver", default="greedy", choices=["greedy", "gap"]
@@ -211,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default="greedy", choices=["greedy", "gap"]
     )
     solve_file.add_argument("--seed", type=int, default=0)
+    _add_trace_arguments(solve_file)
     solve_file.set_defaults(handler=_cmd_solve_file)
 
     replay = subparsers.add_parser("replay")
@@ -220,13 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default="greedy", choices=["greedy", "gap"]
     )
     replay.add_argument("--seed", type=int, default=0)
+    _add_trace_arguments(replay)
     replay.set_defaults(handler=_cmd_replay)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    trace = getattr(args, "trace", False)
+    trace_json = getattr(args, "trace_json", None)
+    if not trace and trace_json is None:
+        return args.handler(args)
+    with recording() as recorder:
+        code = args.handler(args)
+    if trace:
+        print(
+            render_text(recorder, title=f"Trace: {args.command}"),
+            file=sys.stderr,
+        )
+    if trace_json is not None:
+        write_json(recorder, trace_json)
+    return code
 
 
 if __name__ == "__main__":

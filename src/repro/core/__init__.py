@@ -1,13 +1,13 @@
 """Core library: the paper's data model, GEPC solvers, and IEP engine."""
 
-from repro.core.model import Event, Instance, User
-from repro.core.plan import GlobalPlan
 from repro.core.constraints import (
     ConstraintViolation,
     check_plan,
     is_feasible,
 )
 from repro.core.metrics import dif, total_utility, user_utility
+from repro.core.model import Event, Instance, User
+from repro.core.plan import GlobalPlan
 
 __all__ = [
     "ConstraintViolation",

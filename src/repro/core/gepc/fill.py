@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 class UtilityFill:
@@ -48,18 +49,27 @@ class UtilityFill:
 
         Returns the number of assignments added.
         """
+        obs = get_recorder()
         excluded = excluded_events or set()
-        residual = self._residual_capacity(instance, plan, excluded)
+        with obs.span("fill.utility"):
+            residual = self._residual_capacity(instance, plan, excluded)
 
-        candidates = self._candidate_pairs(instance, plan, residual, only_users)
-        added = 0
-        for _, user, event in candidates:
-            if residual[event] <= 0:
-                continue
-            if plan.can_attend(user, event):
-                plan.add(user, event)
-                residual[event] -= 1
-                added += 1
+            candidates = self._candidate_pairs(
+                instance, plan, residual, only_users
+            )
+            added = 0
+            checks = 0
+            for _, user, event in candidates:
+                if residual[event] <= 0:
+                    continue
+                checks += 1
+                if plan.can_attend(user, event):
+                    plan.add(user, event)
+                    residual[event] -= 1
+                    added += 1
+        obs.count("fill.candidates", len(candidates))
+        obs.count("fill.feasibility_checks", checks)
+        obs.count("fill.added", added)
         return added
 
     def _residual_capacity(

@@ -27,6 +27,7 @@ from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
 from repro.flow.graph import FlowNetwork
 from repro.flow.mincost import min_cost_flow
+from repro.obs import get_recorder
 
 _MAX_ROUNDS = 50
 
@@ -50,6 +51,7 @@ class MatchingFill:
 
         Same contract as :meth:`UtilityFill.fill`.
         """
+        obs = get_recorder()
         excluded = excluded_events or set()
         users = (
             sorted(only_users)
@@ -57,12 +59,18 @@ class MatchingFill:
             else list(range(instance.n_users))
         )
         added_total = 0
-        for _ in range(self._max_rounds):
-            residual = self._residual_capacity(instance, plan, excluded)
-            added = self._one_round(instance, plan, users, residual)
-            if added == 0:
-                break
-            added_total += added
+        rounds = 0
+        with obs.span("fill.matching"):
+            for _ in range(self._max_rounds):
+                residual = self._residual_capacity(instance, plan, excluded)
+                with obs.span("round"):
+                    added = self._one_round(instance, plan, users, residual)
+                rounds += 1
+                if added == 0:
+                    break
+                added_total += added
+        obs.count("fill.matching_rounds", rounds)
+        obs.count("fill.added", added_total)
         return added_total
 
     @staticmethod
@@ -95,13 +103,17 @@ class MatchingFill:
         if not open_events:
             return 0
 
+        obs = get_recorder()
         edges: list[tuple[int, int]] = []
+        checks = 0
         for user in users:
             for event in open_events:
-                if instance.utility[user, event] > 0.0 and plan.can_attend(
-                    user, event
-                ):
-                    edges.append((user, event))
+                if instance.utility[user, event] > 0.0:
+                    checks += 1
+                    if plan.can_attend(user, event):
+                        edges.append((user, event))
+        obs.count("fill.feasibility_checks", checks)
+        obs.count("fill.matching_edges", len(edges))
         if not edges:
             return 0
 

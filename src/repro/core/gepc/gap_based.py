@@ -32,6 +32,7 @@ from repro.core.gepc.base import (
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 _BUDGET_TOL = 1e-9
 
@@ -77,8 +78,10 @@ class GAPBasedSolver(GEPCSolver):
     # ------------------------------------------------------------------ #
 
     def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
         cancelled: set[int] = set()
-        result, cancelled = self._solve_gap_with_cancellation(instance)
+        with obs.span("gap.reduction"):
+            result, cancelled = self._solve_gap_with_cancellation(instance)
 
         plan = GlobalPlan(instance)
         orphans: list[int] = []  # event ids awaiting a new home
@@ -86,19 +89,25 @@ class GAPBasedSolver(GEPCSolver):
             orphans = self._apply_assignment(instance, plan, result.assignment)
 
         adjusted = 0
-        if self._adjust_conflicts:
-            adjusted = self._conflict_adjust(instance, plan, orphans)
-        else:
-            # Ablation: drop conflicting events without re-homing them.
-            adjusted = self._drop_conflicts(instance, plan)
-        shed = self._budget_repair(instance, plan)
+        with obs.span("gap.conflict_adjust"):
+            if self._adjust_conflicts:
+                adjusted = self._conflict_adjust(instance, plan, orphans)
+            else:
+                # Ablation: drop conflicting events without re-homing them.
+                adjusted = self._drop_conflicts(instance, plan)
+        with obs.span("gap.budget_repair"):
+            shed = self._budget_repair(instance, plan)
 
         cancelled |= cancel_deficient_events(instance, plan)
         filled = 0
         if self._fill:
-            filled = self._filler.fill(
-                instance, plan, excluded_events=cancelled
-            )
+            with obs.span("gap.fill"):
+                filled = self._filler.fill(
+                    instance, plan, excluded_events=cancelled
+                )
+        obs.count("gap.conflict_moves", adjusted)
+        obs.count("gap.budget_shed", shed)
+        obs.count("gap.events_cancelled", len(cancelled))
 
         diagnostics = {
             "cancelled": float(len(cancelled)),
@@ -152,14 +161,19 @@ class GAPBasedSolver(GEPCSolver):
         infeasibility until the GAP is solvable (at worst all events with
         positive lower bounds are cancelled and the GAP is trivially empty).
         """
+        obs = get_recorder()
         cancelled: set[int] = set()
         while True:
-            gap = self._build_gap(instance, cancelled)
+            with obs.span("build"):
+                gap = self._build_gap(instance, cancelled)
             if gap.n_units == 0:
                 return None, cancelled
-            result = solve_gap(gap, backend=self._backend)
+            obs.count("gap.lp_solves")
+            with obs.span("lp"):
+                result = solve_gap(gap, backend=self._backend)
             if result.status is GAPStatus.OPTIMAL:
                 return result, cancelled
+            obs.count("gap.cancellation_retries")
             # Prefer cancelling events whose demand provably cannot be
             # seated (too few users within reach); only when every event is
             # individually seatable (aggregate capacity shortfall) fall back
@@ -290,17 +304,24 @@ class GAPBasedSolver(GEPCSolver):
         utility order; the first feasible taker gets it.  Returns whether a
         home was found (a dropped copy may leave the event under-subscribed,
         to be resolved by cancellation)."""
+        obs = get_recorder()
+        obs.count("gap.rehome_attempts")
         order = np.argsort(-instance.utility[:, event], kind="stable")
+        checks = 0
+        homed = False
         for candidate in order:
             candidate = int(candidate)
             if candidate == excluding:
                 continue
             if instance.utility[candidate, event] <= 0.0:
-                return False  # remaining users all have zero utility
+                break  # remaining users all have zero utility
+            checks += 1
             if plan.can_attend(candidate, event):
                 plan.add(candidate, event)
-                return True
-        return False
+                homed = True
+                break
+        obs.count("gap.feasibility_checks", checks)
+        return homed
 
     # ------------------------------------------------------------------ #
     # Step 4: budget repair

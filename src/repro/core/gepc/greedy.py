@@ -26,6 +26,7 @@ from repro.core.gepc.copies import CopyExpansion
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 class GreedySolver(GEPCSolver):
@@ -54,25 +55,32 @@ class GreedySolver(GEPCSolver):
         self._filler = filler or UtilityFill()
 
     def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
         plan = GlobalPlan(instance)
-        expansion = CopyExpansion.for_instance(instance)
+        with obs.span("greedy.expand"):
+            expansion = CopyExpansion.for_instance(instance)
         remaining = [len(expansion.copies_of[j]) for j in range(instance.n_events)]
 
         order = list(range(instance.n_users))
         random.Random(self._seed).shuffle(order)
 
         grabbed = 0
-        for user in order:
-            grabbed += self._grab_favourites(instance, plan, remaining, user)
-            if not any(remaining):
-                break
+        with obs.span("greedy.grab"):
+            for user in order:
+                grabbed += self._grab_favourites(instance, plan, remaining, user)
+                if not any(remaining):
+                    break
 
-        cancelled = cancel_deficient_events(instance, plan)
+        with obs.span("greedy.cancel"):
+            cancelled = cancel_deficient_events(instance, plan)
         filled = 0
         if self._fill:
-            filled = self._filler.fill(
-                instance, plan, excluded_events=cancelled
-            )
+            with obs.span("greedy.fill"):
+                filled = self._filler.fill(
+                    instance, plan, excluded_events=cancelled
+                )
+        obs.count("greedy.copies_grabbed", grabbed)
+        obs.count("greedy.events_cancelled", len(cancelled))
         return GEPCSolution(
             plan,
             cancelled=cancelled,
@@ -100,14 +108,21 @@ class GreedySolver(GEPCSolver):
         """
         preference = np.argsort(-instance.utility[user], kind="stable")
         taken = 0
+        evaluated = 0
+        checks = 0
         for event in preference:
             event = int(event)
+            evaluated += 1
             if remaining[event] <= 0:
                 continue
             if instance.utility[user, event] <= 0.0:
                 break  # utilities are sorted; the rest are all zero
+            checks += 1
             if plan.can_attend(user, event):
                 plan.add(user, event)
                 remaining[event] -= 1
                 taken += 1
+        obs = get_recorder()
+        obs.count("greedy.candidates_evaluated", evaluated)
+        obs.count("greedy.feasibility_checks", checks)
         return taken

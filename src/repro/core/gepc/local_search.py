@@ -18,6 +18,7 @@ from repro.core.gepc.base import GEPCSolution
 from repro.core.metrics import total_utility
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 class LocalSearchImprover:
@@ -30,17 +31,21 @@ class LocalSearchImprover:
 
     def improve(self, solution: GEPCSolution) -> GEPCSolution:
         """A new solution whose plan's utility is >= the input's."""
+        obs = get_recorder()
         instance = solution.plan.instance
         plan = solution.plan.copy()
         rounds = 0
         improved = True
-        while improved and rounds < self._max_rounds:
-            improved = (
-                self._try_adds(instance, plan, solution.cancelled)
-                or self._try_swaps(instance, plan)
-                or self._try_transfers(instance, plan)
-            )
-            rounds += 1
+        with obs.span("local_search.improve"):
+            while improved and rounds < self._max_rounds:
+                with obs.span("round"):
+                    improved = (
+                        self._try_adds(instance, plan, solution.cancelled)
+                        or self._try_swaps(instance, plan)
+                        or self._try_transfers(instance, plan)
+                    )
+                rounds += 1
+        obs.count("local_search.rounds", rounds)
         return GEPCSolution(
             plan,
             cancelled=set(solution.cancelled),
@@ -67,6 +72,7 @@ class LocalSearchImprover:
                 open_seat = count >= spec.lower and count < spec.upper
                 if open_seat and plan.can_attend(user, event):
                     plan.add(user, event)
+                    get_recorder().count("local_search.adds")
                     return True
         return False
 
@@ -96,6 +102,7 @@ class LocalSearchImprover:
                             best = event
                 if best is not None:
                     plan.add(user, best)
+                    get_recorder().count("local_search.swaps")
                     return True
                 plan.add(user, old)
         return False
@@ -115,5 +122,6 @@ class LocalSearchImprover:
                 if plan.can_attend(user, event):
                     plan.remove(worst, event)
                     plan.add(user, event)
+                    get_recorder().count("local_search.transfers")
                     return True
         return False

@@ -34,6 +34,7 @@ from repro.core.metrics import dif as dif_metric
 from repro.core.metrics import total_utility
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 @dataclass
@@ -62,10 +63,19 @@ class IEPEngine:
         operation: AtomicOperation,
     ) -> IEPResult:
         """Repair ``plan`` for ``operation`` and report the negative impact."""
+        obs = get_recorder()
+        kind = type(operation).__name__
         operation.validate(instance)
-        new_instance = operation.apply_to_instance(instance)
-        new_plan = plan.rebound_to(new_instance)
-        diagnostics = self._dispatch(new_instance, new_plan, operation)
+        with obs.span(f"iep.{kind}"):
+            with obs.span("rebind"):
+                new_instance = operation.apply_to_instance(instance)
+                new_plan = plan.rebound_to(new_instance)
+            with obs.span("repair"):
+                diagnostics = self._dispatch(new_instance, new_plan, operation)
+        obs.count("iep.operations")
+        obs.count(f"iep.operations.{kind}")
+        for key, value in diagnostics.items():
+            obs.count(f"iep.repair.{key}", value)
         return IEPResult(
             instance=new_instance,
             plan=new_plan,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 def eta_decrease(
@@ -27,11 +28,14 @@ def eta_decrease(
     if count <= new_upper:
         return {"evicted": 0.0, "refilled": 0.0}
 
-    attendees = plan.attendees(event)
-    attendees.sort(key=lambda user: instance.utility[user, event])
-    evicted = attendees[: count - new_upper]
-    for user in evicted:
-        plan.remove(user, event)
+    obs = get_recorder()
+    with obs.span("evict"):
+        attendees = plan.attendees(event)
+        attendees.sort(key=lambda user: instance.utility[user, event])
+        evicted = attendees[: count - new_upper]
+        for user in evicted:
+            plan.remove(user, event)
+    obs.count("iep.evictions", len(evicted))
 
     refilled = UtilityFill().fill(
         instance,

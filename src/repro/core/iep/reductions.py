@@ -33,6 +33,7 @@ from repro.core.iep.operations import (
 from repro.core.iep.xi_increase import _free_additions, raise_attendance
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 _BUDGET_TOL = 1e-9
 
@@ -138,6 +139,7 @@ def budget_change(
         plan.remove(user, victim)
         touched_events.append(victim)
         diagnostics["shed"] += 1.0
+    get_recorder().count("iep.budget_shed", len(touched_events))
 
     for event in touched_events:
         spec = instance.events[event]

@@ -21,6 +21,7 @@ from repro.core.gepc.fill import UtilityFill
 from repro.core.iep.xi_increase import _free_additions, raise_attendance
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 _BUDGET_TOL = 1e-9
 
@@ -49,7 +50,12 @@ def _perturbation_repair(
     event: int,
     check_conflicts: bool,
 ) -> dict[str, float]:
-    removed = _remove_broken_attendees(instance, plan, event, check_conflicts)
+    obs = get_recorder()
+    with obs.span("remove_broken"):
+        removed = _remove_broken_attendees(
+            instance, plan, event, check_conflicts
+        )
+    obs.count("iep.broken_attendees_removed", len(removed))
     diagnostics: dict[str, float] = {"removed": float(len(removed))}
 
     spec = instance.events[event]

@@ -22,6 +22,7 @@ import heapq
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 def xi_increase(
@@ -99,13 +100,18 @@ def _free_additions(
         ),
         key=lambda user: -instance.utility[user, event],
     )
+    obs = get_recorder()
+    obs.count("iep.free_candidates", len(candidates))
     added = 0
+    checks = 0
     for user in candidates:
         if plan.attendance(event) >= min(target, upper):
             break
+        checks += 1
         if plan.can_attend(user, event):
             plan.add(user, event)
             added += 1
+    obs.count("iep.feasibility_checks", checks)
     return added
 
 
@@ -138,10 +144,14 @@ def _transfers(
             heapq.heappush(heap, (-delta, user, donor))
     heapq.heapify(heap)
 
+    obs = get_recorder()
+    obs.count("iep.transfer_candidates", len(heap))
     moved: list[int] = []
     settled: set[int] = set()  # users already transferred (lazy deletion)
+    considered = 0
     while heap and plan.attendance(event) < target:
         _, user, donor = heapq.heappop(heap)
+        considered += 1
         if user in settled or spare.get(donor, 0) <= 0:
             continue
         if not plan.contains(user, donor) or plan.contains(user, event):
@@ -153,6 +163,8 @@ def _transfers(
         spare[donor] -= 1
         settled.add(user)
         moved.append(user)
+    obs.count("iep.transfers_considered", considered)
+    obs.count("iep.transfers_moved", len(moved))
     return moved
 
 

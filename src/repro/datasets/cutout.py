@@ -10,7 +10,6 @@ full dataset; :func:`cutout` does the same on any generated instance, and
 from __future__ import annotations
 
 import random
-from dataclasses import replace
 
 import numpy as np
 

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 
 from repro.flow.graph import FlowNetwork
+from repro.obs import get_recorder
 
 _INF = math.inf
 
@@ -40,33 +41,37 @@ def min_cost_flow(
     The network's arcs are mutated in place (inspect per-arc flow through
     :meth:`FlowNetwork.flow_on`).  Returns total flow routed and its cost.
     """
+    obs = get_recorder()
     n = network.n_nodes
-    potential = _bellman_ford_potentials(network, source)
+    with obs.span("flow.mincost"):
+        potential = _bellman_ford_potentials(network, source)
 
-    total_flow = 0.0
-    total_cost = 0.0
-    while total_flow < max_flow:
-        distance, parent_arc = _dijkstra(network, source, potential)
-        if distance[sink] == _INF:
-            break
-        for node in range(n):
-            if distance[node] < _INF:
-                potential[node] += distance[node]
+        total_flow = 0.0
+        total_cost = 0.0
+        while total_flow < max_flow:
+            distance, parent_arc = _dijkstra(network, source, potential)
+            if distance[sink] == _INF:
+                break
+            obs.count("flow.augmenting_paths")
+            for node in range(n):
+                if distance[node] < _INF:
+                    potential[node] += distance[node]
 
-        # Bottleneck along the augmenting path.
-        bottleneck = max_flow - total_flow
-        node = sink
-        while node != source:
-            arc = parent_arc[node]
-            bottleneck = min(bottleneck, network.arc(arc).residual)
-            node = network.arc(arc ^ 1).head
-        node = sink
-        while node != source:
-            arc = parent_arc[node]
-            network.push(arc, bottleneck)
-            total_cost += bottleneck * network.arc(arc).cost
-            node = network.arc(arc ^ 1).head
-        total_flow += bottleneck
+            # Bottleneck along the augmenting path.
+            bottleneck = max_flow - total_flow
+            node = sink
+            while node != source:
+                arc = parent_arc[node]
+                bottleneck = min(bottleneck, network.arc(arc).residual)
+                node = network.arc(arc ^ 1).head
+            node = sink
+            while node != source:
+                arc = parent_arc[node]
+                network.push(arc, bottleneck)
+                total_cost += bottleneck * network.arc(arc).cost
+                node = network.arc(arc ^ 1).head
+            total_flow += bottleneck
+    obs.count("flow.units_routed", total_flow)
     return MinCostFlowResult(total_flow, total_cost)
 
 

@@ -1,6 +1,6 @@
 """Planar geometry substrate: points, Euclidean metric, distance matrices."""
 
-from repro.geo.point import Point
 from repro.geo.distance import DistanceMatrix, euclidean
+from repro.geo.point import Point
 
 __all__ = ["Point", "euclidean", "DistanceMatrix"]

@@ -1,0 +1,29 @@
+"""Zero-dependency solver telemetry: counters, gauges, nested phase spans.
+
+Default-off: :func:`get_recorder` returns a shared no-op recorder until a
+real one is installed with :func:`recording`, so instrumented hot paths
+cost one attribute lookup when tracing is disabled.  See
+``docs/observability.md`` for the API guide and the exported JSON schema.
+"""
+
+from repro.obs.export import render_text, to_json, write_json
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    SpanStats,
+    get_recorder,
+    recording,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanStats",
+    "get_recorder",
+    "recording",
+    "render_text",
+    "to_json",
+    "write_json",
+]

@@ -18,16 +18,23 @@ from repro.core.iep.operations import AtomicOperation
 from repro.core.metrics import total_utility
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import Recorder, get_recorder
 
 
 @dataclass(frozen=True)
 class PlatformLogEntry:
-    """One audit record: the operation applied and its measured effect."""
+    """One audit record: the operation applied and its measured effect.
+
+    ``seconds`` is the wall-clock duration of the repair span (always
+    measured, even when no recorder is installed, so operators can audit
+    per-operation latency from the log alone).
+    """
 
     operation: AtomicOperation
     dif: int
     utility_before: float
     utility_after: float
+    seconds: float = 0.0
 
 
 class EBSNPlatform:
@@ -72,9 +79,13 @@ class EBSNPlatform:
 
     def publish_plans(self) -> float:
         """Compute the day's global plan; returns its total utility."""
-        solution = self._solver.solve(self._instance)
+        obs = get_recorder()
+        with obs.span("platform.publish"):
+            solution = self._solver.solve(self._instance)
         self._plan = solution.plan
-        return total_utility(self._instance, self._plan)
+        utility = total_utility(self._instance, self._plan)
+        obs.gauge("platform.published_utility", utility)
+        return utility
 
     def plan_for(self, user: int) -> list[int]:
         """The "Plan for Today" of one user (event ids, start-sorted)."""
@@ -86,15 +97,23 @@ class EBSNPlatform:
 
     def submit(self, operation: AtomicOperation) -> PlatformLogEntry:
         """Apply one atomic operation incrementally and log its impact."""
+        obs = get_recorder()
+        # Timings must reach the log even with tracing off: fall back to a
+        # detached local recorder, whose span still measures wall clock.
+        timer = obs if obs.enabled else Recorder()
         before = total_utility(self._instance, self.plan)
-        result = self._engine.apply(self._instance, self.plan, operation)
+        span = timer.span("platform.submit")
+        with span:
+            result = self._engine.apply(self._instance, self.plan, operation)
         self._instance = result.instance
         self._plan = result.plan
+        obs.count("platform.operations")
         entry = PlatformLogEntry(
             operation=operation,
             dif=result.dif,
             utility_before=before,
             utility_after=result.utility,
+            seconds=span.elapsed,
         )
         self._log.append(entry)
         return entry
@@ -108,4 +127,7 @@ class EBSNPlatform:
             "total_dif": float(sum(entry.dif for entry in self._log)),
             "operations": float(len(self._log)),
             "violations": float(len(violations)),
+            "seconds_total": float(
+                sum(entry.seconds for entry in self._log)
+            ),
         }

@@ -1,12 +1,12 @@
 """Time substrate: intervals, the paper's conflict rule, conflict graphs."""
 
-from repro.timeline.interval import Interval
 from repro.timeline.conflicts import (
     conflict_graph,
     conflict_ratio,
     conflicts,
     max_clique_upper_bound,
 )
+from repro.timeline.interval import Interval
 
 __all__ = [
     "Interval",

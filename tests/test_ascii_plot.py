@@ -1,7 +1,5 @@
 """Tests for the ASCII figure renderer."""
 
-import pytest
-
 from repro.bench.ascii_plot import ascii_chart
 
 

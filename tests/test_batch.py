@@ -1,7 +1,5 @@
 """Tests for the batch IEP engine (multi-operation repair, future work)."""
 
-import pytest
-
 from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
 from repro.core.iep import (

@@ -1,10 +1,8 @@
 """Tests for the benchmark harness: measurement, tables, memory."""
 
-import os
-
 import pytest
 
-from repro.bench.harness import ExperimentResult, measure, scale_from_env
+from repro.bench.harness import measure, scale_from_env
 from repro.bench.memory import peak_memory_mb
 from repro.bench.tables import format_series, format_table, write_csv
 

@@ -1,7 +1,5 @@
 """Tests for Definition 1's constraint checker."""
 
-import pytest
-
 from repro.core.constraints import (
     ViolationKind,
     check_plan,

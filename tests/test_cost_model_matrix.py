@@ -24,7 +24,7 @@ from repro.core.iep import (
     XiIncrease,
 )
 from repro.core.model import Instance
-from repro.geo.metrics import EUCLIDEAN, MANHATTAN
+from repro.geo.metrics import MANHATTAN
 from repro.timeline.interval import Interval
 
 from tests.conftest import random_instance

@@ -1,6 +1,7 @@
 """Tests for the synthetic Meetup generator, city configs, and cut-outs."""
 
 import math
+import random
 
 import numpy as np
 import pytest
@@ -18,8 +19,6 @@ from repro.datasets import (
 )
 from repro.datasets.cutout import DEFAULT_EVENTS, EVENT_GRID, USER_GRID
 from repro.datasets.tags import TAG_VOCABULARY, sample_tag_set, zipf_weights
-
-import random
 
 
 class TestTags:

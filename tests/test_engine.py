@@ -5,11 +5,9 @@ import pytest
 from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
 from repro.core.iep import (
-    BudgetChange,
     EtaDecrease,
     IEPEngine,
     TimeChange,
-    XiIncrease,
 )
 from repro.core.iep.operations import AtomicOperation
 from repro.core.metrics import total_utility

@@ -6,7 +6,6 @@ drift breaks the build instead of the README.
 """
 
 import importlib
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,7 +1,5 @@
 """Tests for the step-2 capacity filler (UtilityFill)."""
 
-import pytest
-
 from repro.core.constraints import is_feasible
 from repro.core.gepc.fill import UtilityFill
 from repro.core.metrics import total_utility

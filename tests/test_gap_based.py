@@ -1,6 +1,5 @@
 """Tests for the GAP-based GEPC algorithm (LP + rounding + Algorithm 1)."""
 
-import numpy as np
 import pytest
 
 from repro.core.constraints import is_feasible

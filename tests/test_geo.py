@@ -1,8 +1,5 @@
 """Tests for the geometry substrate."""
 
-import math
-
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -18,8 +18,6 @@ feasible plan and compute the true minimum, then check the algorithms:
 
 import itertools
 
-import pytest
-
 from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
 from repro.core.iep import EtaDecrease, IEPEngine, TimeChange, XiIncrease

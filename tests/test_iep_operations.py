@@ -1,6 +1,5 @@
 """Tests for atomic operation value objects and their instance updates."""
 
-import numpy as np
 import pytest
 
 from repro.core.iep.operations import (

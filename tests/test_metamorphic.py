@@ -6,7 +6,6 @@ responds correctly — a strong end-to-end check on the geometry, cost, and
 solver layers together.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.gepc import ExactSolver, GreedySolver

@@ -5,8 +5,6 @@ e2 exactly (Fig. 1 is not numerically specified elsewhere), so Example 1's
 travel cost and Example 3/6/7's repair behaviour can be checked end-to-end.
 """
 
-import math
-
 import pytest
 
 from repro.core.constraints import is_feasible
@@ -16,7 +14,7 @@ from repro.core.iep import (
     TimeChange,
     XiIncrease,
 )
-from repro.core.metrics import dif, total_utility
+from repro.core.metrics import total_utility
 from repro.core.plan import GlobalPlan
 from repro.timeline.interval import Interval
 

@@ -2,13 +2,8 @@
 
 import pytest
 
-from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
-from repro.core.iep.operations import (
-    EtaDecrease,
-    TimeChange,
-    XiIncrease,
-)
+from repro.core.iep.operations import EtaDecrease
 from repro.platform import EBSNPlatform, OperationStream
 
 from tests.conftest import random_instance
@@ -48,6 +43,19 @@ class TestPlatform:
         assert platform.instance.events[3].upper == 2
         assert platform.log == [entry]
         assert entry.utility_before >= 0
+
+    def test_log_entries_carry_span_timings(self, paper_instance):
+        # Repairs are timed even with no recorder installed (obs layer).
+        platform = EBSNPlatform(paper_instance)
+        platform.publish_plans()
+        first = platform.submit(EtaDecrease(3, 2))
+        second = platform.submit(EtaDecrease(3, 1))
+        assert first.seconds > 0.0
+        assert second.seconds > 0.0
+        audit = platform.audit()
+        assert audit["seconds_total"] == pytest.approx(
+            first.seconds + second.seconds
+        )
 
     def test_audit_zero_violations(self):
         instance = random_instance(3, n_users=12, n_events=6)

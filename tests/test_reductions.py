@@ -1,7 +1,5 @@
 """Tests for the reduced atomic operations (Section IV's reduction claims)."""
 
-import pytest
-
 from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
 from repro.core.iep import (

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core.constraints import check_plan, is_feasible
 from repro.core.gepc import GreedySolver
 from repro.core.plan import GlobalPlan

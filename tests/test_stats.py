@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.bench.stats import Speedup, Stats, speedup, summarize
+from repro.bench.stats import speedup, summarize
 
 
 class TestSummarize:

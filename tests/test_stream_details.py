@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
 from repro.core.iep import IEPEngine
-from repro.core.constraints import is_feasible
 from repro.platform.stream import OperationStream
 
 from tests.conftest import build_instance, random_instance

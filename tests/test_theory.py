@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.assignment.gap import GAPInstance
-from repro.core.constraints import is_feasible
 from repro.core.gepc import ExactSolver
 from repro.core.plan import GlobalPlan
 from repro.theory import (

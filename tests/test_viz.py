@@ -2,8 +2,6 @@
 
 import xml.etree.ElementTree as ET
 
-import pytest
-
 from repro.core.gepc import GreedySolver
 from repro.viz import plan_map_svg, user_timeline_svg
 

@@ -1,7 +1,6 @@
 """Zero-user instances and other empty-population corners."""
 
 import numpy as np
-import pytest
 
 from repro.core.constraints import is_feasible
 from repro.core.gepc import GreedySolver
