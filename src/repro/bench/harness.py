@@ -30,8 +30,10 @@ class ExperimentResult:
     extra: dict[str, float] = field(default_factory=dict)
 
 
-def measure(label: str, call: Callable[[], Any]) -> tuple[Any, ExperimentResult]:
-    """Run ``call`` once, capturing time and allocation peak.
+def measure(
+    label: str, call: Callable[[], Any], trace_memory: bool = True
+) -> tuple[Any, ExperimentResult]:
+    """Run ``call`` once, capturing time and (optionally) allocation peak.
 
     ``call`` must return an object with a ``utility`` attribute (GEPC
     solutions and IEP results both do) or a plain float.
@@ -40,12 +42,20 @@ def measure(label: str, call: Callable[[], Any]) -> tuple[Any, ExperimentResult]
     recorder active the run shows up as a ``bench.<label>`` span (nesting
     the solver's own phase spans under it); otherwise a detached local
     recorder provides the monotonic timing alone.
+
+    ``trace_memory=False`` skips the tracemalloc wrapper (reported peak is
+    0.0).  Per-malloc tracing slows allocation-heavy vectorized code by an
+    order of magnitude, so pure wall-clock workloads (the ``kernel`` bench
+    preset) must opt out to measure the real hot path.
     """
     recorder = get_recorder()
     timer = recorder if recorder.enabled else Recorder()
     span = timer.span(f"bench.{label}")
     with span:
-        outcome, memory = peak_memory_mb(call)
+        if trace_memory:
+            outcome, memory = peak_memory_mb(call)
+        else:
+            outcome, memory = call(), 0.0
     recorder.gauge(f"bench.{label}.peak_mib", memory)
     utility = outcome if isinstance(outcome, (int, float)) else outcome.utility
     return outcome, ExperimentResult(

@@ -48,18 +48,35 @@ class Preset:
     city: str
     scale: float
     operations: int
+    include_gap: bool = True
+    trace_memory: bool = True
 
 
 PRESETS: dict[str, Preset] = {
     "small": Preset(city="beijing", scale=0.5, operations=20),
     "medium": Preset(city="auckland", scale=0.5, operations=30),
     "large": Preset(city="vancouver", scale=0.25, operations=40),
+    # The incremental-kernel hot path: full-size city, greedy + IEP stream
+    # only (the GAP solver's LP would dominate and measure the LP backend,
+    # not the plan kernel), pure wall-clock (tracemalloc's per-malloc hook
+    # slows vectorized numpy code ~10x and would drown the signal).
+    "kernel": Preset(
+        city="vancouver",
+        scale=1.0,
+        operations=30,
+        include_gap=False,
+        trace_memory=False,
+    ),
 }
 
 
-def _solver_entry(name: str, solver, instance, seed: int) -> dict:
+def _solver_entry(
+    name: str, solver, instance, seed: int, trace_memory: bool = True
+) -> dict:
     with recording() as recorder:
-        solution, result = measure(name, lambda: solver.solve(instance))
+        solution, result = measure(
+            name, lambda: solver.solve(instance), trace_memory=trace_memory
+        )
     return {
         "solver": name,
         "seed": seed,
@@ -72,7 +89,9 @@ def _solver_entry(name: str, solver, instance, seed: int) -> dict:
     }
 
 
-def _iep_entry(instance, seed: int, operations: int) -> dict:
+def _iep_entry(
+    instance, seed: int, operations: int, trace_memory: bool = True
+) -> dict:
     platform = EBSNPlatform(instance, solver=GreedySolver(seed=seed))
     platform.publish_plans()
     stream = OperationStream(seed=seed)
@@ -89,7 +108,7 @@ def _iep_entry(instance, seed: int, operations: int) -> dict:
 
     label = f"iep-mixed-{operations}"
     with recording() as recorder:
-        _, result = measure(label, run)
+        _, result = measure(label, run, trace_memory=trace_memory)
     return {
         "solver": label,
         "seed": seed,
@@ -115,10 +134,29 @@ def build_report(preset_name: str, seed: int = 0) -> dict:
 
     instance = make_city(preset.city, scale=preset.scale)
     entries = [
-        _solver_entry("greedy", GreedySolver(seed=seed), instance, seed),
-        _solver_entry("gap", GAPBasedSolver(backend="scipy"), instance, seed),
-        _iep_entry(instance, seed, preset.operations),
+        _solver_entry(
+            "greedy",
+            GreedySolver(seed=seed),
+            instance,
+            seed,
+            trace_memory=preset.trace_memory,
+        ),
     ]
+    if preset.include_gap:
+        entries.append(
+            _solver_entry(
+                "gap",
+                GAPBasedSolver(backend="scipy"),
+                instance,
+                seed,
+                trace_memory=preset.trace_memory,
+            )
+        )
+    entries.append(
+        _iep_entry(
+            instance, seed, preset.operations, trace_memory=preset.trace_memory
+        )
+    )
     return {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,

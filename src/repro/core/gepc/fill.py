@@ -100,22 +100,43 @@ class UtilityFill:
         residual: np.ndarray,
         only_users: set[int] | None,
     ) -> list[tuple[float, int, int]]:
-        """(negative utility, user, event) triples, best utility first."""
+        """(negative utility, user, event) triples, best utility first.
+
+        Built by pre-filtering every user's vectorized
+        :meth:`GlobalPlan.feasible_mask` row down to the open events,
+        followed by a lexsort — same ordering as sorting
+        ``(-utility, user, event)`` tuples, without the Python double loop.
+
+        The pre-filter is sound because a fill only *adds* assignments, and
+        additions only tighten the constraints (metric detours are
+        non-negative, blocked-event counters only grow): a pair infeasible
+        when the fill starts can never become feasible later in the same
+        fill, so dropping it up front changes nothing but the number of
+        re-checks the insertion loop performs.
+        """
         users = (
-            sorted(only_users)
+            np.fromiter(sorted(only_users), dtype=int, count=len(only_users))
             if only_users is not None
-            else range(instance.n_users)
+            else np.arange(instance.n_users)
         )
-        open_events = [j for j in range(instance.n_events) if residual[j] > 0]
-        candidates = []
-        for user in users:
-            attending = set(plan.user_plan(user))
-            row = instance.utility[user]
-            for event in open_events:
-                if event in attending:
-                    continue
-                utility = row[event]
-                if utility > 0.0:
-                    candidates.append((-utility, user, event))
-        candidates.sort()
-        return candidates
+        open_mask = residual > 0
+        if not open_mask.any() or users.size == 0:
+            return []
+        open_events = np.flatnonzero(open_mask)
+        eligible = np.empty((users.size, open_events.size), dtype=bool)
+        for k, user in enumerate(users):
+            eligible[k] = plan.feasible_mask(int(user))[open_events]
+        rows, cols = np.nonzero(eligible)
+        if rows.size == 0:
+            return []
+        user_ids = users[rows]
+        event_ids = open_events[cols]
+        utilities = instance.utility[user_ids, event_ids]
+        order = np.lexsort((event_ids, user_ids, -utilities))
+        return list(
+            zip(
+                (-utilities[order]).tolist(),
+                user_ids[order].tolist(),
+                event_ids[order].tolist(),
+            )
+        )

@@ -106,12 +106,16 @@ class MatchingFill:
         obs = get_recorder()
         edges: list[tuple[int, int]] = []
         checks = 0
+        open_array = np.asarray(open_events)
         for user in users:
-            for event in open_events:
-                if instance.utility[user, event] > 0.0:
-                    checks += 1
-                    if plan.can_attend(user, event):
-                        edges.append((user, event))
+            # One vectorized kernel row per user instead of a Python
+            # feasibility check per (user, event) pair.
+            row = plan.feasible_mask(user)[open_array]
+            checks += int(
+                (instance.utility[user, open_array] > 0.0).sum()
+            )
+            for event in open_array[row].tolist():
+                edges.append((user, event))
         obs.count("fill.feasibility_checks", checks)
         obs.count("fill.matching_edges", len(edges))
         if not edges:

@@ -129,15 +129,9 @@ class GAPBasedSolver(GEPCSolver):
         self, instance: Instance, cancelled: set[int]
     ) -> GAPInstance:
         utility = instance.utility
-        n, m = instance.n_users, instance.n_events
-        fees = np.asarray(
-            [instance.cost_model.fee(j) for j in range(m)]
-        )
-        loads = np.empty((n, m))
-        for i in range(n):
-            loads[i] = fees + 2.0 * np.asarray(
-                [instance.distances.user_event(i, j) for j in range(m)]
-            )
+        m = instance.n_events
+        fees = instance.fee_vector
+        loads = fees[None, :] + 2.0 * instance.distances.user_event_matrix
         demands = np.asarray(
             [
                 0 if j in cancelled else instance.events[j].lower

@@ -105,23 +105,33 @@ class GreedySolver(GEPCSolver):
         fails the conflict or budget check is skipped permanently for this
         user (adding later events can only tighten both checks less — the
         paper's loop equivalently stops at budget exhaustion).
+
+        Feasibility is read from the plan's vectorized ``feasible_mask``
+        kernel — one numpy row per plan state instead of a Python splice
+        per candidate; the walk down the preference order (and therefore
+        the chosen events) is identical to the scalar loop's.
         """
-        preference = np.argsort(-instance.utility[user], kind="stable")
+        utility_row = instance.utility[user]
+        preference = np.argsort(-utility_row, kind="stable")
         taken = 0
         evaluated = 0
         checks = 0
+        mask = None
         for event in preference:
             event = int(event)
             evaluated += 1
             if remaining[event] <= 0:
                 continue
-            if instance.utility[user, event] <= 0.0:
+            if utility_row[event] <= 0.0:
                 break  # utilities are sorted; the rest are all zero
             checks += 1
-            if plan.can_attend(user, event):
+            if mask is None:
+                mask = plan.feasible_mask(user)
+            if mask[event]:
                 plan.add(user, event)
                 remaining[event] -= 1
                 taken += 1
+                mask = None  # plan changed; recompute lazily
         obs = get_recorder()
         obs.count("greedy.candidates_evaluated", evaluated)
         obs.count("greedy.feasibility_checks", checks)

@@ -14,6 +14,8 @@ non-decreasing and the loop terminates.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.gepc.base import GEPCSolution
 from repro.core.metrics import total_utility
 from repro.core.model import Instance
@@ -58,25 +60,41 @@ class LocalSearchImprover:
             },
         )
 
+    @staticmethod
+    def _open_seats(instance: Instance, plan: GlobalPlan) -> np.ndarray:
+        """Mask of events already held (or bound-free) with capacity left."""
+        counts = np.fromiter(
+            (plan.attendance(j) for j in range(instance.n_events)),
+            dtype=int,
+            count=instance.n_events,
+        )
+        lowers = np.fromiter(
+            (e.lower for e in instance.events), dtype=int, count=instance.n_events
+        )
+        uppers = np.fromiter(
+            (e.upper for e in instance.events), dtype=int, count=instance.n_events
+        )
+        return (counts >= lowers) & (counts < uppers)
+
     def _try_adds(
         self, instance: Instance, plan: GlobalPlan, cancelled: set[int]
     ) -> bool:
+        open_seat = self._open_seats(instance, plan)
+        if cancelled:
+            open_seat = open_seat.copy()
+            open_seat[list(cancelled)] = False
         for user in range(instance.n_users):
-            for event in range(instance.n_events):
-                if event in cancelled:
-                    continue
-                count = plan.attendance(event)
-                spec = instance.events[event]
-                # A seat is open only on events that are already held (or
-                # have no lower bound) and still below their upper bound.
-                open_seat = count >= spec.lower and count < spec.upper
-                if open_seat and plan.can_attend(user, event):
-                    plan.add(user, event)
-                    get_recorder().count("local_search.adds")
-                    return True
+            # Whole candidate row at once: open seat AND kernel-feasible.
+            candidates = open_seat & plan.feasible_mask(user)
+            if candidates.any():
+                event = int(np.argmax(candidates))
+                plan.add(user, event)
+                get_recorder().count("local_search.adds")
+                return True
         return False
 
     def _try_swaps(self, instance: Instance, plan: GlobalPlan) -> bool:
+        utility = instance.utility
         for user in range(instance.n_users):
             for old in plan.user_plan(user):
                 # Removing `old` must not strand the event below its bound.
@@ -84,23 +102,29 @@ class LocalSearchImprover:
                     plan.attendance(old) - 1 > 0
                 ):
                     continue
-                old_utility = instance.utility[user, old]
+                old_utility = utility[user, old]
                 plan.remove(user, old)
-                best = None
-                for event in range(instance.n_events):
-                    count = plan.attendance(event)
-                    spec = instance.events[event]
-                    if count == 0 or count >= spec.upper:
-                        continue
-                    if instance.utility[user, event] <= old_utility:
-                        continue
-                    if plan.can_attend(user, event):
-                        if best is None or (
-                            instance.utility[user, event]
-                            > instance.utility[user, best]
-                        ):
-                            best = event
-                if best is not None:
+                # Candidates: already-held events with a seat left, strictly
+                # better utility, and kernel-feasible for the shrunk plan.
+                counts = np.fromiter(
+                    (plan.attendance(j) for j in range(instance.n_events)),
+                    dtype=int,
+                    count=instance.n_events,
+                )
+                uppers = np.fromiter(
+                    (e.upper for e in instance.events),
+                    dtype=int,
+                    count=instance.n_events,
+                )
+                candidates = (
+                    (counts > 0)
+                    & (counts < uppers)
+                    & (utility[user] > old_utility)
+                    & plan.feasible_mask(user)
+                )
+                if candidates.any():
+                    gains = np.where(candidates, utility[user], -np.inf)
+                    best = int(np.argmax(gains))
                     plan.add(user, best)
                     get_recorder().count("local_search.swaps")
                     return True

@@ -88,17 +88,22 @@ def _remove_broken_attendees(
     event: int,
     check_conflicts: bool,
 ) -> list[int]:
-    """Drop ``event`` from attendees whose plans it now breaks."""
+    """Drop ``event`` from attendees whose plans it now breaks.
+
+    The conflict test is an O(1) blocked-counter read (``event`` never
+    conflicts with itself, so its own membership contributes nothing) and
+    the budget test reuses the route cost the rebind already cached.
+    """
     removed = []
     for user in plan.attendees(event):
         broken = False
         if check_conflicts:
-            conflict_set = instance.conflicts[event]
-            others = (j for j in plan.user_plan(user) if j != event)
-            broken = any(j in conflict_set for j in others)
+            broken = plan.conflict_count(user, event) > 0
         if not broken:
-            cost = instance.route_cost(user, plan.user_plan(user))
-            broken = cost > instance.users[user].budget + _BUDGET_TOL
+            broken = (
+                plan.route_cost(user)
+                > instance.users[user].budget + _BUDGET_TOL
+            )
         if broken:
             plan.remove(user, event)
             removed.append(user)

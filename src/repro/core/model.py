@@ -19,7 +19,14 @@ import numpy as np
 
 from repro.geo.distance import DistanceMatrix
 from repro.geo.point import Point
-from repro.timeline.conflicts import conflict_graph, conflict_ratio
+from repro.timeline.conflicts import (
+    conflict_graph,
+    conflict_matrix,
+    conflict_ratio,
+    conflict_row,
+    patched_conflict_graph,
+    patched_conflict_matrix,
+)
 from repro.timeline.interval import Interval
 
 
@@ -116,6 +123,39 @@ class Instance:
             raise ValueError("one admission fee per event required")
         self._distances: DistanceMatrix | None = None
         self._conflicts: list[set[int]] | None = None
+        self._conflict_matrix: np.ndarray | None = None
+        self._event_starts: np.ndarray | None = None
+        self._fee_vector: np.ndarray | None = None
+
+    @classmethod
+    def _from_validated(
+        cls,
+        users: list[User],
+        events: list[Event],
+        utility: np.ndarray,
+        cost_model,
+    ) -> "Instance":
+        """Trusted construction path for the ``with_*`` functional updates.
+
+        Skips the O(n + m) id-ordering scan and the full utility-matrix
+        range validation of ``__init__`` — the inputs are derived from an
+        already-validated instance, so only the *changed* parts need checks
+        (done by the callers).  The lists are stored as given, so callers
+        that did not touch them pass the previous instance's lists through
+        unchanged, which lets ``GlobalPlan.rebound_to`` detect unchanged
+        populations by identity.
+        """
+        instance = cls.__new__(cls)
+        instance.users = users
+        instance.events = events
+        instance.utility = utility
+        instance.cost_model = cost_model
+        instance._distances = None
+        instance._conflicts = None
+        instance._conflict_matrix = None
+        instance._event_starts = None
+        instance._fee_vector = None
+        return instance
 
     # ------------------------------------------------------------------ #
     # Sizes and cached structures
@@ -148,6 +188,49 @@ class Instance:
             self._conflicts = conflict_graph([e.interval for e in self.events])
         return self._conflicts
 
+    @property
+    def conflict_matrix(self) -> np.ndarray:
+        """Dense boolean conflict matrix (the vectorized kernel's view).
+
+        ``conflict_matrix[j, k]`` mirrors ``k in conflicts[j]``; rows are
+        used to mask whole candidate arrays and to maintain the per-user
+        blocked-event counters in :class:`repro.core.plan.GlobalPlan`.
+        Treat as read-only.
+        """
+        if self._conflict_matrix is None:
+            if self._conflicts is not None:
+                # Derive from the adjacency already paid for.
+                m = self.n_events
+                matrix = np.zeros((m, m), dtype=bool)
+                for j, neighbours in enumerate(self._conflicts):
+                    if neighbours:
+                        matrix[j, list(neighbours)] = True
+                self._conflict_matrix = matrix
+            else:
+                self._conflict_matrix = conflict_matrix(
+                    [e.interval for e in self.events]
+                )
+        return self._conflict_matrix
+
+    @property
+    def event_starts(self) -> np.ndarray:
+        """Event start times as a dense vector (read-only; splice kernel)."""
+        if self._event_starts is None:
+            self._event_starts = np.array(
+                [e.start for e in self.events], dtype=float
+            )
+        return self._event_starts
+
+    @property
+    def fee_vector(self) -> np.ndarray:
+        """Per-event admission fees as a dense vector (zeros when free)."""
+        if self._fee_vector is None:
+            if self.cost_model.fees is None:
+                self._fee_vector = np.zeros(self.n_events)
+            else:
+                self._fee_vector = np.asarray(self.cost_model.fees, dtype=float)
+        return self._fee_vector
+
     def conflict_ratio(self) -> float:
         """Fraction of events with at least one conflict (Table IV stat)."""
         return conflict_ratio([e.interval for e in self.events])
@@ -169,12 +252,16 @@ class Instance:
         """
         if not event_ids:
             return 0.0
-        ordered = sorted(event_ids, key=lambda j: self.events[j].start)
+        starts = self.event_starts
+        ordered = sorted(event_ids, key=starts.__getitem__)
         d = self.distances
-        cost = d.user_event(user, ordered[0])
-        for prev, nxt in zip(ordered, ordered[1:]):
-            cost += d.event_event(prev, nxt)
-        cost += d.user_event(user, ordered[-1])
+        user_row = d.user_event_matrix[user]
+        cost = float(user_row[ordered[0]]) + float(user_row[ordered[-1]])
+        if len(ordered) > 1:
+            hops = np.asarray(ordered)
+            cost += float(
+                d.event_event_matrix[hops[:-1], hops[1:]].sum()
+            )
         return cost + self.cost_model.total_fees(ordered)
 
     def route_cost_with(
@@ -186,11 +273,12 @@ class Instance:
         new event is spliced into its slot.  Used by the hot loops of the
         greedy solver and the IEP repair routines.
         """
-        start = self.events[new_event].start
+        starts = self.event_starts
+        start = starts[new_event]
         position = 0
         while (
             position < len(sorted_events)
-            and self.events[sorted_events[position]].start <= start
+            and starts[sorted_events[position]] <= start
         ):
             position += 1
         d = self.distances
@@ -233,22 +321,109 @@ class Instance:
     # ------------------------------------------------------------------ #
 
     def with_event(self, event_id: int, **changes) -> "Instance":
-        """A new instance with one event's attributes replaced."""
+        """A new instance with one event's attributes replaced.
+
+        Cached geometry and conflict structures are carried forward whenever
+        the change cannot invalidate them: a bound change preserves both by
+        identity, a location change patches only the moved event's distance
+        row/column, and a time change recomputes only its conflict row.
+        This is what keeps the IEP operation stream free of O(n * m) cache
+        rebuilds.
+        """
+        old = self.events[event_id]
+        updated = replace(old, **changes)
         events = list(self.events)
-        events[event_id] = replace(events[event_id], **changes)
-        return Instance(self.users, events, self.utility, self.cost_model)
+        events[event_id] = updated
+        instance = Instance._from_validated(
+            self.users, events, self.utility, self.cost_model
+        )
+        location_changed = updated.location != old.location
+        interval_changed = updated.interval != old.interval
+
+        if self._distances is not None:
+            if not location_changed:
+                instance._distances = self._distances
+            else:
+                instance._distances = self._distances.with_event_location(
+                    event_id,
+                    updated.location,
+                    [u.location for u in self.users],
+                    [e.location for e in events],
+                )
+        if not interval_changed:
+            instance._conflicts = self._conflicts
+            instance._conflict_matrix = self._conflict_matrix
+            instance._event_starts = self._event_starts
+        else:
+            intervals = [e.interval for e in events]
+            if self._conflicts is not None:
+                instance._conflicts = patched_conflict_graph(
+                    self._conflicts, intervals, event_id
+                )
+            if self._conflict_matrix is not None:
+                instance._conflict_matrix = patched_conflict_matrix(
+                    self._conflict_matrix, intervals, event_id
+                )
+            if self._event_starts is not None:
+                starts = self._event_starts.copy()
+                starts[event_id] = updated.start
+                instance._event_starts = starts
+        instance._fee_vector = self._fee_vector
+        return instance
 
     def with_user(self, user_id: int, **changes) -> "Instance":
-        """A new instance with one user's attributes replaced."""
+        """A new instance with one user's attributes replaced.
+
+        A budget change preserves the distance cache by identity; a home
+        relocation patches only that user's distance row.  Conflicts never
+        depend on users, so they always carry forward.
+        """
+        old = self.users[user_id]
+        updated = replace(old, **changes)
         users = list(self.users)
-        users[user_id] = replace(users[user_id], **changes)
-        return Instance(users, self.events, self.utility, self.cost_model)
+        users[user_id] = updated
+        instance = Instance._from_validated(
+            users, self.events, self.utility, self.cost_model
+        )
+        if self._distances is not None:
+            if updated.location == old.location:
+                instance._distances = self._distances
+            else:
+                patched = self._distances.copy()
+                if self.events:
+                    patched.user_event_matrix[user_id, :] = (
+                        self.cost_model.metric.cross(
+                            [updated.location],
+                            [e.location for e in self.events],
+                        )[0]
+                    )
+                instance._distances = patched
+        instance._conflicts = self._conflicts
+        instance._conflict_matrix = self._conflict_matrix
+        instance._event_starts = self._event_starts
+        instance._fee_vector = self._fee_vector
+        return instance
 
     def with_utility(self, user_id: int, event_id: int, value: float) -> "Instance":
-        """A new instance with one utility score replaced."""
+        """A new instance with one utility score replaced.
+
+        Only the new score is validated (the rest of the matrix was checked
+        when this instance was built); every cached structure is carried
+        forward untouched since utilities affect neither geometry nor time.
+        """
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("utility scores must lie in [0, 1]")
         utility = self.utility.copy()
         utility[user_id, event_id] = value
-        return Instance(self.users, self.events, utility, self.cost_model)
+        instance = Instance._from_validated(
+            self.users, self.events, utility, self.cost_model
+        )
+        instance._distances = self._distances
+        instance._conflicts = self._conflicts
+        instance._conflict_matrix = self._conflict_matrix
+        instance._event_starts = self._event_starts
+        instance._fee_vector = self._fee_vector
+        return instance
 
     def with_new_event(
         self, event: Event, utilities: np.ndarray, fee: float = 0.0
@@ -257,13 +432,17 @@ class Instance:
 
         ``event.id`` must equal the current event count; ``utilities`` is one
         utility score per user; ``fee`` is the new event's admission fee
-        (only meaningful under a fee-charging cost model).
+        (only meaningful under a fee-charging cost model).  Cached distances
+        gain one appended column/row; cached conflicts gain one appended
+        adjacency row — nothing already cached is recomputed.
         """
         if event.id != self.n_events:
             raise ValueError(
                 f"new event id must be {self.n_events}, got {event.id}"
             )
         utilities = np.asarray(utilities, dtype=float).reshape(self.n_users, 1)
+        if utilities.size and (utilities.min() < 0 or utilities.max() > 1):
+            raise ValueError("utility scores must lie in [0, 1]")
         utility = np.hstack([self.utility, utilities])
         cost_model = self.cost_model
         if cost_model.fees is not None or fee:
@@ -272,9 +451,38 @@ class Instance:
                     cost_model, fees=np.zeros(self.n_events)
                 )
             cost_model = cost_model.with_event_appended(fee)
-        return Instance(
-            self.users, list(self.events) + [event], utility, cost_model
+        events = list(self.events) + [event]
+        instance = Instance._from_validated(
+            self.users, events, utility, cost_model
         )
+        if self._distances is not None:
+            instance._distances = self._distances.with_appended_event(
+                event.location,
+                [u.location for u in self.users],
+                [e.location for e in self.events],
+            )
+        intervals = [e.interval for e in events]
+        if self._conflicts is not None:
+            row = conflict_row(intervals, event.id)
+            neighbours = set(np.flatnonzero(row).tolist())
+            adjacency = list(self._conflicts)
+            for k in neighbours:
+                adjacency[k] = adjacency[k] | {event.id}
+            adjacency.append(neighbours)
+            instance._conflicts = adjacency
+        if self._conflict_matrix is not None:
+            row = conflict_row(intervals, event.id)
+            m = self.n_events
+            matrix = np.zeros((m + 1, m + 1), dtype=bool)
+            matrix[:m, :m] = self._conflict_matrix
+            matrix[event.id, :] = row
+            matrix[:, event.id] = row
+            instance._conflict_matrix = matrix
+        if self._event_starts is not None:
+            instance._event_starts = np.append(
+                self._event_starts, event.start
+            )
+        return instance
 
 
 @dataclass(frozen=True)

@@ -4,13 +4,32 @@ A :class:`GlobalPlan` holds one individual plan per user — a list of event
 ids kept sorted by event start time (the visiting order that defines the
 paper's travel cost ``D_i``) — plus the per-event attendance counters the
 bound constraints are checked against.
+
+The plan is also the home of the **vectorized incremental kernel** the
+solvers' inner loops run on (see ``docs/performance.md``):
+
+* ``add``/``remove`` maintain the cached route costs by splice delta
+  (predecessor/successor distance arithmetic) instead of recomputing the
+  whole route, and keep a per-event attendee index so ``attendees`` and
+  ``clear_event`` are O(degree) instead of O(n * k);
+* per-user **blocked-event counters** (``blocked[f]`` = how many of the
+  user's assigned events conflict with event ``f``) make every conflict
+  check an O(1) lookup and whole-row masking trivial;
+* ``insertion_deltas``/``feasible_mask`` evaluate *all* candidate events of
+  one user at once through ``DistanceMatrix`` row slices, cached until that
+  user's plan next changes — ``can_attend`` is an O(1) lookup into the same
+  cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.model import Instance
+
+_BUDGET_TOL = 1e-9
 
 
 class GlobalPlan:
@@ -25,6 +44,18 @@ class GlobalPlan:
         self._plans: list[list[int]] = [[] for _ in range(instance.n_users)]
         self._attendance: list[int] = [0] * instance.n_events
         self._route_costs: list[float] = [0.0] * instance.n_users
+        # Per-event attendee index: attendees()/clear_event() in O(degree).
+        self._attendee_sets: list[set[int]] = [
+            set() for _ in range(instance.n_events)
+        ]
+        # Per-user blocked-event counters, created lazily per user (int16
+        # rows; a user's plan never exceeds a few dozen events) and then
+        # maintained incrementally on add/remove.
+        self._blocked: dict[int, np.ndarray] = {}
+        # Per-user (insertion deltas, feasibility mask), invalidated when
+        # that user's plan changes.
+        self._kernel_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._event_ids = np.arange(instance.n_events)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -39,15 +70,11 @@ class GlobalPlan:
         return self._attendance[event]
 
     def attendees(self, event: int) -> list[int]:
-        """Users currently assigned to ``event``."""
-        return [
-            user
-            for user, plan in enumerate(self._plans)
-            if event in plan
-        ]
+        """Users currently assigned to ``event`` (ascending user id)."""
+        return sorted(self._attendee_sets[event])
 
     def contains(self, user: int, event: int) -> bool:
-        return event in self._plans[user]
+        return user in self._attendee_sets[event]
 
     def route_cost(self, user: int) -> float:
         """Cached travel cost ``D_i`` of ``user``'s current plan."""
@@ -62,8 +89,14 @@ class GlobalPlan:
         return {j for j, count in enumerate(self._attendance) if count > 0}
 
     def __iter__(self):
-        """Iterate ``(user, [event ids])`` pairs."""
-        return enumerate(self.user_plan(u) for u in range(len(self._plans)))
+        """Iterate ``(user, (event ids...))`` pairs.
+
+        Plans are exposed as tuples built straight off the internal lists —
+        no per-user copied list objects to mutate (or allocate) — so
+        iterating a large plan is one cheap pass.
+        """
+        for user, plan in enumerate(self._plans):
+            yield user, tuple(plan)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GlobalPlan):
@@ -75,43 +108,223 @@ class GlobalPlan:
     # ------------------------------------------------------------------ #
 
     def add(self, user: int, event: int) -> None:
-        """Assign ``user`` to ``event`` (keeps the plan start-sorted)."""
-        plan = self._plans[user]
-        if event in plan:
+        """Assign ``user`` to ``event`` (keeps the plan start-sorted).
+
+        The cached route cost is updated by splice delta — O(k) position
+        search plus O(1) distance arithmetic — never a full route recompute.
+        """
+        if user in self._attendee_sets[event]:
             raise ValueError(f"user {user} already attends event {event}")
-        start = self.instance.events[event].start
-        position = 0
-        while (
-            position < len(plan)
-            and self.instance.events[plan[position]].start <= start
-        ):
-            position += 1
+        plan = self._plans[user]
+        position, delta = self._splice(user, plan, event)
         plan.insert(position, event)
         self._attendance[event] += 1
-        self._route_costs[user] = self.instance.route_cost(user, plan)
+        self._attendee_sets[event].add(user)
+        self._route_costs[user] += delta
+        self._touch(user, event, +1)
 
     def remove(self, user: int, event: int) -> None:
-        """Drop ``event`` from ``user``'s plan."""
-        try:
-            self._plans[user].remove(event)
-        except ValueError:
+        """Drop ``event`` from ``user``'s plan (splice-delta route update)."""
+        if user not in self._attendee_sets[event]:
             raise ValueError(
                 f"user {user} does not attend event {event}"
-            ) from None
+            )
+        plan = self._plans[user]
+        position = plan.index(event)
+        delta = self._unsplice_delta(user, plan, position)
+        del plan[position]
         self._attendance[event] -= 1
-        self._route_costs[user] = self.instance.route_cost(
-            user, self._plans[user]
-        )
+        self._attendee_sets[event].discard(user)
+        if plan:
+            self._route_costs[user] += delta
+        else:
+            self._route_costs[user] = 0.0  # pin to exact zero (no drift)
+        self._touch(user, event, -1)
 
     def clear_event(self, event: int) -> list[int]:
         """Remove ``event`` from every plan (event cancelled).
 
-        Returns the users whose plans were touched.
+        Returns the users whose plans were touched.  O(degree) via the
+        attendee index.
         """
         touched = self.attendees(event)
         for user in touched:
             self.remove(user, event)
         return touched
+
+    def _touch(self, user: int, event: int, sign: int) -> None:
+        """Post-mutation bookkeeping: blocked counters and kernel cache."""
+        blocked = self._blocked.get(user)
+        if blocked is not None:
+            row = self.instance.conflict_matrix[event]
+            if sign > 0:
+                blocked += row
+            else:
+                blocked -= row
+        self._kernel_cache.pop(user, None)
+
+    # ------------------------------------------------------------------ #
+    # The vectorized incremental kernel
+    # ------------------------------------------------------------------ #
+
+    def _splice(
+        self, user: int, plan: list[int], event: int
+    ) -> tuple[int, float]:
+        """(insertion position, route-cost delta) for adding ``event``."""
+        starts = self.instance.event_starts
+        start = starts[event]
+        position = 0
+        while position < len(plan) and starts[plan[position]] <= start:
+            position += 1
+        d = self.instance.distances
+        user_row = d.user_event_matrix[user]
+        fee = float(self.instance.fee_vector[event])
+        if not plan:
+            return 0, 2.0 * float(user_row[event]) + fee
+        ee = d.event_event_matrix
+        if position == 0:
+            successor = plan[0]
+            delta = (
+                -float(user_row[successor])
+                + float(user_row[event])
+                + float(ee[event, successor])
+            )
+        elif position == len(plan):
+            predecessor = plan[-1]
+            delta = (
+                -float(user_row[predecessor])
+                + float(ee[predecessor, event])
+                + float(user_row[event])
+            )
+        else:
+            predecessor, successor = plan[position - 1], plan[position]
+            delta = (
+                -float(ee[predecessor, successor])
+                + float(ee[predecessor, event])
+                + float(ee[event, successor])
+            )
+        return position, delta + fee
+
+    def _unsplice_delta(
+        self, user: int, plan: list[int], position: int
+    ) -> float:
+        """Route-cost delta of removing ``plan[position]`` (negative)."""
+        event = plan[position]
+        d = self.instance.distances
+        user_row = d.user_event_matrix[user]
+        fee = float(self.instance.fee_vector[event])
+        if len(plan) == 1:
+            return -(2.0 * float(user_row[event]) + fee)
+        ee = d.event_event_matrix
+        if position == 0:
+            successor = plan[1]
+            delta = (
+                float(user_row[successor])
+                - float(user_row[event])
+                - float(ee[event, successor])
+            )
+        elif position == len(plan) - 1:
+            predecessor = plan[-2]
+            delta = (
+                float(user_row[predecessor])
+                - float(ee[predecessor, event])
+                - float(user_row[event])
+            )
+        else:
+            predecessor, successor = plan[position - 1], plan[position + 1]
+            delta = (
+                float(ee[predecessor, successor])
+                - float(ee[predecessor, event])
+                - float(ee[event, successor])
+            )
+        return delta - fee
+
+    def blocked_counts(self, user: int) -> np.ndarray:
+        """``user``'s blocked-event counter row (treat as read-only).
+
+        ``blocked_counts(u)[f]`` is the number of events in ``u``'s plan
+        that conflict with event ``f`` — zero means conflict-free.  Built
+        lazily from the dense conflict matrix, then maintained on every
+        add/remove.
+        """
+        blocked = self._blocked.get(user)
+        if blocked is None:
+            matrix = self.instance.conflict_matrix
+            plan = self._plans[user]
+            if plan:
+                blocked = matrix[plan].sum(axis=0, dtype=np.int16)
+            else:
+                blocked = np.zeros(self.instance.n_events, dtype=np.int16)
+            self._blocked[user] = blocked
+        return blocked
+
+    def conflict_count(self, user: int, event: int) -> int:
+        """How many of ``user``'s assigned events conflict with ``event``."""
+        return int(self.blocked_counts(user)[event])
+
+    def insertion_deltas(self, user: int) -> np.ndarray:
+        """Splice route-cost deltas for adding *each* event to ``user``'s
+        plan (read-only; cached until the plan changes).
+
+        One vectorized pass over ``DistanceMatrix`` row slices replaces the
+        per-event Python splice of ``Instance.route_cost_with``.
+        """
+        return self._kernel(user)[0]
+
+    def feasible_mask(self, user: int) -> np.ndarray:
+        """Boolean mask over events: ``mask[j]`` iff ``can_attend(user, j)``.
+
+        Combines positive utility, not-already-attending, zero blocked-event
+        counters, and the budget check on the vectorized insertion deltas —
+        the whole candidate row in a handful of numpy ops (read-only;
+        cached until the plan changes).
+        """
+        return self._kernel(user)[1]
+
+    def _kernel(self, user: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._kernel_cache.get(user)
+        if cached is not None:
+            return cached
+        instance = self.instance
+        m = instance.n_events
+        plan = self._plans[user]
+        d = instance.distances
+        user_row = d.user_event_matrix[user]
+        fees = instance.fee_vector
+
+        if not plan:
+            deltas = 2.0 * user_row + fees
+        else:
+            starts = instance.event_starts
+            hops = np.asarray(plan)
+            plan_starts = starts[hops]
+            # Insertion goes after every plan event with start <= candidate
+            # start — exactly the scalar splice's scan.
+            positions = np.searchsorted(plan_starts, starts, side="right")
+            ee = d.event_event_matrix
+            k = len(plan)
+            ids = self._event_ids
+            pred = hops.take(positions - 1, mode="clip")
+            succ = hops.take(positions, mode="clip")
+            middle = -ee[pred, succ] + ee[pred, ids] + ee[ids, succ]
+            first = -user_row[hops[0]] + user_row + ee[:, hops[0]]
+            last = -user_row[hops[-1]] + ee[hops[-1]] + user_row
+            deltas = np.where(
+                positions == 0, first, np.where(positions == k, last, middle)
+            ) + fees
+        deltas.flags.writeable = False
+
+        mask = instance.utility[user] > 0.0
+        mask &= self.blocked_counts(user) == 0
+        budget = instance.users[user].budget
+        mask &= (
+            self._route_costs[user] + deltas <= budget + _BUDGET_TOL
+        )
+        if plan:
+            mask[plan] = False
+        mask.flags.writeable = False
+        self._kernel_cache[user] = (deltas, mask)
+        return deltas, mask
 
     # ------------------------------------------------------------------ #
     # Feasibility helpers used by the solvers' inner loops
@@ -123,22 +336,48 @@ class GlobalPlan:
 
         Event capacity is *not* checked here — callers track residual
         capacity themselves (the two solver steps use different capacities).
+        An O(1) lookup into the cached :meth:`feasible_mask` row when one
+        exists; otherwise a scalar O(k) splice check — building the full
+        vector kernel for a single lookup would waste the whole row.
         """
-        if self.contains(user, event):
+        cached = self._kernel_cache.get(user)
+        if cached is not None:
+            return bool(cached[1][event])
+        instance = self.instance
+        if instance.utility[user, event] <= 0.0:
             return False
-        if self.instance.utility[user, event] <= 0.0:
+        if user in self._attendee_sets[event]:
             return False
-        conflicts = self.instance.conflicts[event]
-        if any(assigned in conflicts for assigned in self._plans[user]):
-            return False
-        new_cost = self.instance.route_cost_with(
-            user, self._plans[user], event
-        )
-        return new_cost <= self.instance.users[user].budget + 1e-9
+        blocked = self._blocked.get(user)
+        if blocked is not None:
+            if blocked[event]:
+                return False
+        else:
+            conflicts = instance.conflicts[event]
+            if conflicts and any(e in conflicts for e in self._plans[user]):
+                return False
+        _, delta = self._splice(user, self._plans[user], event)
+        budget = instance.users[user].budget
+        return self._route_costs[user] + delta <= budget + _BUDGET_TOL
 
     def cost_with(self, user: int, event: int) -> float:
         """Route cost of ``user``'s plan if ``event`` were added."""
-        return self.instance.route_cost_with(user, self._plans[user], event)
+        cached = self._kernel_cache.get(user)
+        if cached is not None:
+            return self._route_costs[user] + float(cached[0][event])
+        _, delta = self._splice(user, self._plans[user], event)
+        return self._route_costs[user] + delta
+
+    def swap_cost(self, user: int, out_event: int, in_event: int) -> float:
+        """Route cost of ``user``'s plan with ``out_event`` replaced by
+        ``in_event`` — O(k) splice arithmetic on the cached base cost, used
+        by the IEP transfer loop."""
+        plan = self._plans[user]
+        position = plan.index(out_event)
+        removal = self._unsplice_delta(user, plan, position)
+        rest = plan[:position] + plan[position + 1 :]
+        _, insertion = self._splice(user, rest, in_event)
+        return self._route_costs[user] + removal + insertion
 
     # ------------------------------------------------------------------ #
     # Copies and rebinding
@@ -146,10 +385,19 @@ class GlobalPlan:
 
     def copy(self) -> "GlobalPlan":
         """A deep copy sharing the (immutable-by-convention) instance."""
-        clone = GlobalPlan(self.instance)
+        clone = GlobalPlan.__new__(GlobalPlan)
+        clone.instance = self.instance
         clone._plans = [list(plan) for plan in self._plans]
         clone._attendance = list(self._attendance)
         clone._route_costs = list(self._route_costs)
+        clone._attendee_sets = [set(s) for s in self._attendee_sets]
+        clone._blocked = {
+            user: row.copy() for user, row in self._blocked.items()
+        }
+        # Cached kernel rows are immutable (write-locked) once built, so
+        # the clone can share them until either plan diverges.
+        clone._kernel_cache = dict(self._kernel_cache)
+        clone._event_ids = self._event_ids
         return clone
 
     def rebound_to(self, instance: Instance) -> "GlobalPlan":
@@ -159,19 +407,88 @@ class GlobalPlan:
         user attributes: route costs are recomputed against the new instance,
         and a new-event column extends the attendance vector.  The result may
         be infeasible — that is exactly what the repair algorithms fix.
+
+        Rebinding is cache-preserving: events and users the operation did
+        not touch are detected by object identity (the ``with_*`` updates
+        reuse untouched ``User``/``Event`` objects), and only plans that
+        intersect the touched entities get their order and route cost
+        recomputed.  A bound/utility change therefore rebinds in O(n + m)
+        instead of O(n * k).
         """
-        if instance.n_users != self.instance.n_users:
+        old = self.instance
+        if instance.n_users != old.n_users:
             raise ValueError("rebinding cannot change the user population")
-        if instance.n_events < self.instance.n_events:
+        if instance.n_events < old.n_events:
             raise ValueError("rebinding cannot drop events")
+
+        changed_users = self._changed_users(old, instance)
+        changed_events, geometry_changed, time_changed = self._changed_events(
+            old, instance
+        )
+        same_cost_model = instance.cost_model is old.cost_model
+
         clone = GlobalPlan(instance)
         for user, plan in enumerate(self._plans):
-            ordered = sorted(plan, key=lambda j: instance.events[j].start)
-            clone._plans[user] = ordered
-            clone._route_costs[user] = instance.route_cost(user, ordered)
-            for event in ordered:
+            if not plan:
+                continue
+            stale = (
+                not same_cost_model
+                or user in changed_users
+                or any(event in changed_events for event in plan)
+            )
+            if stale:
+                ordered = sorted(plan, key=instance.event_starts.__getitem__)
+                clone._plans[user] = ordered
+                clone._route_costs[user] = instance.route_cost(user, ordered)
+            else:
+                clone._plans[user] = list(plan)
+                clone._route_costs[user] = self._route_costs[user]
+            for event in plan:
                 clone._attendance[event] += 1
+                clone._attendee_sets[event].add(user)
+        if not time_changed and instance.n_events == old.n_events:
+            # Conflict relation unchanged: blocked counters carry forward.
+            clone._blocked = {
+                user: row.copy() for user, row in self._blocked.items()
+            }
+        # geometry_changed is folded into changed_events above; referenced
+        # here so the three-way split stays explicit for future use.
+        del geometry_changed
         return clone
+
+    @staticmethod
+    def _changed_users(old: Instance, new: Instance) -> set[int]:
+        if new.users is old.users:
+            return set()
+        return {
+            i
+            for i, (a, b) in enumerate(zip(old.users, new.users))
+            if a is not b and a != b
+        }
+
+    @staticmethod
+    def _changed_events(
+        old: Instance, new: Instance
+    ) -> tuple[set[int], bool, bool]:
+        """(changed event ids, any geometry change, any interval change).
+
+        Appended events (``NewEvent``) are not "changed": they appear in no
+        existing plan, so they cannot affect carried-over route costs.
+        """
+        changed: set[int] = set()
+        geometry = False
+        time = False
+        if new.events is not old.events:
+            for j, (a, b) in enumerate(zip(old.events, new.events)):
+                if a is b:
+                    continue
+                if a.location != b.location:
+                    changed.add(j)
+                    geometry = True
+                if a.interval != b.interval:
+                    changed.add(j)
+                    time = True
+        return changed, geometry, time
 
 
 @dataclass(frozen=True)

@@ -74,6 +74,16 @@ class DistanceMatrix:
     def n_events(self) -> int:
         return self._user_event.shape[1]
 
+    @property
+    def user_event_matrix(self) -> np.ndarray:
+        """The raw ``n x m`` user-to-event block (treat as read-only)."""
+        return self._user_event
+
+    @property
+    def event_event_matrix(self) -> np.ndarray:
+        """The raw ``m x m`` event-to-event block (treat as read-only)."""
+        return self._event_event
+
     def user_event(self, user: int, event: int) -> float:
         """Distance from ``user``'s home to ``event``'s venue."""
         return float(self._user_event[user, event])
@@ -83,10 +93,23 @@ class DistanceMatrix:
         return float(self._event_event[first, second])
 
     def user_event_row(self, user: int) -> np.ndarray:
-        """All event distances for one user (read-only view)."""
-        row = self._user_event[user]
+        """All event distances for one user (read-only).
+
+        A fresh non-writeable view is created per call, so freezing it can
+        never leave the shared backing matrix (or a view another caller
+        holds) read-only.
+        """
+        row = self._user_event[user].view()
         row.flags.writeable = False
         return row
+
+    def copy(self) -> "DistanceMatrix":
+        """An independent deep copy (used before in-place patching)."""
+        clone = object.__new__(DistanceMatrix)
+        clone._metric = self._metric
+        clone._user_event = self._user_event.copy()
+        clone._event_event = self._event_event.copy()
+        return clone
 
     def replace_event_location(
         self,
@@ -98,17 +121,65 @@ class DistanceMatrix:
         """Update cached rows after an event moves (IEP location change).
 
         ``user_locations``/``event_locations`` must reflect the *new* state;
-        only the rows touching ``event`` are recomputed.
+        only the rows touching ``event`` are recomputed — as one vectorized
+        column assignment per block, matching how the full matrices are
+        built (``metric.cross``), not per-pair scalar calls.
         """
-        for i, user_loc in enumerate(user_locations):
-            self._user_event[i, event] = self._metric.distance(
-                user_loc, location
-            )
-        for j, event_loc in enumerate(event_locations):
-            d = (
-                self._metric.distance(event_loc, location)
-                if j != event
-                else 0.0
-            )
-            self._event_event[j, event] = d
-            self._event_event[event, j] = d
+        if user_locations:
+            self._user_event[:, event] = self._metric.cross(
+                user_locations, [location]
+            )[:, 0]
+        if event_locations:
+            column = self._metric.cross(event_locations, [location])[:, 0]
+            column[event] = 0.0
+            self._event_event[:, event] = column
+            self._event_event[event, :] = column
+
+    def with_event_location(
+        self,
+        event: int,
+        location: Point,
+        user_locations: Sequence[Point],
+        event_locations: Sequence[Point],
+    ) -> "DistanceMatrix":
+        """A patched copy for one moved event (the original is untouched).
+
+        This is the cache-preserving path of ``Instance.with_event``: the
+        unchanged ``(n - 1) x (m - 1)`` bulk is a memcpy instead of an
+        O(n * m) metric recompute.
+        """
+        clone = self.copy()
+        clone.replace_event_location(
+            event, location, user_locations, event_locations
+        )
+        return clone
+
+    def with_appended_event(
+        self,
+        location: Point,
+        user_locations: Sequence[Point],
+        event_locations: Sequence[Point],
+    ) -> "DistanceMatrix":
+        """An extended copy with one more event column (IEP ``NewEvent``).
+
+        ``event_locations`` are the *existing* venues (the new one is only
+        ``location``); all previously cached distances are carried over.
+        """
+        clone = object.__new__(DistanceMatrix)
+        clone._metric = self._metric
+        if user_locations:
+            new_user = self._metric.cross(user_locations, [location])
+        else:
+            new_user = np.zeros((0, 1))
+        clone._user_event = np.hstack([self._user_event, new_user])
+        if event_locations:
+            column = self._metric.cross(event_locations, [location])
+        else:
+            column = np.zeros((0, 1))
+        m = self._event_event.shape[0]
+        event_event = np.zeros((m + 1, m + 1))
+        event_event[:m, :m] = self._event_event
+        event_event[:m, m] = column[:, 0]
+        event_event[m, :m] = column[:, 0]
+        clone._event_event = event_event
+        return clone

@@ -1,12 +1,18 @@
 """Conflict structure over a set of event intervals.
 
-The solvers need three views of the conflict relation:
+The solvers need four views of the conflict relation:
 
 * a pairwise predicate (``conflicts``) for incremental checks,
 * a precomputed adjacency structure (``conflict_graph``) for the hot loops,
+* a dense boolean matrix (``conflict_matrix``) for the vectorized plan
+  kernel (``GlobalPlan.feasible_mask`` masks whole candidate rows at once),
 * summary statistics (``conflict_ratio``, used by the dataset generator to
   hit the paper's Table IV target of 0.25, and ``max_clique_upper_bound``,
   the ``maxCF`` quantity in the paper's complexity analysis).
+
+``patched_conflict_graph``/``patched_conflict_matrix`` rebuild only the one
+row/column an IEP ``TimeChange`` touches, sharing every untouched adjacency
+set with the source structure (read-only by convention).
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.timeline.interval import Interval
 
@@ -41,6 +48,70 @@ def conflict_graph(intervals: Sequence[Interval]) -> list[set[int]]:
             adjacency[j].add(k)
             adjacency[k].add(j)
     return adjacency
+
+
+def conflict_matrix(intervals: Sequence[Interval]) -> np.ndarray:
+    """Dense symmetric boolean conflict matrix over ``intervals``.
+
+    ``result[j, k]`` is ``True`` when events ``j`` and ``k`` (``j != k``)
+    conflict under the paper's rule (the earlier must end *strictly* before
+    the later starts).  Built with one vectorized comparison, O(m^2) but
+    branch-free; the diagonal is always ``False``.
+    """
+    m = len(intervals)
+    if m == 0:
+        return np.zeros((0, 0), dtype=bool)
+    starts = np.array([interval.start for interval in intervals])
+    ends = np.array([interval.end for interval in intervals])
+    # a conflicts b  <=>  not (a ends before b starts or b ends before a
+    # starts); this is symmetric, so one broadcast comparison suffices.
+    matrix = ~((ends[:, None] < starts[None, :]) | (ends[None, :] < starts[:, None]))
+    np.fill_diagonal(matrix, False)
+    return matrix
+
+
+def conflict_row(intervals: Sequence[Interval], event: int) -> np.ndarray:
+    """One event's boolean conflict row against all of ``intervals``."""
+    starts = np.array([interval.start for interval in intervals])
+    ends = np.array([interval.end for interval in intervals])
+    row = ~((ends[event] < starts) | (ends < starts[event]))
+    row[event] = False
+    return row
+
+
+def patched_conflict_graph(
+    adjacency: list[set[int]],
+    intervals: Sequence[Interval],
+    event: int,
+) -> list[set[int]]:
+    """``adjacency`` after ``event``'s interval changed, sharing structure.
+
+    ``intervals`` must reflect the *new* state.  Only the changed event's
+    set and the sets of events entering/leaving its neighbourhood are fresh
+    objects; all other rows are the same (never-mutated) set instances.
+    """
+    new_neighbours = set(np.flatnonzero(conflict_row(intervals, event)).tolist())
+    old_neighbours = adjacency[event]
+    patched = list(adjacency)
+    for k in old_neighbours - new_neighbours:
+        patched[k] = adjacency[k] - {event}
+    for k in new_neighbours - old_neighbours:
+        patched[k] = adjacency[k] | {event}
+    patched[event] = new_neighbours
+    return patched
+
+
+def patched_conflict_matrix(
+    matrix: np.ndarray,
+    intervals: Sequence[Interval],
+    event: int,
+) -> np.ndarray:
+    """A copy of ``matrix`` with ``event``'s row/column recomputed."""
+    row = conflict_row(intervals, event)
+    patched = matrix.copy()
+    patched[event, :] = row
+    patched[:, event] = row
+    return patched
 
 
 def conflict_ratio(intervals: Sequence[Interval]) -> float:

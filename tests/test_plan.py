@@ -75,8 +75,10 @@ class TestMutation:
         plan = GlobalPlan(paper_instance)
         plan.add(1, 3)
         pairs = dict(iter(plan))
-        assert pairs[1] == [3]
-        assert pairs[0] == []
+        # Plans iterate as immutable tuples straight off the internal lists
+        # (no copied per-user list objects).
+        assert pairs[1] == (3,)
+        assert pairs[0] == ()
 
 
 class TestCanAttend:

@@ -120,3 +120,165 @@ class TestCacheConsistency:
             events = plan.user_plan(user)
             starts = [instance.events[j].start for j in events]
             assert starts == sorted(starts)
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(mutation_sequences())
+    def test_attendee_index_matches_membership(self, case):
+        seed, steps = case
+        instance = make_instance(seed)
+        plan = GlobalPlan(instance)
+        for action, user, event in steps:
+            if action == "add" and not plan.contains(user, event):
+                plan.add(user, event)
+            elif action == "remove" and plan.contains(user, event):
+                plan.remove(user, event)
+            elif action == "clear":
+                plan.clear_event(event)
+        for event in range(instance.n_events):
+            expected = sorted(
+                user
+                for user in range(instance.n_users)
+                if event in plan.user_plan(user)
+            )
+            assert plan.attendees(event) == expected
+            for user in range(instance.n_users):
+                assert plan.contains(user, event) == (user in expected)
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(mutation_sequences())
+    def test_blocked_counters_match_recompute(self, case):
+        seed, steps = case
+        instance = make_instance(seed)
+        plan = GlobalPlan(instance)
+        # Materialise counter rows up front so the incremental +=/-=
+        # maintenance (not the lazy rebuild) is what gets verified.
+        for user in range(instance.n_users):
+            plan.blocked_counts(user)
+        for action, user, event in steps:
+            if action == "add" and not plan.contains(user, event):
+                plan.add(user, event)
+            elif action == "remove" and plan.contains(user, event):
+                plan.remove(user, event)
+            elif action == "clear":
+                plan.clear_event(event)
+        for user in range(instance.n_users):
+            assigned = plan.user_plan(user)
+            for event in range(instance.n_events):
+                expected = sum(
+                    1
+                    for other in assigned
+                    if other in instance.conflicts[event]
+                )
+                assert plan.conflict_count(user, event) == expected
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(mutation_sequences())
+    def test_kernel_matches_scalar_feasibility(self, case):
+        """feasible_mask / insertion_deltas == the per-event definitions."""
+        seed, steps = case
+        instance = make_instance(seed)
+        plan = GlobalPlan(instance)
+        for action, user, event in steps:
+            if action == "add" and not plan.contains(user, event):
+                plan.add(user, event)
+            elif action == "remove" and plan.contains(user, event):
+                plan.remove(user, event)
+            elif action == "clear":
+                plan.clear_event(event)
+        for user in range(instance.n_users):
+            deltas = plan.insertion_deltas(user)
+            mask = plan.feasible_mask(user)
+            assigned = plan.user_plan(user)
+            budget = instance.users[user].budget
+            for event in range(instance.n_events):
+                if event not in assigned:
+                    extended = instance.route_cost_with(
+                        user, assigned, event
+                    )
+                    assert plan.route_cost(user) + deltas[
+                        event
+                    ] == pytest.approx(extended)
+                conflict_free = not any(
+                    other in instance.conflicts[event] for other in assigned
+                )
+                expected = (
+                    instance.utility[user, event] > 0.0
+                    and event not in assigned
+                    and conflict_free
+                    and plan.route_cost(user) + float(deltas[event])
+                    <= budget + 1e-9
+                )
+                assert bool(mask[event]) == expected
+                # The scalar fallback (cold cache) must agree bit-for-bit
+                # with the vectorized row.
+                cold = plan.copy()
+                cold._kernel_cache.pop(user, None)
+                assert cold.can_attend(user, event) == expected
+
+
+class TestCachePreservation:
+    """The with_* functional updates must reuse (or patch) cached geometry
+    and conflict structures instead of rebuilding them."""
+
+    def test_time_change_preserves_distance_identity(self):
+        instance = make_instance(3)
+        distances = instance.distances
+        shifted = instance.with_event(2, interval=Interval(40.0, 41.0))
+        assert shifted._distances is distances
+        # Only the touched conflict row may differ from a fresh build.
+        fresh = Instance(shifted.users, shifted.events, shifted.utility)
+        for j in range(instance.n_events):
+            assert shifted.conflicts[j] == fresh.conflicts[j]
+        assert np.array_equal(shifted.conflict_matrix, fresh.conflict_matrix)
+
+    def test_budget_change_preserves_distance_identity(self):
+        instance = make_instance(4)
+        distances = instance.distances
+        conflicts = instance.conflicts
+        richer = instance.with_user(1, budget=instance.users[1].budget + 5.0)
+        assert richer._distances is distances
+        assert richer._conflicts is conflicts
+
+    def test_bound_change_preserves_everything(self):
+        instance = make_instance(5)
+        distances = instance.distances
+        conflicts = instance.conflicts
+        wider = instance.with_event(0, upper=instance.events[0].upper + 1)
+        assert wider._distances is distances
+        assert wider._conflicts is conflicts
+
+    def test_location_change_patches_distances_correctly(self):
+        instance = make_instance(6)
+        instance.distances  # materialise the cache that must get patched
+        moved = instance.with_event(3, location=Point(9.5, 0.5))
+        fresh = Instance(moved.users, moved.events, moved.utility)
+        np.testing.assert_allclose(
+            moved.distances.user_event_matrix,
+            fresh.distances.user_event_matrix,
+        )
+        np.testing.assert_allclose(
+            moved.distances.event_event_matrix,
+            fresh.distances.event_event_matrix,
+        )
+
+    def test_user_relocation_patches_distances_correctly(self):
+        instance = make_instance(7)
+        instance.distances
+        moved = instance.with_user(2, location=Point(0.25, 8.0))
+        fresh = Instance(moved.users, moved.events, moved.utility)
+        np.testing.assert_allclose(
+            moved.distances.user_event_matrix,
+            fresh.distances.user_event_matrix,
+        )
