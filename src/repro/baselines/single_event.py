@@ -22,6 +22,7 @@ from repro.core.gepc.base import (
 )
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 from repro.flow.graph import FlowNetwork
 from repro.flow.mincost import min_cost_flow
 
@@ -40,7 +41,7 @@ class SingleEventSolver(GEPCSolver):
             if instance.utility[user, event] > 0.0
             and 2.0 * instance.distances.user_event(user, event)
             + instance.cost_model.fee(event)
-            <= instance.users[user].budget + 1e-9
+            <= instance.users[user].budget + BUDGET_TOL
         ]
 
         if edges:

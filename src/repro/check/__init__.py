@@ -1,0 +1,49 @@
+"""Differential correctness harness for the incremental plan kernel.
+
+PR 2 made every hot path depend on incrementally maintained state:
+splice-delta route costs, per-event attendee indexes, lazy blocked-event
+counters, write-locked kernel rows, and identity-shared caches across the
+``with_*`` instance updates.  This package is the tooling that keeps that
+state honest:
+
+* :class:`InvariantAuditor` recomputes every cached quantity from scratch
+  and diffs it against the live caches, producing structured
+  :class:`CacheMismatch` reports;
+* :func:`shadow_checks` (or the ``REPRO_SHADOW_CHECKS`` env var) wraps
+  ``GlobalPlan.add``/``remove`` and ``IEPEngine.apply`` so every mutation
+  is audited as it happens;
+* :func:`run_fuzz` replays seeded random atomic-operation streams over
+  small Meetup instances and cross-checks the incremental IEP path
+  against a from-scratch rebuild, and the vectorized kernel against the
+  scalar fallbacks (surfaced as ``repro-gepc fuzz``).
+
+See ``docs/correctness.md`` for the full guide.
+"""
+
+from repro.check.auditor import AuditReport, CacheMismatch, InvariantAuditor
+from repro.check.fuzz import FuzzConfig, FuzzSummary, SeedReport, fuzz_seed, run_fuzz
+from repro.check.shadow import (
+    ENV_VAR,
+    ShadowCheckError,
+    ShadowStats,
+    maybe_shadow_checks,
+    shadow_checks,
+    shadow_checks_enabled,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "AuditReport",
+    "CacheMismatch",
+    "FuzzConfig",
+    "FuzzSummary",
+    "InvariantAuditor",
+    "SeedReport",
+    "ShadowCheckError",
+    "ShadowStats",
+    "fuzz_seed",
+    "maybe_shadow_checks",
+    "run_fuzz",
+    "shadow_checks",
+    "shadow_checks_enabled",
+]

@@ -1,0 +1,322 @@
+"""The deterministic differential fuzzer (``repro-gepc fuzz``).
+
+For each seed: generate a small synthetic Meetup instance, solve it with
+the greedy GEPC solver, then replay a seeded random atomic-operation
+stream through the incremental IEP engine.  After *every* operation:
+
+1. **Invariant audit** — every cached quantity (route costs, attendee
+   index, attendance, blocked counters, kernel rows, patched instance
+   caches) is recomputed from scratch and diffed against the live caches;
+2. **Differential vs. from-scratch rerun** — the incrementally maintained
+   instance+plan is rebuilt from raw data (``Instance.rebuilt()`` plus
+   re-adding every assignment to a fresh :class:`GlobalPlan`) and must
+   agree exactly on total utility and on the ``check_plan`` verdict — the
+   same cross-validation Re-Greedy/Re-GAP baselines provide at benchmark
+   scale, done exhaustively at fuzz scale;
+3. **Kernel vs. scalar** — the vectorized ``feasible_mask`` /
+   ``insertion_deltas`` rows are compared event-by-event against the
+   scalar ``can_attend`` / ``cost_with`` fallback on a cold cache;
+4. **Drift bounding** — per-user route-cost drift is measured against the
+   exact recompute and re-pinned via :meth:`GlobalPlan.repin_route_cost`
+   when it exceeds the re-pin tolerance.
+
+Everything is seeded: the same seed always replays the same instance and
+operation stream, so a CI failure reproduces locally with
+``repro-gepc fuzz --base-seed <seed> --seeds 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.check.auditor import AuditReport, CacheMismatch, InvariantAuditor
+from repro.core.constraints import check_plan
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.iep.engine import IEPEngine
+from repro.core.metrics import total_utility
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+from repro.core.tolerances import (
+    AUDIT_FLOAT_TOL,
+    BUDGET_TOL,
+    ROUTE_DRIFT_REPIN_TOL,
+)
+from repro.datasets.meetup import MeetupConfig, generate_ebsn
+from repro.obs import get_recorder
+from repro.platform.stream import OperationStream
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Shape of one fuzzing run (identical across seeds)."""
+
+    operations: int = 12
+    n_users: int = 24
+    n_events: int = 10
+    conflict_ratio: float = 0.35
+    # A NewEvent is injected every ``new_event_every`` steps so the
+    # with_new_event append path gets coverage (the mixed stream draws
+    # only in-place operations).
+    new_event_every: int = 5
+    float_tol: float = AUDIT_FLOAT_TOL
+    drift_tolerance: float = ROUTE_DRIFT_REPIN_TOL
+
+
+@dataclass
+class SeedReport:
+    """Everything observed while fuzzing one seed."""
+
+    seed: int
+    operations: int = 0
+    checks: int = 0
+    mismatches: list[CacheMismatch] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    max_drift: float = 0.0
+    repins: int = 0
+    total_dif: int = 0
+    final_utility: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+
+@dataclass
+class FuzzSummary:
+    """Aggregate over all fuzzed seeds."""
+
+    reports: list[SeedReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def seeds(self) -> int:
+        return len(self.reports)
+
+    @property
+    def operations(self) -> int:
+        return sum(report.operations for report in self.reports)
+
+    @property
+    def checks(self) -> int:
+        return sum(report.checks for report in self.reports)
+
+    @property
+    def mismatches(self) -> list[CacheMismatch]:
+        return [m for report in self.reports for m in report.mismatches]
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for report in self.reports for v in report.violations]
+
+    @property
+    def max_drift(self) -> float:
+        return max(
+            (report.max_drift for report in self.reports), default=0.0
+        )
+
+    @property
+    def repins(self) -> int:
+        return sum(report.repins for report in self.reports)
+
+    def failures(self) -> list[SeedReport]:
+        return [report for report in self.reports if not report.ok]
+
+
+def _rebuild_state(
+    instance: Instance, plan: GlobalPlan
+) -> tuple[Instance, GlobalPlan]:
+    """The from-scratch rerun baseline: same raw data, no carried caches."""
+    fresh_instance = instance.rebuilt()
+    fresh_plan = GlobalPlan(fresh_instance)
+    for user, events in plan:
+        for event in events:
+            fresh_plan.add(user, event)
+    return fresh_instance, fresh_plan
+
+
+def _check_differential(
+    instance: Instance,
+    plan: GlobalPlan,
+    step: int,
+    report: SeedReport,
+) -> None:
+    """Incremental state vs. a from-scratch rebuild of the same state."""
+    fresh_instance, fresh_plan = _rebuild_state(instance, plan)
+    report.checks += 2
+    incremental = total_utility(instance, plan)
+    rebuilt = total_utility(fresh_instance, fresh_plan)
+    if incremental != rebuilt:
+        report.mismatches.append(
+            CacheMismatch(
+                kind="differential_utility",
+                cached=incremental,
+                expected=rebuilt,
+                detail=f"step {step}: incremental vs from-scratch utility",
+            )
+        )
+    incremental_verdict = sorted(
+        str(v) for v in check_plan(instance, plan)
+    )
+    rebuilt_verdict = sorted(
+        str(v) for v in check_plan(fresh_instance, fresh_plan)
+    )
+    if incremental_verdict != rebuilt_verdict:
+        report.mismatches.append(
+            CacheMismatch(
+                kind="differential_feasibility",
+                cached=incremental_verdict,
+                expected=rebuilt_verdict,
+                detail=f"step {step}: check_plan verdicts diverge",
+            )
+        )
+
+
+def _check_kernel_vs_scalar(
+    instance: Instance,
+    plan: GlobalPlan,
+    step: int,
+    config: FuzzConfig,
+    report: SeedReport,
+) -> None:
+    """Vectorized kernel rows vs. the scalar cold-cache fallback."""
+    budget_of = [user.budget for user in instance.users]
+    for user in range(instance.n_users):
+        deltas = plan.insertion_deltas(user)
+        mask = plan.feasible_mask(user)
+        base = plan.route_cost(user)
+        # A copy with this user's kernel row evicted exercises the scalar
+        # O(k) fallback paths of can_attend/cost_with.
+        cold = plan.copy()
+        cold._kernel_cache.pop(user, None)
+        assigned = set(plan.user_plan(user))
+        for event in range(instance.n_events):
+            report.checks += 1
+            scalar_cost = cold.cost_with(user, event)
+            vector_cost = base + float(deltas[event])
+            if abs(scalar_cost - vector_cost) > config.float_tol:
+                report.mismatches.append(
+                    CacheMismatch(
+                        kind="kernel_vs_scalar_cost",
+                        cached=vector_cost,
+                        expected=scalar_cost,
+                        user=user,
+                        event=event,
+                        detail=f"step {step}: cost_with disagrees",
+                    )
+                )
+            if event in assigned:
+                continue
+            report.checks += 1
+            scalar_ok = cold.can_attend(user, event)
+            if scalar_ok != bool(mask[event]):
+                # Tolerate pure boundary jitter: both sides sit within the
+                # audit tolerance of the budget cut-off.
+                margin = scalar_cost - budget_of[user]
+                if abs(margin - BUDGET_TOL) <= config.float_tol:
+                    continue
+                report.mismatches.append(
+                    CacheMismatch(
+                        kind="kernel_vs_scalar_mask",
+                        cached=bool(mask[event]),
+                        expected=scalar_ok,
+                        user=user,
+                        event=event,
+                        detail=f"step {step}: can_attend disagrees",
+                    )
+                )
+
+
+def _measure_drift(
+    plan: GlobalPlan, config: FuzzConfig, report: SeedReport
+) -> None:
+    """Measure route-cost drift per user; re-pin when it exceeds the
+    tolerance (the production response to accumulated float error)."""
+    for user in range(plan.instance.n_users):
+        drift = abs(plan.repin_route_cost(user, config.drift_tolerance))
+        report.checks += 1
+        report.max_drift = max(report.max_drift, drift)
+        if drift > config.drift_tolerance:
+            report.repins += 1
+
+
+def fuzz_seed(seed: int, config: FuzzConfig | None = None) -> SeedReport:
+    """Fuzz one seed: solve, replay the operation stream, cross-check."""
+    config = config or FuzzConfig()
+    report = SeedReport(seed=seed)
+    instance = generate_ebsn(
+        MeetupConfig(
+            n_users=config.n_users,
+            n_events=config.n_events,
+            n_groups=4,
+            conflict_ratio=config.conflict_ratio,
+            seed=seed,
+        )
+    )
+    plan = GreedySolver(seed=seed).solve(instance).plan
+    engine = IEPEngine()
+    stream = OperationStream(seed=seed)
+    auditor = InvariantAuditor(float_tol=config.float_tol)
+
+    # The solved starting state must itself audit clean.
+    initial: AuditReport = auditor.audit(plan)
+    report.checks += initial.checks
+    report.mismatches.extend(initial.mismatches)
+
+    for step in range(config.operations):
+        if config.new_event_every and step % config.new_event_every == 2:
+            operation = stream.new_event(instance)
+        else:
+            operation = next(iter(stream.mixed(instance, plan, 1)))
+        result = engine.apply(instance, plan, operation)
+        instance, plan = result.instance, result.plan
+        report.operations += 1
+        report.total_dif += result.dif
+
+        audit = auditor.audit(plan)
+        report.checks += audit.checks
+        report.mismatches.extend(audit.mismatches)
+        for violation in check_plan(instance, plan):
+            report.violations.append(
+                f"step {step} ({type(operation).__name__}): {violation}"
+            )
+        _check_differential(instance, plan, step, report)
+        _measure_drift(plan, config, report)
+        _check_kernel_vs_scalar(instance, plan, step, config, report)
+
+    report.final_utility = total_utility(instance, plan)
+    return report
+
+
+def run_fuzz(
+    seeds: Iterable[int], config: FuzzConfig | None = None
+) -> FuzzSummary:
+    """Fuzz every seed and aggregate; emits ``repro.obs`` counters."""
+    obs = get_recorder()
+    config = config or FuzzConfig()
+    summary = FuzzSummary()
+    with obs.span("check.fuzz"):
+        for seed in seeds:
+            with obs.span("seed"):
+                report = fuzz_seed(seed, config)
+            summary.reports.append(report)
+            obs.count("check.fuzz.seeds")
+            obs.count("check.fuzz.operations", report.operations)
+            obs.count("check.fuzz.checks", report.checks)
+            obs.count("check.fuzz.mismatches", len(report.mismatches))
+            obs.count("check.fuzz.violations", len(report.violations))
+            obs.count("check.fuzz.repins", report.repins)
+    obs.gauge("check.fuzz.max_drift", summary.max_drift)
+    return summary
+
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzSummary",
+    "SeedReport",
+    "fuzz_seed",
+    "run_fuzz",
+]

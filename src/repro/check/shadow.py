@@ -1,0 +1,146 @@
+"""Shadow-checked mutations: audit the caches as they change.
+
+With shadow checks on, every ``GlobalPlan.add``/``remove`` triggers a
+cache audit of the touched user and event, and every ``IEPEngine.apply``
+triggers a full audit (instance caches included) plus a
+:func:`repro.core.constraints.check_plan` feasibility pass on the repaired
+result.  Mid-repair states are *expected* to violate constraints (that is
+what the repair is fixing), so ``check_plan`` runs only at the apply
+boundary; the cache invariants hold at every mutation and are checked at
+every mutation.
+
+Two ways to turn it on::
+
+    with shadow_checks() as stats:        # scoped, raises on mismatch
+        platform.submit(operation)
+
+    REPRO_SHADOW_CHECKS=1 repro-gepc simulate ...   # whole CLI run
+
+Shadow checks cost O(instance) per mutation — this is a debugging and CI
+tool, not a production mode.  Progress is visible through ``repro.obs``
+counters (``check.shadow.mutations``, ``check.shadow.applies``,
+``check.shadow.mismatches``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.check.auditor import CacheMismatch, InvariantAuditor
+from repro.core import plan as plan_module
+from repro.core.constraints import check_plan
+from repro.core.iep import engine as engine_module
+from repro.obs import get_recorder
+
+ENV_VAR = "REPRO_SHADOW_CHECKS"
+
+_FALSEY = {"", "0", "false", "no", "off"}
+
+
+class ShadowCheckError(AssertionError):
+    """A shadow-checked mutation left a cache inconsistent (or an apply
+    produced an infeasible plan)."""
+
+
+@dataclass
+class ShadowStats:
+    """What the shadow checker saw while it was installed."""
+
+    mutations: int = 0
+    applies: int = 0
+    checks: int = 0
+    mismatches: list[CacheMismatch] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+
+@contextmanager
+def shadow_checks(
+    raise_on_mismatch: bool = True,
+    auditor: InvariantAuditor | None = None,
+):
+    """Install mutation/apply shadow checks for the duration of the block.
+
+    Yields the live :class:`ShadowStats`.  With ``raise_on_mismatch=False``
+    mismatches are collected instead of raised (useful for surveying a
+    known-bad state).  Nesting is allowed; each level audits independently.
+    """
+    auditor = auditor or InvariantAuditor()
+    stats = ShadowStats()
+
+    def _record(problems: list, message: str) -> None:
+        get_recorder().count("check.shadow.mismatches", len(problems))
+        if raise_on_mismatch:
+            raise ShadowCheckError(message)
+
+    def on_mutation(plan, action: str, user: int, event: int) -> None:
+        obs = get_recorder()
+        stats.mutations += 1
+        obs.count("check.shadow.mutations")
+        report = auditor.audit(
+            plan, users=(user,), events=(event,), include_instance=False
+        )
+        stats.checks += report.checks
+        if report.mismatches:
+            stats.mismatches.extend(report.mismatches)
+            _record(
+                report.mismatches,
+                f"shadow check after {action}(user={user}, event={event}):\n"
+                + report.summary(),
+            )
+
+    def on_apply(result) -> None:
+        obs = get_recorder()
+        stats.applies += 1
+        obs.count("check.shadow.applies")
+        report = auditor.audit(result.plan)
+        stats.checks += report.checks
+        violations = check_plan(result.instance, result.plan)
+        operation = type(result.operation).__name__
+        if report.mismatches:
+            stats.mismatches.extend(report.mismatches)
+            _record(
+                report.mismatches,
+                f"shadow check after IEPEngine.apply({operation}):\n"
+                + report.summary(),
+            )
+        if violations:
+            rendered = [f"{operation}: {v}" for v in violations]
+            stats.violations.extend(rendered)
+            _record(
+                rendered,
+                f"IEPEngine.apply({operation}) returned an infeasible plan: "
+                + "; ".join(str(v) for v in violations),
+            )
+
+    plan_module._MUTATION_HOOKS.append(on_mutation)
+    engine_module._APPLY_HOOKS.append(on_apply)
+    try:
+        yield stats
+    finally:
+        plan_module._MUTATION_HOOKS.remove(on_mutation)
+        engine_module._APPLY_HOOKS.remove(on_apply)
+
+
+def shadow_checks_enabled(environ: Mapping[str, str] | None = None) -> bool:
+    """Whether ``REPRO_SHADOW_CHECKS`` asks for shadow mode."""
+    env = os.environ if environ is None else environ
+    return env.get(ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+def maybe_shadow_checks(environ: Mapping[str, str] | None = None):
+    """``shadow_checks()`` if the env var is set, else a no-op context.
+
+    The CLI entry point wraps every subcommand in this, which is how
+    ``REPRO_SHADOW_CHECKS=1 repro-gepc ...`` turns the whole run into a
+    shadow-checked one.
+    """
+    if shadow_checks_enabled(environ):
+        return shadow_checks()
+    return nullcontext(None)

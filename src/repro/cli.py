@@ -9,10 +9,14 @@ Installed as ``repro-gepc``::
     repro-gepc export --city beijing --out /tmp/beijing
     repro-gepc simulate --city auckland --scale 0.5 --operations 20
     repro-gepc replay /tmp/beijing /tmp/workload.json
+    repro-gepc fuzz --seeds 25 --operations 12
 
 Every command accepts ``--trace`` (per-phase timing/counter table on
 stderr) and ``--trace-json PATH`` (machine-readable recorder snapshot);
-see ``docs/observability.md``.
+see ``docs/observability.md``.  Setting ``REPRO_SHADOW_CHECKS=1`` runs
+any command with shadow-checked mutations (every plan mutation and IEP
+apply is audited against a from-scratch recompute; see
+``docs/correctness.md``).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import sys
 
 from repro.bench.harness import measure
 from repro.bench.tables import format_table
+from repro.check import FuzzConfig, maybe_shadow_checks, run_fuzz
 from repro.core.constraints import check_plan
 from repro.core.gepc import GAPBasedSolver, GreedySolver
 from repro.core.model import InstanceStats
@@ -182,6 +187,46 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if not violations else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    config = FuzzConfig(
+        operations=args.operations,
+        n_users=args.users,
+        n_events=args.events,
+    )
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    summary = run_fuzz(seeds, config)
+    print(
+        format_table(
+            f"Differential fuzz: seeds {seeds.start}..{seeds.stop - 1}",
+            [
+                "seeds", "operations", "checks", "mismatches",
+                "violations", "max drift", "repins",
+            ],
+            [[
+                summary.seeds,
+                summary.operations,
+                summary.checks,
+                len(summary.mismatches),
+                len(summary.violations),
+                summary.max_drift,
+                summary.repins,
+            ]],
+        )
+    )
+    for report in summary.failures():
+        print(f"seed {report.seed} FAILED:", file=sys.stderr)
+        for mismatch in report.mismatches[:10]:
+            print(f"  {mismatch}", file=sys.stderr)
+        for violation in report.violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            f"  reproduce: repro-gepc fuzz --base-seed {report.seed} "
+            f"--seeds 1 --operations {report.operations}",
+            file=sys.stderr,
+        )
+    return 0 if summary.ok else 1
+
+
 def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--trace",
@@ -243,6 +288,34 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=0)
     _add_trace_arguments(replay)
     replay.set_defaults(handler=_cmd_replay)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzz of the incremental kernel "
+        "(see docs/correctness.md)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25,
+        help="number of consecutive seeds to fuzz (default 25)",
+    )
+    fuzz.add_argument(
+        "--base-seed", type=int, default=0,
+        help="first seed of the range (default 0)",
+    )
+    fuzz.add_argument(
+        "--operations", type=int, default=12,
+        help="atomic operations replayed per seed (default 12)",
+    )
+    fuzz.add_argument(
+        "--users", type=int, default=24,
+        help="users per fuzz instance (default 24)",
+    )
+    fuzz.add_argument(
+        "--events", type=int, default=10,
+        help="events per fuzz instance (default 10)",
+    )
+    _add_trace_arguments(fuzz)
+    fuzz.set_defaults(handler=_cmd_fuzz)
     return parser
 
 
@@ -251,8 +324,9 @@ def main(argv: list[str] | None = None) -> int:
     trace = getattr(args, "trace", False)
     trace_json = getattr(args, "trace_json", None)
     if not trace and trace_json is None:
-        return args.handler(args)
-    with recording() as recorder:
+        with maybe_shadow_checks():
+            return args.handler(args)
+    with recording() as recorder, maybe_shadow_checks():
         code = args.handler(args)
     if trace:
         print(

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.model import Instance
+from repro.core.tolerances import BUDGET_TOL
 from repro.timeline.conflicts import max_clique_upper_bound
 
 
@@ -34,7 +35,7 @@ def reachable_events(instance: Instance, user: int) -> int:
     for event in range(instance.n_events):
         cost = 2.0 * instance.distances.user_event(user, event)
         cost += instance.cost_model.fee(event)
-        if cost <= budget + 1e-9:
+        if cost <= budget + BUDGET_TOL:
             count += 1
     return count
 

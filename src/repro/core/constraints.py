@@ -15,8 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
-
-_BUDGET_TOL = 1e-6
+from repro.core.tolerances import BUDGET_TOL
 
 
 class ViolationKind(enum.Enum):
@@ -98,7 +97,7 @@ def _check_users(
                 )
         cost = instance.route_cost(user, events)
         budget = instance.users[user].budget
-        if cost > budget + _BUDGET_TOL:
+        if cost > budget + BUDGET_TOL:
             violations.append(
                 ConstraintViolation(
                     ViolationKind.BUDGET_EXCEEDED,

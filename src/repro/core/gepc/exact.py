@@ -22,6 +22,7 @@ from itertools import combinations
 from repro.core.gepc.base import GEPCSolution, GEPCSolver
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 
 _MAX_STATES = 2_000_000
 
@@ -118,7 +119,7 @@ class ExactSolver(GEPCSolver):
                 if ExactSolver._has_conflict(instance, subset):
                     continue
                 cost = instance.route_cost(user, list(subset))
-                if cost > instance.users[user].budget + 1e-9:
+                if cost > instance.users[user].budget + BUDGET_TOL:
                     continue
                 gain = float(
                     sum(instance.utility[user, j] for j in subset)

@@ -32,9 +32,8 @@ from repro.core.gepc.base import (
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL as _BUDGET_TOL
 from repro.obs import get_recorder
-
-_BUDGET_TOL = 1e-9
 
 
 class GAPBasedSolver(GEPCSolver):

@@ -30,6 +30,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from repro.core.gepc.base import GEPCSolution, GEPCSolver
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 
 _MAX_COLUMNS = 200_000
 
@@ -138,7 +139,7 @@ class ILPSolver(GEPCSolver):
                 if self._has_conflict(instance, subset):
                     continue
                 cost = instance.route_cost(user, list(subset))
-                if cost > instance.users[user].budget + 1e-9:
+                if cost > instance.users[user].budget + BUDGET_TOL:
                     continue
                 any_feasible = True
                 gain = float(

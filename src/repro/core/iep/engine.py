@@ -36,6 +36,11 @@ from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
 from repro.obs import get_recorder
 
+# Post-apply observers installed by repro.check.shadow (empty in normal
+# operation).  Each hook is called as ``hook(result)`` after a repair
+# completes, before the result is returned to the caller.
+_APPLY_HOOKS: list = []
+
 
 @dataclass
 class IEPResult:
@@ -76,13 +81,17 @@ class IEPEngine:
         obs.count(f"iep.operations.{kind}")
         for key, value in diagnostics.items():
             obs.count(f"iep.repair.{key}", value)
-        return IEPResult(
+        result = IEPResult(
             instance=new_instance,
             plan=new_plan,
             operation=operation,
             dif=dif_metric(plan, new_plan),
             diagnostics=diagnostics,
         )
+        if _APPLY_HOOKS:
+            for hook in _APPLY_HOOKS:
+                hook(result)
+        return result
 
     def apply_sequence(
         self,

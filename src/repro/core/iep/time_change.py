@@ -21,9 +21,8 @@ from repro.core.gepc.fill import UtilityFill
 from repro.core.iep.xi_increase import _free_additions, raise_attendance
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL as _BUDGET_TOL
 from repro.obs import get_recorder
-
-_BUDGET_TOL = 1e-9
 
 
 def time_change(

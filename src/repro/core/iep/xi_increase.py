@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 from repro.obs import get_recorder
 
 
@@ -193,4 +194,4 @@ def _swap_feasible(
     if blocked > 0:
         return False
     cost = plan.swap_cost(user, donor, event)
-    return cost <= instance.users[user].budget + 1e-9
+    return cost <= instance.users[user].budget + BUDGET_TOL

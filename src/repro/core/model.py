@@ -231,6 +231,19 @@ class Instance:
                 self._fee_vector = np.asarray(self.cost_model.fees, dtype=float)
         return self._fee_vector
 
+    def rebuilt(self) -> "Instance":
+        """A fresh instance over the same data with *no* carried caches.
+
+        The ``with_*`` functional updates patch or identity-share cached
+        distances and conflict structures; ``rebuilt()`` is the ground-truth
+        reference against which those patched caches are audited (see
+        :mod:`repro.check`).  Every lazy structure of the result is built
+        from the raw users/events/utility on first access.
+        """
+        return Instance(
+            list(self.users), list(self.events), self.utility, self.cost_model
+        )
+
     def conflict_ratio(self) -> float:
         """Fraction of events with at least one conflict (Table IV stat)."""
         return conflict_ratio([e.interval for e in self.events])

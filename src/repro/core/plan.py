@@ -28,8 +28,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.model import Instance
+from repro.core.tolerances import BUDGET_TOL, ROUTE_DRIFT_REPIN_TOL
 
-_BUDGET_TOL = 1e-9
+# Mutation observers installed by repro.check.shadow (empty in normal
+# operation: the guard is one truthiness test per add/remove).  Each hook
+# is called as ``hook(plan, action, user, event)`` after the mutation.
+_MUTATION_HOOKS: list = []
 
 
 class GlobalPlan:
@@ -122,6 +126,9 @@ class GlobalPlan:
         self._attendee_sets[event].add(user)
         self._route_costs[user] += delta
         self._touch(user, event, +1)
+        if _MUTATION_HOOKS:
+            for hook in _MUTATION_HOOKS:
+                hook(self, "add", user, event)
 
     def remove(self, user: int, event: int) -> None:
         """Drop ``event`` from ``user``'s plan (splice-delta route update)."""
@@ -140,6 +147,9 @@ class GlobalPlan:
         else:
             self._route_costs[user] = 0.0  # pin to exact zero (no drift)
         self._touch(user, event, -1)
+        if _MUTATION_HOOKS:
+            for hook in _MUTATION_HOOKS:
+                hook(self, "remove", user, event)
 
     def clear_event(self, event: int) -> list[int]:
         """Remove ``event`` from every plan (event cancelled).
@@ -318,7 +328,7 @@ class GlobalPlan:
         mask &= self.blocked_counts(user) == 0
         budget = instance.users[user].budget
         mask &= (
-            self._route_costs[user] + deltas <= budget + _BUDGET_TOL
+            self._route_costs[user] + deltas <= budget + BUDGET_TOL
         )
         if plan:
             mask[plan] = False
@@ -358,7 +368,7 @@ class GlobalPlan:
                 return False
         _, delta = self._splice(user, self._plans[user], event)
         budget = instance.users[user].budget
-        return self._route_costs[user] + delta <= budget + _BUDGET_TOL
+        return self._route_costs[user] + delta <= budget + BUDGET_TOL
 
     def cost_with(self, user: int, event: int) -> float:
         """Route cost of ``user``'s plan if ``event`` were added."""
@@ -378,6 +388,25 @@ class GlobalPlan:
         rest = plan[:position] + plan[position + 1 :]
         _, insertion = self._splice(user, rest, in_event)
         return self._route_costs[user] + removal + insertion
+
+    def repin_route_cost(
+        self, user: int, tolerance: float = ROUTE_DRIFT_REPIN_TOL
+    ) -> float:
+        """Re-pin ``user``'s cached route cost to an exact recompute.
+
+        The splice-delta maintenance accumulates float error over long
+        mutation streams; this measures the drift (cached minus exact) and,
+        when it exceeds ``tolerance``, replaces the cached value with the
+        exact recompute and drops the user's kernel row (its deltas were
+        built against the drifted base).  Returns the measured drift so
+        callers (the fuzzer, the auditor) can track the worst case.
+        """
+        exact = self.instance.route_cost(user, self._plans[user])
+        drift = self._route_costs[user] - exact
+        if abs(drift) > tolerance:
+            self._route_costs[user] = exact
+            self._kernel_cache.pop(user, None)
+        return drift
 
     # ------------------------------------------------------------------ #
     # Copies and rebinding

@@ -25,8 +25,7 @@ from __future__ import annotations
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
-
-_BUDGET_TOL = 1e-9
+from repro.core.tolerances import BUDGET_TOL as _BUDGET_TOL
 
 
 def sanitize_plan(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.auditor import InvariantAuditor
 from repro.core.constraints import check_plan
 from repro.core.gepc.base import GEPCSolver
 from repro.core.gepc.greedy import GreedySolver
@@ -50,6 +51,10 @@ class EBSNPlatform:
         self._engine = IEPEngine()
         self._plan: GlobalPlan | None = None
         self._log: list[PlatformLogEntry] = []
+        # Running total utility of the current plan, maintained across
+        # publish/submit so `submit` never recomputes the full objective
+        # just to fill `utility_before`.
+        self._last_utility: float | None = None
 
     # ------------------------------------------------------------------ #
     # State
@@ -84,6 +89,7 @@ class EBSNPlatform:
             solution = self._solver.solve(self._instance)
         self._plan = solution.plan
         utility = total_utility(self._instance, self._plan)
+        self._last_utility = utility
         obs.gauge("platform.published_utility", utility)
         return utility
 
@@ -101,28 +107,45 @@ class EBSNPlatform:
         # Timings must reach the log even with tracing off: fall back to a
         # detached local recorder, whose span still measures wall clock.
         timer = obs if obs.enabled else Recorder()
-        before = total_utility(self._instance, self.plan)
+        # `utility_before` is by definition the previous entry's
+        # `utility_after` (state only changes through publish/submit), so
+        # carry it forward instead of recomputing the full objective; the
+        # one full computation happens on the first submit of a plan that
+        # was installed without going through publish_plans().
+        if self._last_utility is None:
+            self._last_utility = total_utility(self._instance, self.plan)
+        before = self._last_utility
         span = timer.span("platform.submit")
         with span:
             result = self._engine.apply(self._instance, self.plan, operation)
         self._instance = result.instance
         self._plan = result.plan
+        after = result.utility
+        self._last_utility = after
         obs.count("platform.operations")
         entry = PlatformLogEntry(
             operation=operation,
             dif=result.dif,
             utility_before=before,
-            utility_after=result.utility,
+            utility_after=after,
             seconds=span.elapsed,
         )
         self._log.append(entry)
         return entry
 
-    def audit(self) -> dict[str, float]:
+    def audit(self, deep: bool = False) -> dict[str, float]:
         """Service health numbers: current utility, cumulative impact, and
-        a feasibility self-check (0 violations expected)."""
+        a feasibility self-check (0 violations expected).
+
+        ``deep=True`` additionally runs the :class:`InvariantAuditor` —
+        every incrementally maintained cache (route costs, attendee index,
+        blocked counters, kernel rows, patched instance caches) is
+        recomputed from scratch and diffed, reported as
+        ``cache_mismatches``/``cache_checks``.  The deep audit rebuilds
+        the instance's caches, so keep it off hot paths.
+        """
         violations = check_plan(self._instance, self.plan)
-        return {
+        numbers = {
             "utility": total_utility(self._instance, self.plan),
             "total_dif": float(sum(entry.dif for entry in self._log)),
             "operations": float(len(self._log)),
@@ -131,3 +154,8 @@ class EBSNPlatform:
                 sum(entry.seconds for entry in self._log)
             ),
         }
+        if deep:
+            report = InvariantAuditor().audit(self.plan)
+            numbers["cache_checks"] = float(report.checks)
+            numbers["cache_mismatches"] = float(len(report.mismatches))
+        return numbers

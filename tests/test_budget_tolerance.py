@@ -1,0 +1,104 @@
+"""Regression tests for the unified budget tolerance.
+
+Historically the feasibility checker allowed ``cost <= budget + 1e-6``
+while the kernel and scalar ``can_attend`` used ``1e-9``: an assignment
+sitting between the two slacks was builder-infeasible yet
+checker-feasible (or, after a float wobble, the reverse).  Every budget
+comparison now shares :data:`repro.core.tolerances.BUDGET_TOL`, so
+builder-feasible implies checker-feasible by construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import ViolationKind, check_plan
+from repro.core.model import Event, Instance, User
+from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
+from repro.geo.point import Point
+from repro.timeline.interval import Interval
+
+
+def instance_with_budget(budget: float) -> Instance:
+    """One user, one event, a 3-4-5 triangle away, with ``budget``."""
+    user = User(0, Point(0.0, 0.0), budget)
+    event = Event(0, Point(3.0, 4.0), 0, 5, Interval(10.0, 11.0))
+    return Instance([user], [event], np.array([[1.0]]))
+
+
+def attend_cost() -> float:
+    """Exact cost of the single-event plan under the default cost model."""
+    probe = instance_with_budget(1e9)
+    return probe.route_cost_with(0, [], 0)
+
+
+class TestBudgetBoundary:
+    def test_cost_just_inside_tolerance_is_feasible_everywhere(self):
+        cost = attend_cost()
+        instance = instance_with_budget(cost - BUDGET_TOL / 2)
+        plan = GlobalPlan(instance)
+        # Scalar path (no kernel row yet), then the vectorized row.
+        assert plan.can_attend(0, 0)
+        assert bool(plan.feasible_mask(0)[0])
+        assert plan.can_attend(0, 0)
+        # The checker must agree with the builder: adding a
+        # builder-feasible assignment never trips BUDGET_EXCEEDED.
+        plan.add(0, 0)
+        kinds = {v.kind for v in check_plan(instance, plan)}
+        assert ViolationKind.BUDGET_EXCEEDED not in kinds
+
+    def test_cost_clearly_over_tolerance_is_infeasible_everywhere(self):
+        cost = attend_cost()
+        instance = instance_with_budget(cost - 3 * BUDGET_TOL)
+        plan = GlobalPlan(instance)
+        assert not plan.can_attend(0, 0)
+        assert not bool(plan.feasible_mask(0)[0])
+        plan.add(0, 0)  # force it in anyway
+        kinds = {v.kind for v in check_plan(instance, plan)}
+        assert ViolationKind.BUDGET_EXCEEDED in kinds
+
+    def test_exact_budget_is_feasible(self):
+        cost = attend_cost()
+        instance = instance_with_budget(cost)
+        plan = GlobalPlan(instance)
+        assert plan.can_attend(0, 0)
+        plan.add(0, 0)
+        assert check_plan(instance, plan) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_builder_feasible_implies_checker_feasible(self, seed):
+        """Property: any kernel-feasible add passes check_plan's budget
+        constraint — the invariant the unified tolerance guarantees."""
+        rng = np.random.default_rng(seed)
+        n, m = 6, 7
+        users = [
+            User(i, Point(*rng.uniform(0, 10, 2)), float(rng.uniform(3, 12)))
+            for i in range(n)
+        ]
+        events = []
+        for j in range(m):
+            start = float(rng.uniform(0, 40))
+            events.append(
+                Event(
+                    j,
+                    Point(*rng.uniform(0, 10, 2)),
+                    0,
+                    n,
+                    Interval(start, start + float(rng.uniform(0.5, 2.0))),
+                )
+            )
+        instance = Instance(users, events, rng.uniform(0.01, 1.0, (n, m)))
+        plan = GlobalPlan(instance)
+        for _ in range(25):
+            user = int(rng.integers(n))
+            mask = plan.feasible_mask(user)
+            feasible = [j for j in range(m) if mask[j]]
+            if not feasible:
+                continue
+            plan.add(user, feasible[int(rng.integers(len(feasible)))])
+            budget_violations = [
+                v
+                for v in check_plan(instance, plan, enforce_lower=False)
+                if v.kind is ViolationKind.BUDGET_EXCEEDED
+            ]
+            assert budget_violations == []

@@ -1,0 +1,118 @@
+"""Differential fuzzer: seeded streams are clean, deterministic, and the
+CLI gate exits by the summary verdict."""
+
+import pytest
+
+from repro.check import FuzzConfig, fuzz_seed, run_fuzz
+from repro.core.tolerances import AUDIT_FLOAT_TOL
+from repro.obs import recording
+
+FAST = FuzzConfig(operations=6, n_users=16, n_events=8)
+
+
+class TestFuzzSeeds:
+    def test_seeded_stream_is_clean(self):
+        report = fuzz_seed(0, FAST)
+        assert report.ok, report.mismatches or report.violations
+        assert report.operations == FAST.operations
+        assert report.checks > 0
+        assert report.final_utility > 0
+
+    def test_fuzz_is_deterministic(self):
+        first = fuzz_seed(1, FAST)
+        second = fuzz_seed(1, FAST)
+        assert first.final_utility == second.final_utility
+        assert first.total_dif == second.total_dif
+        assert first.checks == second.checks
+        assert first.max_drift == second.max_drift
+
+    def test_run_fuzz_aggregates_and_counts(self):
+        with recording() as recorder:
+            summary = run_fuzz(range(3), FAST)
+        assert summary.ok
+        assert summary.seeds == 3
+        assert summary.operations == 3 * FAST.operations
+        assert summary.checks == sum(r.checks for r in summary.reports)
+        assert summary.failures() == []
+        assert recorder.counter_value("check.fuzz.seeds") == 3.0
+        assert recorder.counter_value("check.fuzz.mismatches") == 0.0
+        assert recorder.gauges["check.fuzz.max_drift"] == summary.max_drift
+
+    def test_drift_stays_bounded_over_long_streams(self):
+        # Satellite: accumulated splice deltas must stay within the audit
+        # tolerance over IEP streams several times the CI length (the
+        # re-pin machinery records any excursion as a repin).
+        config = FuzzConfig(operations=30, n_users=16, n_events=8)
+        report = fuzz_seed(7, config)
+        assert report.ok
+        assert report.max_drift < AUDIT_FLOAT_TOL
+        assert report.repins == 0
+
+
+class TestFuzzCLI:
+    def test_fuzz_subcommand_passes(self, capsys):
+        from repro import cli
+
+        code = cli.main(
+            [
+                "fuzz", "--seeds", "2", "--operations", "4",
+                "--users", "16", "--events", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Differential fuzz" in out
+        assert "mismatches" in out
+
+    def test_fuzz_subcommand_fails_on_mismatch(self, capsys, monkeypatch):
+        from repro import cli
+
+        def sabotaged(seeds, config=None):
+            summary = run_fuzz(seeds, config)
+            summary.reports[0].violations.append("injected failure")
+            return summary
+
+        monkeypatch.setattr(cli, "run_fuzz", sabotaged)
+        code = cli.main(
+            ["fuzz", "--seeds", "1", "--operations", "4",
+             "--users", "16", "--events", "8"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "reproduce: repro-gepc fuzz --base-seed 0" in err
+
+
+class TestRepin:
+    def test_repin_restores_exact_route_cost(self):
+        from repro.core.gepc.greedy import GreedySolver
+        from repro.datasets.meetup import MeetupConfig, generate_ebsn
+
+        instance = generate_ebsn(
+            MeetupConfig(n_users=16, n_events=8, n_groups=4, seed=2)
+        )
+        plan = GreedySolver(seed=2).solve(instance).plan
+        user = next(u for u, events in plan if events)
+        exact = instance.route_cost(user, plan.user_plan(user))
+        plan._route_costs[user] = exact + 1e-3
+        plan.feasible_mask(user)  # materialise a kernel row to invalidate
+        drift = plan.repin_route_cost(user)
+        assert drift == pytest.approx(1e-3)
+        assert plan.route_cost(user) == exact
+        assert user not in plan._kernel_cache  # stale row dropped
+
+    def test_repin_leaves_healthy_cache_alone(self):
+        from repro.core.gepc.greedy import GreedySolver
+        from repro.datasets.meetup import MeetupConfig, generate_ebsn
+
+        instance = generate_ebsn(
+            MeetupConfig(n_users=16, n_events=8, n_groups=4, seed=2)
+        )
+        plan = GreedySolver(seed=2).solve(instance).plan
+        user = next(u for u, events in plan if events)
+        cached = plan.route_cost(user)
+        plan.feasible_mask(user)
+        drift = plan.repin_route_cost(user)
+        assert abs(drift) < AUDIT_FLOAT_TOL
+        assert plan.route_cost(user) == cached  # untouched below tolerance
+        assert user in plan._kernel_cache  # kernel row survives

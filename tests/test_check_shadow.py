@@ -1,0 +1,117 @@
+"""Shadow-checked mutations: healthy flows pass, corruption raises, and
+the env-var wiring installs the hooks."""
+
+import pytest
+
+from repro.check import (
+    ENV_VAR,
+    ShadowCheckError,
+    maybe_shadow_checks,
+    shadow_checks,
+    shadow_checks_enabled,
+)
+from repro.core import plan as plan_module
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.iep import engine as engine_module
+from repro.datasets.meetup import MeetupConfig, generate_ebsn
+from repro.obs import recording
+from repro.platform import EBSNPlatform, OperationStream
+
+
+@pytest.fixture()
+def platform():
+    instance = generate_ebsn(
+        MeetupConfig(n_users=24, n_events=12, n_groups=4, seed=0)
+    )
+    return EBSNPlatform(instance, solver=GreedySolver(seed=0))
+
+
+class TestShadowChecks:
+    def test_healthy_platform_flow_passes(self, platform):
+        with shadow_checks() as stats:
+            platform.publish_plans()
+            stream = OperationStream(seed=0)
+            for _ in range(4):
+                operation = next(
+                    iter(stream.mixed(platform.instance, platform.plan, 1))
+                )
+                platform.submit(operation)
+        assert stats.ok
+        assert stats.mutations > 0
+        assert stats.applies == 4
+        assert stats.checks > 0
+
+    def test_hooks_are_removed_on_exit(self, platform):
+        before_mutation = len(plan_module._MUTATION_HOOKS)
+        before_apply = len(engine_module._APPLY_HOOKS)
+        with shadow_checks():
+            assert len(plan_module._MUTATION_HOOKS) == before_mutation + 1
+            assert len(engine_module._APPLY_HOOKS) == before_apply + 1
+        assert len(plan_module._MUTATION_HOOKS) == before_mutation
+        assert len(engine_module._APPLY_HOOKS) == before_apply
+
+    def test_corruption_raises_on_next_mutation(self, platform):
+        platform.publish_plans()
+        plan = platform.plan
+        user = next(u for u, events in plan if len(events) >= 2)
+        victim = plan.user_plan(user)[0]
+        plan._route_costs[user] += 1.0
+        with pytest.raises(ShadowCheckError, match="route_cost"):
+            with shadow_checks():
+                plan.remove(user, victim)
+
+    def test_collect_mode_records_instead_of_raising(self, platform):
+        platform.publish_plans()
+        plan = platform.plan
+        user = next(u for u, events in plan if len(events) >= 2)
+        victim = plan.user_plan(user)[0]
+        plan._route_costs[user] += 1.0
+        with shadow_checks(raise_on_mismatch=False) as stats:
+            plan.remove(user, victim)
+        assert not stats.ok
+        assert any(m.kind == "route_cost" for m in stats.mismatches)
+
+    def test_obs_counters_emitted(self, platform):
+        with recording() as recorder:
+            with shadow_checks():
+                platform.publish_plans()
+                stream = OperationStream(seed=1)
+                operation = next(
+                    iter(stream.mixed(platform.instance, platform.plan, 1))
+                )
+                platform.submit(operation)
+        assert recorder.counter_value("check.shadow.mutations") > 0
+        assert recorder.counter_value("check.shadow.applies") == 1.0
+        assert recorder.counter_value("check.shadow.mismatches") == 0.0
+
+
+class TestEnvWiring:
+    def test_enabled_parsing(self):
+        assert not shadow_checks_enabled({})
+        assert not shadow_checks_enabled({ENV_VAR: ""})
+        assert not shadow_checks_enabled({ENV_VAR: "0"})
+        assert not shadow_checks_enabled({ENV_VAR: "false"})
+        assert not shadow_checks_enabled({ENV_VAR: "off"})
+        assert shadow_checks_enabled({ENV_VAR: "1"})
+        assert shadow_checks_enabled({ENV_VAR: "true"})
+
+    def test_maybe_shadow_checks_installs_hooks_only_when_set(self):
+        before = len(plan_module._MUTATION_HOOKS)
+        with maybe_shadow_checks({}):
+            assert len(plan_module._MUTATION_HOOKS) == before
+        with maybe_shadow_checks({ENV_VAR: "1"}):
+            assert len(plan_module._MUTATION_HOOKS) == before + 1
+        assert len(plan_module._MUTATION_HOOKS) == before
+
+    def test_cli_honours_env_var(self, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setenv(ENV_VAR, "1")
+        code = cli.main(
+            [
+                "simulate", "--city", "beijing", "--scale", "0.05",
+                "--operations", "2",
+            ]
+        )
+        assert code == 0
+        assert "audit" in capsys.readouterr().out.lower()

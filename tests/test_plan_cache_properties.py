@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core.model import Event, Instance, User
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 from repro.geo.point import Point
 from repro.timeline.interval import Interval
 
@@ -218,7 +219,7 @@ class TestCacheConsistency:
                     and event not in assigned
                     and conflict_free
                     and plan.route_cost(user) + float(deltas[event])
-                    <= budget + 1e-9
+                    <= budget + BUDGET_TOL
                 )
                 assert bool(mask[event]) == expected
                 # The scalar fallback (cold cache) must agree bit-for-bit

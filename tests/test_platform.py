@@ -71,6 +71,45 @@ class TestPlatform:
         assert audit["violations"] == 0.0
         assert audit["operations"] == 15.0
 
+    def test_utility_before_carries_forward(self, paper_instance):
+        # Regression: `submit` used to recompute the full objective just to
+        # fill utility_before; it now carries the previous entry's
+        # utility_after forward.  The log must be unchanged by that.
+        from repro.core.metrics import total_utility
+
+        platform = EBSNPlatform(paper_instance, solver=GreedySolver(seed=0))
+        published = platform.publish_plans()
+        first = platform.submit(EtaDecrease(3, 2))
+        assert first.utility_before == published
+        expected_before = total_utility(platform.instance, platform.plan)
+        second = platform.submit(EtaDecrease(3, 1))
+        assert second.utility_before == first.utility_after
+        assert second.utility_before == expected_before
+        assert second.utility_after == total_utility(
+            platform.instance, platform.plan
+        )
+
+    def test_utility_before_falls_back_without_publish(self, paper_instance):
+        # A plan installed without going through publish_plans() still gets
+        # a correct utility_before via one full computation.
+        from repro.core.metrics import total_utility
+
+        platform = EBSNPlatform(paper_instance)
+        solution = GreedySolver(seed=0).solve(paper_instance)
+        platform._plan = solution.plan
+        expected = total_utility(paper_instance, solution.plan)
+        entry = platform.submit(EtaDecrease(3, 2))
+        assert entry.utility_before == expected
+
+    def test_deep_audit_reports_cache_checks(self, paper_instance):
+        platform = EBSNPlatform(paper_instance, solver=GreedySolver(seed=0))
+        platform.publish_plans()
+        shallow = platform.audit()
+        assert "cache_checks" not in shallow
+        deep = platform.audit(deep=True)
+        assert deep["cache_checks"] > 0
+        assert deep["cache_mismatches"] == 0.0
+
     def test_custom_solver_used(self, paper_instance):
         class Probe(GreedySolver):
             called = False
