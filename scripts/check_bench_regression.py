@@ -20,6 +20,18 @@ Checks, per baseline entry (matched by ``solver`` name):
   report entries are reported but allowed (new benchmarks land before
   their baseline does).
 
+Cross-entry gates (compare two entries of the *report*, so they hold on
+any machine regardless of absolute baseline times):
+
+* ``"min_speedup": {"vs": <entry>, "factor": F, "min_cores": C}`` —
+  this entry's wall time must be at least ``F``x faster than entry
+  ``vs`` in the same report.  Skipped (with a note) when the report's
+  ``cpu_count`` is below ``min_cores``: a 1-core runner cannot show
+  process-level parallelism and would only measure IPC overhead.
+* ``"max_utility_gap_vs": {"vs": <entry>, "rtol": R}`` — this entry's
+  utility may be at most ``R`` (relative) *below* entry ``vs``;
+  exceeding it is allowed (one-sided: quality loss gates, gain doesn't).
+
 Stdlib-only on purpose: CI runs it before (and independently of)
 installing the package.
 """
@@ -62,7 +74,8 @@ def check(
                 f"vs baseline {baseline.get(key)!r}"
             )
 
-    measured = {entry["solver"]: entry for entry in report["entries"]}
+    by_name = {entry["solver"]: entry for entry in report["entries"]}
+    measured = dict(by_name)
     for expected in baseline["entries"]:
         name = expected["solver"]
         entry = measured.pop(name, None)
@@ -74,8 +87,69 @@ def check(
                 name, entry, expected, max_slowdown, utility_rtol, min_seconds
             )
         )
+        problems.extend(_check_cross_entry(name, entry, expected, by_name, report))
     for name in measured:
         print(f"note: {name}: in report but not in baseline (allowed)")
+    return problems
+
+
+def _check_cross_entry(
+    name: str,
+    entry: dict,
+    expected: dict,
+    by_name: dict,
+    report: dict,
+) -> list[str]:
+    """Report-internal speedup and utility-gap gates (baseline-declared)."""
+    problems: list[str] = []
+
+    speedup_spec = expected.get("min_speedup")
+    if speedup_spec:
+        other = by_name.get(speedup_spec["vs"])
+        cores = int(report.get("cpu_count", 1))
+        min_cores = int(speedup_spec.get("min_cores", 1))
+        if other is None:
+            problems.append(
+                f"{name}: min_speedup reference "
+                f"{speedup_spec['vs']!r} missing from report"
+            )
+        elif cores < min_cores:
+            print(
+                f"note: {name}: min_speedup gate skipped "
+                f"(cpu_count {cores} < min_cores {min_cores})"
+            )
+        else:
+            factor = float(speedup_spec["factor"])
+            wall = float(entry["wall_time_s"])
+            reference = float(other["wall_time_s"])
+            speedup = reference / wall if wall > 0 else float("inf")
+            if speedup < factor:
+                problems.append(
+                    f"{name}: speedup vs {speedup_spec['vs']} is "
+                    f"{speedup:.2f}x, below the required {factor:.2f}x "
+                    f"({reference:.4f}s / {wall:.4f}s, "
+                    f"cpu_count {cores})"
+                )
+
+    gap_spec = expected.get("max_utility_gap_vs")
+    if gap_spec:
+        other = by_name.get(gap_spec["vs"])
+        if other is None:
+            problems.append(
+                f"{name}: max_utility_gap_vs reference "
+                f"{gap_spec['vs']!r} missing from report"
+            )
+        else:
+            rtol = float(gap_spec["rtol"])
+            utility = float(entry["utility"])
+            reference = float(other["utility"])
+            gap = (reference - utility) / max(abs(reference), 1e-12)
+            if gap > rtol:
+                problems.append(
+                    f"{name}: utility {utility:.6f} is "
+                    f"{gap:.3%} below {gap_spec['vs']} "
+                    f"({reference:.6f}); allowed {rtol:.1%}"
+                )
     return problems
 
 

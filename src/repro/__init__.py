@@ -66,12 +66,14 @@ from repro.datasets import (
 )
 from repro.geo.point import Point
 from repro.platform import EBSNPlatform, OperationStream
+from repro.scale import BatchedPlatform, ShardedSolver
 from repro.timeline.interval import Interval
 
 __version__ = "1.0.1"
 
 __all__ = [
     "BatchIEPEngine",
+    "BatchedPlatform",
     "BudgetChange",
     "CostModel",
     "EBSNPlatform",
@@ -97,6 +99,7 @@ __all__ = [
     "Point",
     "RatioBounds",
     "RegretSolver",
+    "ShardedSolver",
     "TimeChange",
     "User",
     "UtilityChange",

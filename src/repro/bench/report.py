@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -50,6 +51,10 @@ class Preset:
     operations: int
     include_gap: bool = True
     trace_memory: bool = True
+    # Sharded presets measure greedy-mono vs ShardedSolver at worker
+    # counts 1 and N instead of the greedy/gap/IEP trio.
+    sharded: bool = False
+    shards: int = 4
 
 
 PRESETS: dict[str, Preset] = {
@@ -66,6 +71,19 @@ PRESETS: dict[str, Preset] = {
         operations=30,
         include_gap=False,
         trace_memory=False,
+    ),
+    # Shard-parallel scaling: monolithic greedy vs the sharded solver at
+    # workers=1 and workers=N on the same partition (same shard count and
+    # seed).  Pure wall-clock for the same reason as "kernel"; the
+    # cross-entry speedup/utility gates ride on these entries (see
+    # scripts/check_bench_regression.py and docs/scaling.md).
+    "sharded": Preset(
+        city="vancouver",
+        scale=1.0,
+        operations=0,
+        include_gap=False,
+        trace_memory=False,
+        sharded=True,
     ),
 }
 
@@ -121,7 +139,64 @@ def _iep_entry(
     }
 
 
-def build_report(preset_name: str, seed: int = 0) -> dict:
+def _sharded_entries(
+    instance, seed: int, shards: int, workers: int, trace_memory: bool
+) -> list[dict]:
+    """greedy-mono vs sharded-w1 vs sharded-wN on one fixed partition.
+
+    The worker-N solver is warmed up with one unmeasured solve so the
+    measured run sees live pool processes (fork + import cost would
+    otherwise be billed to the first solve).  The cross-entry gate specs
+    (``min_speedup``, ``max_utility_gap_vs``) are emitted with the
+    entries so a regenerated baseline keeps its gates.
+    """
+    from repro.core.gepc import GreedySolver
+    from repro.scale import ShardedSolver
+
+    entries = [
+        _solver_entry(
+            "greedy-mono",
+            GreedySolver(seed=seed),
+            instance,
+            seed,
+            trace_memory=trace_memory,
+        )
+    ]
+    serial = _solver_entry(
+        "sharded-w1",
+        ShardedSolver(shards=shards, workers=1, seed=seed),
+        instance,
+        seed,
+        trace_memory=trace_memory,
+    )
+    serial["max_utility_gap_vs"] = {"vs": "greedy-mono", "rtol": 0.02}
+    entries.append(serial)
+
+    solver = ShardedSolver(shards=shards, workers=workers, seed=seed)
+    try:
+        solver.solve(instance)  # warm-up: start the pool off the clock
+        parallel = _solver_entry(
+            f"sharded-w{workers}",
+            solver,
+            instance,
+            seed,
+            trace_memory=trace_memory,
+        )
+    finally:
+        solver.close()
+    parallel["max_utility_gap_vs"] = {"vs": "greedy-mono", "rtol": 0.02}
+    parallel["min_speedup"] = {
+        "vs": "sharded-w1",
+        "factor": 2.0,
+        "min_cores": workers,
+    }
+    entries.append(parallel)
+    return entries
+
+
+def build_report(
+    preset_name: str, seed: int = 0, shards: int = 0, workers: int = 4
+) -> dict:
     """Run the preset workload and return the report document."""
     try:
         preset = PRESETS[preset_name]
@@ -133,30 +208,42 @@ def build_report(preset_name: str, seed: int = 0) -> dict:
     from repro.datasets import make_city
 
     instance = make_city(preset.city, scale=preset.scale)
-    entries = [
-        _solver_entry(
-            "greedy",
-            GreedySolver(seed=seed),
+    if preset.sharded:
+        entries = _sharded_entries(
             instance,
             seed,
+            shards=shards or preset.shards,
+            workers=workers,
             trace_memory=preset.trace_memory,
-        ),
-    ]
-    if preset.include_gap:
-        entries.append(
+        )
+    else:
+        entries = [
             _solver_entry(
-                "gap",
-                GAPBasedSolver(backend="scipy"),
+                "greedy",
+                GreedySolver(seed=seed),
                 instance,
                 seed,
                 trace_memory=preset.trace_memory,
+            ),
+        ]
+        if preset.include_gap:
+            entries.append(
+                _solver_entry(
+                    "gap",
+                    GAPBasedSolver(backend="scipy"),
+                    instance,
+                    seed,
+                    trace_memory=preset.trace_memory,
+                )
+            )
+        entries.append(
+            _iep_entry(
+                instance,
+                seed,
+                preset.operations,
+                trace_memory=preset.trace_memory,
             )
         )
-    entries.append(
-        _iep_entry(
-            instance, seed, preset.operations, trace_memory=preset.trace_memory
-        )
-    )
     return {
         "schema": SCHEMA,
         "schema_version": SCHEMA_VERSION,
@@ -164,6 +251,9 @@ def build_report(preset_name: str, seed: int = 0) -> dict:
         "city": preset.city,
         "scale": preset.scale,
         "seed": seed,
+        # The machine's core count; cross-entry speedup gates only apply
+        # when the measuring machine has enough cores to show parallelism.
+        "cpu_count": os.cpu_count() or 1,
         "entries": entries,
     }
 
@@ -183,9 +273,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="bench_report.json")
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count for sharded presets (0: the preset's default)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="parallel worker count for sharded presets (default 4)",
+    )
     args = parser.parse_args(argv)
 
-    report = build_report(args.preset, seed=args.seed)
+    report = build_report(
+        args.preset, seed=args.seed, shards=args.shards, workers=args.workers
+    )
     path = write_report(report, args.out)
     print(
         format_table(

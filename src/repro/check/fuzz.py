@@ -61,6 +61,12 @@ class FuzzConfig:
     new_event_every: int = 5
     float_tol: float = AUDIT_FLOAT_TOL
     drift_tolerance: float = ROUTE_DRIFT_REPIN_TOL
+    # Sharded mode (``repro-gepc fuzz --sharded``): additionally
+    # cross-check the sharded solver and the batched platform against
+    # their monolithic/serial counterparts on every seed.
+    sharded: bool = False
+    shard_count: int = 3
+    batch_size: int = 4
 
 
 @dataclass
@@ -76,6 +82,10 @@ class SeedReport:
     repins: int = 0
     total_dif: int = 0
     final_utility: float = 0.0
+    # Sharded-vs-monolithic utility ratio (1.0 outside sharded mode).
+    # Recorded for trend inspection; correctness is gated by the
+    # feasibility/determinism checks, not by this number.
+    sharded_utility_ratio: float = 1.0
 
     @property
     def ok(self) -> bool:
@@ -243,6 +253,113 @@ def _measure_drift(
             report.repins += 1
 
 
+def _check_sharded_solve(
+    instance: Instance,
+    seed: int,
+    config: FuzzConfig,
+    auditor: InvariantAuditor,
+    report: SeedReport,
+) -> None:
+    """Sharded solve vs. monolithic greedy: k=1 bit-equivalence, k>1
+    feasibility + invariant audit + double-solve determinism."""
+    from repro.core.plan import PlanSummary
+    from repro.scale import ShardedSolver
+
+    mono = GreedySolver(seed=seed).solve(instance)
+    report.checks += 1
+    k1 = ShardedSolver(shards=1, seed=seed).solve(instance)
+    if PlanSummary.of(k1.plan) != PlanSummary.of(mono.plan):
+        report.mismatches.append(
+            CacheMismatch(
+                kind="sharded_k1_equivalence",
+                cached=PlanSummary.of(k1.plan),
+                expected=PlanSummary.of(mono.plan),
+                detail="shards=1 must reproduce the monolithic greedy plan",
+            )
+        )
+
+    sharded = ShardedSolver(shards=config.shard_count, seed=seed)
+    first = sharded.solve(instance)
+    second = sharded.solve(instance)
+    report.checks += 1
+    if PlanSummary.of(first.plan) != PlanSummary.of(second.plan):
+        report.mismatches.append(
+            CacheMismatch(
+                kind="sharded_determinism",
+                cached=PlanSummary.of(second.plan),
+                expected=PlanSummary.of(first.plan),
+                detail=f"double solve (k={config.shard_count}) diverged",
+            )
+        )
+    for violation in check_plan(instance, first.plan):
+        report.violations.append(f"sharded: {violation}")
+    audit = auditor.audit(first.plan)
+    report.checks += audit.checks
+    report.mismatches.extend(audit.mismatches)
+    mono_utility = total_utility(instance, mono.plan)
+    if mono_utility > 0.0:
+        report.sharded_utility_ratio = (
+            total_utility(instance, first.plan) / mono_utility
+        )
+
+
+def _check_batched_stream(
+    instance: Instance,
+    seed: int,
+    config: FuzzConfig,
+    auditor: InvariantAuditor,
+    report: SeedReport,
+) -> None:
+    """Batched-coalesced application vs. serial replay of its own log."""
+    from repro.core.plan import PlanSummary
+    from repro.platform.service import EBSNPlatform
+    from repro.scale import BatchedPlatform
+
+    batched = BatchedPlatform(instance)
+    batched.publish_plans()
+    stream = OperationStream(seed=seed + 101)
+    batches = max(2, config.operations // max(1, config.batch_size))
+    for _ in range(batches):
+        for operation in stream.mixed(
+            batched.instance, batched.plan, config.batch_size
+        ):
+            batched.enqueue(operation)
+        result = batched.flush()
+        for violation in check_plan(batched.instance, batched.plan):
+            report.violations.append(f"batched: {violation}")
+        report.checks += 1 + result.violations
+    batched.drain()
+
+    serial = EBSNPlatform(instance)
+    serial.publish_plans()
+    for operation in batched.applied_log:
+        serial.submit(operation)
+    report.checks += 2
+    if PlanSummary.of(serial.plan) != PlanSummary.of(batched.plan):
+        report.mismatches.append(
+            CacheMismatch(
+                kind="batched_replay",
+                cached=PlanSummary.of(batched.plan),
+                expected=PlanSummary.of(serial.plan),
+                detail="serial replay of the applied log diverged",
+            )
+        )
+    serial_utility = serial.audit()["utility"]
+    batched_utility = batched.snapshot()["utility"]
+    if abs(serial_utility - batched_utility) > config.float_tol:
+        report.mismatches.append(
+            CacheMismatch(
+                kind="batched_replay_utility",
+                cached=batched_utility,
+                expected=serial_utility,
+                detail="batched utility diverged from serial replay",
+            )
+        )
+    audit = auditor.audit(batched.plan)
+    report.checks += audit.checks
+    report.mismatches.extend(audit.mismatches)
+
+
 def fuzz_seed(seed: int, config: FuzzConfig | None = None) -> SeedReport:
     """Fuzz one seed: solve, replay the operation stream, cross-check."""
     config = config or FuzzConfig()
@@ -286,6 +403,13 @@ def fuzz_seed(seed: int, config: FuzzConfig | None = None) -> SeedReport:
         _check_differential(instance, plan, step, report)
         _measure_drift(plan, config, report)
         _check_kernel_vs_scalar(instance, plan, step, config, report)
+
+    if config.sharded:
+        # The stream mutated `instance` past the generated one; the
+        # sharded cross-checks run on the *final* instance so they see
+        # NewEvent-extended, bound-shifted state too.
+        _check_sharded_solve(instance, seed, config, auditor, report)
+        _check_batched_stream(instance, seed, config, auditor, report)
 
     report.final_utility = total_utility(instance, plan)
     return report

@@ -4,6 +4,9 @@ Installed as ``repro-gepc``::
 
     repro-gepc solve --city beijing --solver greedy
     repro-gepc solve --city auckland --solver gap --scale 0.5
+    repro-gepc solve --city vancouver --shards 4 --workers 4
+    repro-gepc simulate --city auckland --batch 8 --operations 40
+    repro-gepc fuzz --seeds 10 --sharded
     repro-gepc compare --city beijing
     repro-gepc stats --city vancouver
     repro-gepc export --city beijing --out /tmp/beijing
@@ -35,7 +38,18 @@ from repro.obs import recording, render_text, write_json
 from repro.platform import EBSNPlatform, OperationStream
 
 
-def _solver_by_name(name: str, seed: int):
+def _solver_by_name(
+    name: str, seed: int, shards: int = 1, workers: int = 1
+):
+    if shards > 1:
+        if name != "greedy":
+            raise SystemExit(
+                f"--shards requires the greedy solver (got {name!r}); "
+                "the GAP baseline has no sharded variant"
+            )
+        from repro.scale import ShardedSolver
+
+        return ShardedSolver(shards=shards, workers=workers, seed=seed)
     if name == "greedy":
         return GreedySolver(seed=seed)
     if name == "gap":
@@ -45,15 +59,22 @@ def _solver_by_name(name: str, seed: int):
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     instance = make_city(args.city, scale=args.scale)
-    solver = _solver_by_name(args.solver, args.seed)
-    solution, result = measure(args.solver, lambda: solver.solve(instance))
+    solver = _solver_by_name(
+        args.solver, args.seed, shards=args.shards, workers=args.workers
+    )
+    label = solver.name if args.shards > 1 else args.solver
+    try:
+        solution, result = measure(label, lambda: solver.solve(instance))
+    finally:
+        if hasattr(solver, "close"):
+            solver.close()
     violations = check_plan(instance, solution.plan)
     print(
         format_table(
             f"GEPC on {args.city} (scale={args.scale})",
             ["solver", "utility", "time (s)", "memory (MB)", "cancelled", "violations"],
             [[
-                args.solver,
+                label,
                 result.utility,
                 result.seconds,
                 result.memory_mb,
@@ -113,14 +134,21 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_solve_file(args: argparse.Namespace) -> int:
     instance = load_instance(args.dataset)
-    solver = _solver_by_name(args.solver, args.seed)
-    solution, result = measure(args.solver, lambda: solver.solve(instance))
+    solver = _solver_by_name(
+        args.solver, args.seed, shards=args.shards, workers=args.workers
+    )
+    label = solver.name if args.shards > 1 else args.solver
+    try:
+        solution, result = measure(label, lambda: solver.solve(instance))
+    finally:
+        if hasattr(solver, "close"):
+            solver.close()
     violations = check_plan(instance, solution.plan)
     print(
         format_table(
             f"GEPC on {args.dataset}",
             ["solver", "utility", "time (s)", "violations"],
-            [[args.solver, result.utility, result.seconds, len(violations)]],
+            [[label, result.utility, result.seconds, len(violations)]],
         )
     )
     return 0 if not violations else 1
@@ -128,7 +156,12 @@ def _cmd_solve_file(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     instance = make_city(args.city, scale=args.scale)
-    platform = EBSNPlatform(instance, solver=_solver_by_name("greedy", args.seed))
+    solver = _solver_by_name(
+        "greedy", args.seed, shards=args.shards, workers=args.workers
+    )
+    if args.batch > 1:
+        return _simulate_batched(instance, solver, args)
+    platform = EBSNPlatform(instance, solver=solver)
     utility = platform.publish_plans()
     print(f"published: utility={utility:.1f}")
     stream = OperationStream(seed=args.seed)
@@ -149,6 +182,41 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             [[
                 audit["operations"], audit["utility"],
                 audit["total_dif"], audit["violations"],
+            ]],
+        )
+    )
+    return 0 if audit["violations"] == 0 else 1
+
+
+def _simulate_batched(instance, solver, args: argparse.Namespace) -> int:
+    from repro.scale import BatchedPlatform
+
+    platform = BatchedPlatform(instance, solver=solver)
+    utility = platform.publish_plans()
+    print(f"published: utility={utility:.1f} (batched, batch={args.batch})")
+    stream = OperationStream(seed=args.seed)
+    remaining = args.operations
+    while remaining > 0:
+        size = min(args.batch, remaining)
+        for operation in stream.mixed(platform.instance, platform.plan, size):
+            platform.enqueue(operation)
+        remaining -= size
+        result = platform.flush()
+        print(
+            f"  batch: submitted={result.submitted} folded={result.folded} "
+            f"applied={len(result.applied)} rejected={len(result.rejected)} "
+            f"utility={result.utility:.1f}"
+        )
+    platform.drain()
+    audit = platform.snapshot()
+    stats = platform.stats()
+    print(
+        format_table(
+            "End-of-run audit (batched)",
+            ["operations", "utility", "violations", "folded", "flushes"],
+            [[
+                stats["applied"], audit["utility"],
+                audit["violations"], stats["folded"], stats["flushes"],
             ]],
         )
     )
@@ -192,6 +260,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         operations=args.operations,
         n_users=args.users,
         n_events=args.events,
+        sharded=args.sharded,
     )
     seeds = range(args.base_seed, args.base_seed + args.seeds)
     summary = run_fuzz(seeds, config)
@@ -225,6 +294,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if summary.ok else 1
+
+
+def _add_scale_arguments(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--shards", type=int, default=1,
+        help="solve as this many spatial shards (greedy only; "
+        "see docs/scaling.md)",
+    )
+    sub.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for the shard-solve stage (default 1)",
+    )
 
 
 def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
@@ -265,9 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.choices["solve"].add_argument(
         "--solver", default="greedy", choices=["greedy", "gap"]
     )
+    _add_scale_arguments(subparsers.choices["solve"])
     subparsers.choices["export"].add_argument("--out", required=True)
     subparsers.choices["simulate"].add_argument(
         "--operations", type=int, default=10
+    )
+    _add_scale_arguments(subparsers.choices["simulate"])
+    subparsers.choices["simulate"].add_argument(
+        "--batch", type=int, default=1,
+        help="coalesce operations in batches of this size through the "
+        "BatchedPlatform (default 1: serial submission)",
     )
 
     solve_file = subparsers.add_parser("solve-file")
@@ -276,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default="greedy", choices=["greedy", "gap"]
     )
     solve_file.add_argument("--seed", type=int, default=0)
+    _add_scale_arguments(solve_file)
     _add_trace_arguments(solve_file)
     solve_file.set_defaults(handler=_cmd_solve_file)
 
@@ -313,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--events", type=int, default=10,
         help="events per fuzz instance (default 10)",
+    )
+    fuzz.add_argument(
+        "--sharded", action="store_true",
+        help="additionally cross-check the sharded solver and batched "
+        "platform against their monolithic/serial counterparts",
     )
     _add_trace_arguments(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)

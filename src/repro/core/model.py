@@ -231,6 +231,83 @@ class Instance:
                 self._fee_vector = np.asarray(self.cost_model.fees, dtype=float)
         return self._fee_vector
 
+    # ------------------------------------------------------------------ #
+    # Pickling (shard dispatch to worker processes)
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        """Pickle only the raw problem data, never the lazy caches.
+
+        Shard instances cross a process boundary on every parallel solve
+        (:class:`repro.scale.ShardedSolver`); shipping the dense distance
+        and conflict caches would multiply the IPC payload for structures
+        the worker can rebuild lazily from the same data.
+        """
+        return {
+            "users": self.users,
+            "events": self.events,
+            "utility": self.utility,
+            "cost_model": self.cost_model,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.users = state["users"]
+        self.events = state["events"]
+        self.utility = state["utility"]
+        self.cost_model = state["cost_model"]
+        self._distances = None
+        self._conflicts = None
+        self._conflict_matrix = None
+        self._event_starts = None
+        self._fee_vector = None
+
+    def subinstance(
+        self,
+        user_ids: "np.ndarray | list[int]",
+        event_ids: "np.ndarray | list[int]",
+    ) -> "Instance":
+        """A re-indexed sub-instance over the given users and events.
+
+        The geographic partitioner cuts an instance into spatial shards
+        with this; unlike :func:`repro.datasets.cutout.cutout` it keeps
+        event bounds untouched (global ``xi`` semantics are the sharded
+        solver's responsibility) and *slices* any already-built distance,
+        conflict, start, and fee caches instead of rebuilding them —
+        subsetting preserves every cached value bit-exactly, so a shard of
+        a warmed instance pays no geometry recompute.
+
+        ``user_ids``/``event_ids`` must be strictly increasing global ids;
+        members keep their relative order and are re-indexed to ``0..``.
+        """
+        user_ids = np.asarray(user_ids, dtype=int)
+        event_ids = np.asarray(event_ids, dtype=int)
+        users = [
+            replace(self.users[int(old)], id=new)
+            for new, old in enumerate(user_ids)
+        ]
+        events = [
+            replace(self.events[int(old)], id=new)
+            for new, old in enumerate(event_ids)
+        ]
+        utility = self.utility[np.ix_(user_ids, event_ids)]
+        cost_model = self.cost_model
+        if cost_model.fees is not None:
+            cost_model = replace(cost_model, fees=cost_model.fees[event_ids])
+        instance = Instance._from_validated(users, events, utility, cost_model)
+        if self._distances is not None:
+            instance._distances = self._distances.submatrix(
+                user_ids, event_ids
+            )
+        if self._conflict_matrix is not None:
+            instance._conflict_matrix = self._conflict_matrix[
+                np.ix_(event_ids, event_ids)
+            ].copy()
+        if self._event_starts is not None:
+            instance._event_starts = self._event_starts[event_ids].copy()
+        if self._fee_vector is not None:
+            instance._fee_vector = self._fee_vector[event_ids].copy()
+        return instance
+
     def rebuilt(self) -> "Instance":
         """A fresh instance over the same data with *no* carried caches.
 

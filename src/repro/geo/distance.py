@@ -111,6 +111,28 @@ class DistanceMatrix:
         clone._event_event = self._event_event.copy()
         return clone
 
+    def submatrix(
+        self,
+        user_ids: Sequence[int] | np.ndarray,
+        event_ids: Sequence[int] | np.ndarray,
+    ) -> "DistanceMatrix":
+        """The cached distances restricted to a subset of users and events.
+
+        Used by ``Instance.subinstance`` when a shard is cut out of a
+        warmed instance: subsetting copies the already-computed values
+        (bit-exact with a from-scratch rebuild over the same locations)
+        instead of re-running the metric.
+        """
+        user_ids = np.asarray(user_ids, dtype=int)
+        event_ids = np.asarray(event_ids, dtype=int)
+        clone = object.__new__(DistanceMatrix)
+        clone._metric = self._metric
+        clone._user_event = self._user_event[np.ix_(user_ids, event_ids)].copy()
+        clone._event_event = self._event_event[
+            np.ix_(event_ids, event_ids)
+        ].copy()
+        return clone
+
     def replace_event_location(
         self,
         event: int,

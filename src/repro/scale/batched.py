@@ -1,0 +1,337 @@
+"""Concurrent operation serving: a batching front-end over the platform.
+
+:class:`EBSNPlatform` applies atomic operations strictly one at a time on
+the caller's thread.  :class:`BatchedPlatform` makes that safe and cheap
+under concurrent traffic:
+
+* **Thread-safe queue** — any thread may :meth:`enqueue` operations;
+  reads (:meth:`plan_for`, :meth:`attendees_of`, :meth:`snapshot`) take
+  the state lock, so a reader never observes a half-applied batch.
+* **Coalescing** — queued operations targeting the same entity fold
+  before applying (two ``EtaDecrease`` on one event become the tighter
+  one; ``TimeChange``/``LocationChange``/``UtilityChange``/
+  ``BudgetChange`` are last-write-wins; see :func:`coalesce_operations`
+  for the full rule table).  The engine then repairs once per surviving
+  operation instead of once per submission.
+* **One audit boundary per batch** — :meth:`flush` applies the whole
+  coalesced batch under a single lock and runs ``check_plan`` once at
+  the end, not per operation.
+* **Backpressure stats** — queue depth, coalesce/fold counts, rejected
+  operations, and forced flushes are mirrored to ``repro.obs`` (the
+  recorder active when the platform was constructed, so worker threads
+  report into the owner's trace) and exposed via :meth:`stats`.
+
+The applied-operation log (:attr:`applied_log`) is the platform's ground
+truth: serially replaying it from the published plan reproduces the
+final state exactly — the invariant the concurrency tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.constraints import check_plan
+from repro.core.gepc.base import GEPCSolver
+from repro.core.iep.operations import (
+    AtomicOperation,
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    LocationChange,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
+from repro.platform.service import EBSNPlatform, PlatformLogEntry
+
+
+def coalesce_operations(
+    operations: list[AtomicOperation],
+) -> tuple[list[AtomicOperation], int]:
+    """Fold same-target operations; returns ``(survivors, folded_count)``.
+
+    Rules (keyed by operation type + target entity, first-occurrence
+    order preserved):
+
+    ========================  =======================================
+    operations on one target  fold result
+    ========================  =======================================
+    ``EtaDecrease``           tightest (minimum) new upper bound
+    ``EtaIncrease``           loosest (maximum) new upper bound
+    ``XiIncrease``            tightest (maximum) new lower bound
+    ``XiDecrease``            loosest (minimum) new lower bound
+    ``TimeChange``            last write wins
+    ``LocationChange``        last write wins
+    ``UtilityChange``         last write wins (per user-event pair)
+    ``BudgetChange``          last write wins (per user)
+    ``NewEvent``              never folded
+    ========================  =======================================
+
+    Folding is the stream's composition: applying the folded operation
+    yields the same instance as applying the sequence (bounds compose to
+    their extremum, attribute writes to the last value).  Different
+    operation *types* on the same entity are never folded into each
+    other; they stay distinct operations in first-occurrence order.
+    """
+    slots: dict[tuple, int] = {}
+    survivors: list[AtomicOperation | None] = []
+    folded = 0
+    for operation in operations:
+        key = _coalesce_key(operation, position=len(survivors))
+        slot = slots.get(key)
+        if slot is None:
+            slots[key] = len(survivors)
+            survivors.append(operation)
+            continue
+        survivors[slot] = _fold(survivors[slot], operation)
+        folded += 1
+    return [op for op in survivors if op is not None], folded
+
+
+def _coalesce_key(operation: AtomicOperation, position: int) -> tuple:
+    if isinstance(operation, (EtaDecrease, EtaIncrease)):
+        return (type(operation).__name__, operation.event)
+    if isinstance(operation, (XiIncrease, XiDecrease)):
+        return (type(operation).__name__, operation.event)
+    if isinstance(operation, (TimeChange, LocationChange)):
+        return (type(operation).__name__, operation.event)
+    if isinstance(operation, UtilityChange):
+        return ("UtilityChange", operation.user, operation.event)
+    if isinstance(operation, BudgetChange):
+        return ("BudgetChange", operation.user)
+    # NewEvent (and any unknown operation): unique slot, never folded.
+    return ("__unique__", position)
+
+
+def _fold(
+    first: AtomicOperation, second: AtomicOperation
+) -> AtomicOperation:
+    if isinstance(first, EtaDecrease):
+        return EtaDecrease(
+            first.event, min(first.new_upper, second.new_upper)
+        )
+    if isinstance(first, EtaIncrease):
+        return EtaIncrease(
+            first.event, max(first.new_upper, second.new_upper)
+        )
+    if isinstance(first, XiIncrease):
+        return XiIncrease(
+            first.event, max(first.new_lower, second.new_lower)
+        )
+    if isinstance(first, XiDecrease):
+        return XiDecrease(
+            first.event, min(first.new_lower, second.new_lower)
+        )
+    # Attribute writes: last wins.
+    return second
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`BatchedPlatform.flush`."""
+
+    submitted: int = 0
+    folded: int = 0
+    applied: list[PlatformLogEntry] = field(default_factory=list)
+    rejected: list[tuple[AtomicOperation, str]] = field(default_factory=list)
+    violations: int = 0
+    utility: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+
+class BatchedPlatform:
+    """A thread-safe, batch-coalescing front-end over :class:`EBSNPlatform`.
+
+    Operations are enqueued from any thread; :meth:`flush` (called
+    explicitly, or automatically by the enqueueing thread once the queue
+    reaches ``max_pending``) coalesces and applies them under one lock
+    with a single ``check_plan`` boundary.
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        solver: GEPCSolver | None = None,
+        max_pending: int = 64,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._platform = EBSNPlatform(instance, solver=solver)
+        self._max_pending = max_pending
+        self._pending: list[AtomicOperation] = []
+        self._queue_lock = threading.Lock()
+        # Reentrant: a reader helper may be called while flushing.
+        self._state_lock = threading.RLock()
+        self._applied_log: list[AtomicOperation] = []
+        self._stats = {
+            "enqueued": 0,
+            "folded": 0,
+            "applied": 0,
+            "rejected": 0,
+            "flushes": 0,
+            "forced_flushes": 0,
+            "max_queue_depth": 0,
+        }
+        # Captured once so counters from worker threads land in the
+        # recorder of the context that owns the platform (ContextVars do
+        # not propagate into threads started outside that context).
+        self._obs = get_recorder()
+
+    # ------------------------------------------------------------------ #
+    # Reads (all under the state lock: no torn reads)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def instance(self) -> Instance:
+        with self._state_lock:
+            return self._platform.instance
+
+    @property
+    def plan(self) -> GlobalPlan:
+        with self._state_lock:
+            return self._platform.plan
+
+    @property
+    def log(self) -> list[PlatformLogEntry]:
+        with self._state_lock:
+            return self._platform.log
+
+    @property
+    def applied_log(self) -> list[AtomicOperation]:
+        """Coalesced operations actually applied, in apply order.
+
+        Serial replay of this log from the published plan reproduces the
+        current state exactly.
+        """
+        with self._state_lock:
+            return list(self._applied_log)
+
+    def plan_for(self, user: int) -> list[int]:
+        with self._state_lock:
+            return self._platform.plan_for(user)
+
+    def attendees_of(self, event: int) -> list[int]:
+        with self._state_lock:
+            return self._platform.attendees_of(event)
+
+    def snapshot(self) -> dict[str, float]:
+        """A consistent audit snapshot (utility, violations, queue depth).
+
+        Taken under the state lock: the numbers all describe one single
+        post-batch state, never a half-applied one.
+        """
+        with self._state_lock:
+            numbers = self._platform.audit()
+        with self._queue_lock:
+            numbers["queue_depth"] = float(len(self._pending))
+        return numbers
+
+    def stats(self) -> dict[str, int]:
+        """Backpressure and coalescing counters (a copy)."""
+        with self._queue_lock:
+            return dict(self._stats)
+
+    def queue_depth(self) -> int:
+        with self._queue_lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def publish_plans(self) -> float:
+        with self._state_lock:
+            return self._platform.publish_plans()
+
+    def enqueue(self, operation: AtomicOperation) -> int:
+        """Queue one operation; returns the queue depth after enqueue.
+
+        Reaching ``max_pending`` makes the enqueueing thread pay for the
+        flush (backpressure: producers slow down instead of the queue
+        growing without bound).
+        """
+        with self._queue_lock:
+            self._pending.append(operation)
+            depth = len(self._pending)
+            self._stats["enqueued"] += 1
+            self._stats["max_queue_depth"] = max(
+                self._stats["max_queue_depth"], depth
+            )
+            forced = depth >= self._max_pending
+            if forced:
+                self._stats["forced_flushes"] += 1
+        self._obs.count("batched.enqueued")
+        self._obs.gauge("batched.queue_depth", float(depth))
+        if forced:
+            self._obs.count("batched.forced_flushes")
+            self.flush()
+        return depth
+
+    def flush(self) -> BatchResult:
+        """Coalesce and apply everything queued; one audit boundary.
+
+        Returns an empty :class:`BatchResult` when nothing was queued.
+        Invalid operations (stale against the batch's evolving instance)
+        are rejected and recorded, never partially applied.
+        """
+        with self._state_lock:
+            with self._queue_lock:
+                batch, self._pending = self._pending, []
+            result = BatchResult(submitted=len(batch))
+            if not batch:
+                return result
+            operations, result.folded = coalesce_operations(batch)
+            for operation in operations:
+                try:
+                    entry = self._platform.submit(operation)
+                except (ValueError, IndexError, KeyError) as exc:
+                    # Stale or malformed against the batch's evolving
+                    # instance (validate() raises IndexError for ids past
+                    # the current event/user range).
+                    result.rejected.append((operation, str(exc)))
+                    continue
+                result.applied.append(entry)
+                self._applied_log.append(operation)
+            violations = check_plan(
+                self._platform.instance, self._platform.plan
+            )
+            result.violations = len(violations)
+            result.utility = (
+                result.applied[-1].utility_after
+                if result.applied
+                else self._platform.audit()["utility"]
+            )
+            with self._queue_lock:
+                self._stats["folded"] += result.folded
+                self._stats["applied"] += len(result.applied)
+                self._stats["rejected"] += len(result.rejected)
+                self._stats["flushes"] += 1
+        self._obs.count("batched.flushes")
+        self._obs.count("batched.folded", result.folded)
+        self._obs.count("batched.applied", len(result.applied))
+        self._obs.count("batched.rejected", len(result.rejected))
+        self._obs.count("batched.violations", result.violations)
+        return result
+
+    def drain(self) -> BatchResult:
+        """Flush until the queue is empty (other threads may keep adding;
+        drain stops at the first empty observation)."""
+        result = self.flush()
+        while self.queue_depth():
+            follow_up = self.flush()
+            result.submitted += follow_up.submitted
+            result.folded += follow_up.folded
+            result.applied.extend(follow_up.applied)
+            result.rejected.extend(follow_up.rejected)
+            result.violations = follow_up.violations
+            result.utility = follow_up.utility
+        return result

@@ -1,0 +1,347 @@
+"""Sharded parallel GEPC solving.
+
+:class:`ShardedSolver` runs the three-stage pipeline described in
+``docs/scaling.md``:
+
+1. **Partition** — :func:`repro.scale.partition.partition_instance` cuts
+   the instance into ``k`` spatial shards (seeded k-means over event
+   locations, users to their nearest event-cluster).
+2. **Solve shards** — each shard is an independent GEPC instance solved
+   by the greedy two-step solver.  With ``workers > 1`` the shards go to
+   a ``concurrent.futures.ProcessPoolExecutor`` (shard instances pickle
+   without their caches; see ``Instance.__getstate__``); results come
+   back in shard order, so the merged plan is identical for any worker
+   count.
+3. **Merge + cross-shard recovery** — shard plans are *transplanted*
+   into one :class:`~repro.core.plan.GlobalPlan` over the full instance
+   (shards are disjoint in users *and* events and the subinstance cache
+   slicing is bit-exact, so shard-local routes and costs are already the
+   global ones).  Then two recovery passes run: a **rescue** retries
+   shard-cancelled events against the global user pool (committing only
+   if ``xi_j`` is reached, rolling back otherwise), and a **boundary
+   repair** re-runs the step-2 filler over exactly the users who can
+   still reach an open event their shard solve could not see
+   (cross-shard events plus rescued ones — see
+   :func:`_repair_candidates`).  Both passes only top up events that
+   already meet their lower bound (or roll back), so every ``xi_j`` that
+   held per-shard still holds globally.
+
+Every stage emits ``repro.obs`` spans; per-shard wall time, counters,
+and diagnostics are aggregated into the parent recorder even when the
+shard was solved in a worker process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.gepc.base import GEPCSolution, GEPCSolver
+from repro.core.gepc.fill import UtilityFill
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+from repro.obs import Recorder, get_recorder, recording
+from repro.scale.partition import (
+    Partition,
+    Shard,
+    partition_instance,
+    reachable_matrix,
+)
+
+
+def _solve_shard(payload: tuple[int, Instance, int | None, bool]) -> dict:
+    """Solve one shard (module-level so worker processes can import it).
+
+    Returns a compact, picklable result: per-user local plans, cancelled
+    local event ids, diagnostics, and the shard's recorder counters —
+    never live ``GlobalPlan``/``Instance`` objects.
+    """
+    index, shard_instance, seed, fill = payload
+    with recording(Recorder()) as recorder:
+        span = recorder.span("scale.shard_solve")
+        with span:
+            solution = GreedySolver(seed=seed, fill=fill).solve(shard_instance)
+    return {
+        "index": index,
+        "plans": [
+            list(events) for _, events in solution.plan
+        ],
+        # Exact accumulated route costs: the merge transplants these
+        # instead of re-splicing every assignment, so the merged plan is
+        # bit-identical to the shard state (and the merge is O(plan)).
+        "route_costs": [
+            solution.plan.route_cost(user)
+            for user in range(shard_instance.n_users)
+        ],
+        "cancelled": sorted(solution.cancelled),
+        "diagnostics": dict(solution.diagnostics),
+        "counters": dict(recorder.counters),
+        "seconds": span.elapsed,
+    }
+
+
+def _repair_candidates(
+    instance: Instance,
+    plan: GlobalPlan,
+    partition: Partition,
+    cancelled: set[int],
+    rescued_events: set[int],
+) -> set[int]:
+    """Users worth re-filling after the merge (a subset of the fringe).
+
+    The shard fill already exhausted every in-shard opportunity, so the
+    repair only has to look at events a shard solve could not see:
+    *cross-shard* ones, plus in-shard events that were cancelled by the
+    shard but resurrected by the rescue pass.  Of those, only events with
+    residual capacity can accept anyone — so the repair user set is
+    "users with at least one reachable, open, shard-invisible event".
+    Dropping the rest is free: their fill rows could only re-prove what
+    the shard fill already decided.
+    """
+    held = np.zeros(instance.n_events, dtype=bool)
+    residual = np.zeros(instance.n_events, dtype=bool)
+    for event in range(instance.n_events):
+        if event in cancelled:
+            continue
+        spec = instance.events[event]
+        count = plan.attendance(event)
+        held[event] = (count >= spec.lower and count > 0) or spec.lower == 0
+        residual[event] = held[event] and count < spec.upper
+    if not residual.any():
+        return set()
+    invisible = partition.event_shard[None, :] != partition.user_shard[:, None]
+    if rescued_events:
+        rescued_mask = np.zeros(instance.n_events, dtype=bool)
+        rescued_mask[sorted(rescued_events)] = True
+        invisible = invisible | rescued_mask[None, :]
+    candidates = reachable_matrix(instance) & residual[None, :] & invisible
+    return set(np.flatnonzero(candidates.any(axis=1)).tolist())
+
+
+class ShardedSolver(GEPCSolver):
+    """Solve a GEPC instance as ``k`` spatial shards, optionally in parallel.
+
+    Parameters
+    ----------
+    shards:
+        Target shard count ``k`` (clamped to the event count; empty
+        clusters are dropped).  ``shards=1`` delegates to the plain
+        greedy solver and produces its bit-identical plan.
+    workers:
+        Process-pool width for the shard-solve stage.  ``workers=1``
+        solves in-process; any value produces the identical merged plan
+        (results are merged in shard order, not completion order).
+    seed:
+        Seed for both the partitioner's k-means and every shard's greedy
+        visiting order.
+    fill:
+        Whether shards run their own step-2 filler (ablation hook,
+        mirrors :class:`GreedySolver`).
+    filler:
+        The boundary-repair filler re-run on fringe users after the
+        merge (defaults to :class:`UtilityFill`).
+
+    The process pool is created lazily on the first parallel solve and
+    reused across solves; call :meth:`close` (or use the solver as a
+    context manager) to release the workers.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int = 4,
+        workers: int = 1,
+        seed: int | None = 0,
+        fill: bool = True,
+        filler=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._shards = shards
+        self._workers = workers
+        self._seed = seed
+        self._fill = fill
+        self._filler = filler or UtilityFill()
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _executor(self, width: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            kwargs = {}
+            if "fork" in multiprocessing.get_all_start_methods():
+                # Fork inherits the imported package: no re-import cost per
+                # worker, and the cheapest start-up on Linux CI runners.
+                kwargs["mp_context"] = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(max_workers=width, **kwargs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (no-op when none was started)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedSolver":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+
+    def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
+        if self._shards == 1 or instance.n_events <= 1:
+            # One shard is the monolithic problem: delegate for a
+            # bit-identical plan (the k=1 equivalence contract).
+            solution = GreedySolver(
+                seed=self._seed, fill=self._fill
+            ).solve(instance)
+            solution.solver = self.name
+            solution.diagnostics.update(
+                {"shards": 1.0, "workers": 1.0, "fringe_users": 0.0,
+                 "repair_added": 0.0}
+            )
+            return solution
+
+        partition = partition_instance(instance, self._shards, self._seed or 0)
+        results = self._solve_shards(partition.shards, obs)
+
+        with obs.span("scale.merge"):
+            plan = GlobalPlan(instance)
+            cancelled: set[int] = set()
+            diagnostics: dict[str, float] = {}
+            for shard, result in zip(partition.shards, results):
+                for local_user, events in enumerate(result["plans"]):
+                    global_user = int(shard.user_ids[local_user])
+                    # Transplant instead of plan.add: shards are disjoint
+                    # in users and events and subinstance slicing is
+                    # bit-exact, so the shard-local routes (start-sorted,
+                    # start times preserved by the id remap) and their
+                    # accumulated costs are already the global ones.
+                    route = [int(shard.event_ids[e]) for e in events]
+                    plan._plans[global_user] = route
+                    plan._route_costs[global_user] = result["route_costs"][
+                        local_user
+                    ]
+                    for event in route:
+                        plan._attendance[event] += 1
+                        plan._attendee_sets[event].add(global_user)
+                cancelled.update(
+                    int(shard.event_ids[e]) for e in result["cancelled"]
+                )
+                for key, value in result["diagnostics"].items():
+                    diagnostics[key] = diagnostics.get(key, 0.0) + value
+                for key, value in result["counters"].items():
+                    obs.count(key, value)
+                obs.gauge(
+                    f"scale.shard.{shard.index}.seconds", result["seconds"]
+                )
+
+        rescued = 0
+        rescued_events: set[int] = set()
+        if self._fill and cancelled:
+            with obs.span("scale.rescue_cancelled"):
+                before = set(cancelled)
+                rescued = self._rescue_cancelled(instance, plan, cancelled)
+                rescued_events = before - cancelled
+
+        repaired = 0
+        if self._fill:
+            repair_users = _repair_candidates(
+                instance, plan, partition, cancelled, rescued_events
+            )
+            if repair_users:
+                with obs.span("scale.boundary_repair"):
+                    repaired = self._filler.fill(
+                        instance,
+                        plan,
+                        excluded_events=cancelled,
+                        only_users=repair_users,
+                    )
+        obs.count("scale.solves")
+        obs.count("scale.rescue_added", rescued)
+        obs.count("scale.repair_added", repaired)
+        diagnostics.update(
+            {
+                "shards": float(partition.n_shards),
+                "workers": float(self._workers),
+                "fringe_users": float(len(partition.fringe_users)),
+                "rescue_added": float(rescued),
+                "repair_added": float(repaired),
+            }
+        )
+        return GEPCSolution(
+            plan,
+            cancelled=cancelled,
+            solver=self.name,
+            diagnostics=diagnostics,
+        )
+
+    def _rescue_cancelled(
+        self, instance: Instance, plan: GlobalPlan, cancelled: set[int]
+    ) -> int:
+        """Retry shard-cancelled events against the *global* user pool.
+
+        A shard cancels an event when its own users cannot meet the
+        event's ``xi`` lower bound — but users from other shards may well
+        cover it (the monolithic solver would have).  For each cancelled
+        event, in ascending id order, users are tried in descending
+        utility (ties by id) and committed only if the lower bound is
+        reached; otherwise every tentative add is rolled back, so a
+        still-deficient event stays cancelled and attendance-free.
+
+        Returns the number of assignments committed.
+        """
+        rescued = 0
+        for event in sorted(cancelled):
+            spec = instance.events[event]
+            order = sorted(
+                range(instance.n_users),
+                key=lambda u: (-float(instance.utility[u, event]), u),
+            )
+            added: list[int] = []
+            for user in order:
+                if plan.attendance(event) >= spec.upper:
+                    break
+                if instance.utility[user, event] <= 0.0:
+                    break
+                if plan.can_attend(user, event):
+                    plan.add(user, event)
+                    added.append(user)
+            if len(added) >= spec.lower:
+                cancelled.discard(event)
+                rescued += len(added)
+            else:
+                for user in added:
+                    plan.remove(user, event)
+        return rescued
+
+    def _solve_shards(self, shards: list[Shard], obs) -> list[dict]:
+        payloads = [
+            (shard.index, shard.instance, self._seed, self._fill)
+            for shard in shards
+        ]
+        width = min(self._workers, len(shards))
+        with obs.span("scale.solve_shards"):
+            if width <= 1:
+                return [_solve_shard(payload) for payload in payloads]
+            pool = self._executor(width)
+            # map() preserves submission order: merge order (and thus the
+            # final plan) is independent of completion order.
+            return list(pool.map(_solve_shard, payloads))
+
+    def partition(self, instance: Instance) -> Partition:
+        """The partition :meth:`solve` would use (for inspection/tests)."""
+        return partition_instance(instance, self._shards, self._seed or 0)

@@ -116,3 +116,35 @@ class TestRepin:
         assert abs(drift) < AUDIT_FLOAT_TOL
         assert plan.route_cost(user) == cached  # untouched below tolerance
         assert user in plan._kernel_cache  # kernel row survives
+
+
+class TestShardedFuzz:
+    SHARDED = FuzzConfig(
+        operations=6, n_users=16, n_events=8, sharded=True, shard_count=3
+    )
+
+    def test_sharded_mode_is_clean(self):
+        report = fuzz_seed(0, self.SHARDED)
+        assert report.ok, report.mismatches or report.violations
+        assert report.sharded_utility_ratio > 0
+
+    def test_sharded_mode_is_deterministic(self):
+        first = fuzz_seed(2, self.SHARDED)
+        second = fuzz_seed(2, self.SHARDED)
+        assert first.checks == second.checks
+        assert first.final_utility == second.final_utility
+        assert first.sharded_utility_ratio == second.sharded_utility_ratio
+
+    def test_sharded_mode_adds_checks_over_plain(self):
+        plain = fuzz_seed(3, FAST)
+        sharded = fuzz_seed(3, self.SHARDED)
+        assert sharded.checks > plain.checks
+
+    def test_sharded_cli_flag(self, capsys):
+        from repro import cli
+
+        code = cli.main(
+            ["fuzz", "--seeds", "1", "--operations", "4", "--sharded"]
+        )
+        assert code == 0
+        assert "mismatches" in capsys.readouterr().out

@@ -82,3 +82,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "End-of-run audit" in out
         assert "published" in out
+
+
+class TestScaleFlags:
+    def test_solve_sharded(self, capsys):
+        code = main(
+            ["solve", "--city", "beijing", "--scale", "0.3",
+             "--shards", "3", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded" in out
+
+    def test_shards_reject_gap_solver(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["solve", "--city", "beijing", "--solver", "gap",
+                 "--shards", "2"]
+            )
+
+    def test_simulate_batched(self, capsys):
+        code = main(
+            ["simulate", "--city", "beijing", "--scale", "0.3",
+             "--operations", "8", "--batch", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batched" in out
+        assert "folded" in out
+
+    def test_simulate_batched_defaults_to_serial(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.batch == 1
+        assert args.shards == 1
+        assert args.workers == 1
+
+    def test_fuzz_sharded_flag_parsed(self):
+        args = build_parser().parse_args(["fuzz", "--sharded"])
+        assert args.sharded is True

@@ -1,0 +1,195 @@
+"""BatchedPlatform: coalescing rules, backpressure, replay equivalence."""
+
+import pytest
+
+from repro.core.iep.operations import (
+    BudgetChange,
+    EtaDecrease,
+    EtaIncrease,
+    NewEvent,
+    TimeChange,
+    UtilityChange,
+    XiDecrease,
+    XiIncrease,
+)
+from repro.core.plan import PlanSummary
+from repro.datasets import MeetupConfig, generate_ebsn
+from repro.geo.point import Point
+from repro.platform import EBSNPlatform, OperationStream
+from repro.scale import BatchedPlatform, coalesce_operations
+from repro.timeline.interval import Interval
+
+
+@pytest.fixture()
+def instance():
+    return generate_ebsn(MeetupConfig(n_users=40, n_events=8, seed=3))
+
+
+@pytest.fixture()
+def platform(instance):
+    batched = BatchedPlatform(instance)
+    batched.publish_plans()
+    return batched
+
+
+class TestCoalescing:
+    def test_eta_decreases_fold_to_tightest(self):
+        survivors, folded = coalesce_operations(
+            [EtaDecrease(0, 5), EtaDecrease(0, 3), EtaDecrease(0, 4)]
+        )
+        assert survivors == [EtaDecrease(0, 3)]
+        assert folded == 2
+
+    def test_eta_increases_fold_to_loosest(self):
+        survivors, _ = coalesce_operations(
+            [EtaIncrease(1, 6), EtaIncrease(1, 9)]
+        )
+        assert survivors == [EtaIncrease(1, 9)]
+
+    def test_xi_bounds_fold_to_extremes(self):
+        survivors, _ = coalesce_operations(
+            [XiIncrease(2, 3), XiIncrease(2, 5), XiDecrease(3, 2),
+             XiDecrease(3, 1)]
+        )
+        assert XiIncrease(2, 5) in survivors
+        assert XiDecrease(3, 1) in survivors
+
+    def test_attribute_writes_are_last_wins(self):
+        survivors, folded = coalesce_operations(
+            [BudgetChange(4, 10.0), BudgetChange(4, 20.0),
+             UtilityChange(1, 2, 0.5), UtilityChange(1, 2, 0.9)]
+        )
+        assert survivors == [BudgetChange(4, 20.0), UtilityChange(1, 2, 0.9)]
+        assert folded == 2
+
+    def test_different_targets_never_fold(self):
+        survivors, folded = coalesce_operations(
+            [EtaDecrease(0, 5), EtaDecrease(1, 5), BudgetChange(0, 9.0),
+             BudgetChange(1, 9.0)]
+        )
+        assert len(survivors) == 4
+        assert folded == 0
+
+    def test_different_types_on_same_event_never_fold(self):
+        operations = [
+            EtaDecrease(0, 5),
+            EtaIncrease(0, 9),
+            XiDecrease(0, 0),
+            TimeChange(0, Interval(0.0, 1.0)),
+        ]
+        survivors, folded = coalesce_operations(operations)
+        assert survivors == operations
+        assert folded == 0
+
+    def test_new_events_never_fold(self):
+        ops = [
+            NewEvent(Point(0.0, 0.0), 0, 3, Interval(0.0, 1.0), [0.0] * 4),
+            NewEvent(Point(1.0, 1.0), 0, 3, Interval(2.0, 3.0), [0.0] * 4),
+        ]
+        survivors, folded = coalesce_operations(list(ops))
+        assert len(survivors) == 2
+        assert folded == 0
+
+    def test_first_occurrence_order_preserved(self):
+        survivors, _ = coalesce_operations(
+            [EtaDecrease(0, 5), BudgetChange(1, 9.0), EtaDecrease(0, 4)]
+        )
+        assert survivors == [EtaDecrease(0, 4), BudgetChange(1, 9.0)]
+
+
+class TestFlushAndBackpressure:
+    def test_empty_flush_is_a_noop(self, platform):
+        result = platform.flush()
+        assert result.submitted == 0
+        assert result.applied == []
+        assert result.ok
+
+    def test_flush_applies_and_audits_once(self, platform):
+        upper = platform.instance.events[0].upper
+        platform.enqueue(EtaDecrease(0, max(1, upper - 1)))
+        platform.enqueue(BudgetChange(1, 25.0))
+        result = platform.flush()
+        assert result.submitted == 2
+        assert len(result.applied) == 2
+        assert result.violations == 0
+        assert platform.queue_depth() == 0
+
+    def test_max_pending_forces_flush(self, instance):
+        batched = BatchedPlatform(instance, max_pending=3)
+        batched.publish_plans()
+        for user in range(3):
+            batched.enqueue(BudgetChange(user, 30.0))
+        stats = batched.stats()
+        assert stats["forced_flushes"] == 1
+        assert stats["applied"] == 3
+        assert batched.queue_depth() == 0
+
+    def test_invalid_operations_rejected_not_applied(self, platform):
+        platform.enqueue(BudgetChange(0, 30.0))
+        platform.enqueue(EtaDecrease(10**6, 1))  # no such event
+        result = platform.flush()
+        assert len(result.applied) == 1
+        assert len(result.rejected) == 1
+        assert result.violations == 0
+        assert len(platform.applied_log) == 1
+
+    def test_stats_track_coalescing(self, platform):
+        upper = platform.instance.events[0].upper
+        platform.enqueue(EtaDecrease(0, max(1, upper - 1)))
+        platform.enqueue(EtaDecrease(0, max(1, upper - 2)))
+        platform.flush()
+        stats = platform.stats()
+        assert stats["enqueued"] == 2
+        assert stats["folded"] == 1
+        assert stats["applied"] == 1
+
+    def test_invalid_max_pending_rejected(self, instance):
+        with pytest.raises(ValueError):
+            BatchedPlatform(instance, max_pending=0)
+
+
+class TestReplayEquivalence:
+    def test_serial_replay_of_applied_log_matches(self, instance):
+        batched = BatchedPlatform(instance)
+        batched.publish_plans()
+        stream = OperationStream(seed=11)
+        for _ in range(4):
+            for operation in stream.mixed(batched.instance, batched.plan, 5):
+                batched.enqueue(operation)
+            batched.flush()
+        batched.drain()
+
+        serial = EBSNPlatform(instance)
+        serial.publish_plans()
+        for operation in batched.applied_log:
+            serial.submit(operation)
+        assert PlanSummary.of(serial.plan) == PlanSummary.of(batched.plan)
+        assert serial.audit()["utility"] == pytest.approx(
+            batched.snapshot()["utility"]
+        )
+
+    def test_snapshot_has_no_violations(self, instance):
+        batched = BatchedPlatform(instance)
+        batched.publish_plans()
+        stream = OperationStream(seed=2)
+        for operation in stream.mixed(batched.instance, batched.plan, 12):
+            batched.enqueue(operation)
+        batched.drain()
+        snapshot = batched.snapshot()
+        assert snapshot["violations"] == 0
+        assert snapshot["queue_depth"] == 0
+
+    def test_replay_is_seed_stable(self, instance):
+        logs = []
+        for _ in range(2):
+            batched = BatchedPlatform(instance)
+            batched.publish_plans()
+            stream = OperationStream(seed=7)
+            for _ in range(3):
+                for operation in stream.mixed(
+                    batched.instance, batched.plan, 4
+                ):
+                    batched.enqueue(operation)
+                batched.flush()
+            logs.append(batched.applied_log)
+        assert logs[0] == logs[1]
