@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.tolerances import BUDGET_TOL
 from repro.lp.model import LinearProgram
 from repro.lp.solve import solve_lp
 
@@ -83,7 +84,7 @@ class GAPInstance:
 
     def allowed(self) -> np.ndarray:
         """Boolean mask of assignments admitted by the ST pruning rule."""
-        fits = self.loads <= self.capacities[:, None] + 1e-9
+        fits = self.loads <= self.capacities[:, None] + BUDGET_TOL
         return fits & ~self.forbidden
 
     def unit_cost(self, assignment: list[tuple[int, int]]) -> float:

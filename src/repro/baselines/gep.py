@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.core.gepc.base import GEPCSolution, GEPCSolver
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 class GEPSolver(GEPCSolver):
@@ -23,6 +24,7 @@ class GEPSolver(GEPCSolver):
     name = "gep-no-lower-bounds"
 
     def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
         plan = GlobalPlan(instance)
         residual = [event.upper for event in instance.events]
         candidates = [
@@ -33,13 +35,15 @@ class GEPSolver(GEPCSolver):
         ]
         candidates.sort()
         added = 0
-        for _, user, event in candidates:
-            if residual[event] <= 0:
-                continue
-            if plan.can_attend(user, event):
-                plan.add(user, event)
-                residual[event] -= 1
-                added += 1
+        with obs.span("gep.insert"):
+            for _, user, event in candidates:
+                if residual[event] <= 0:
+                    continue
+                if plan.can_attend(user, event):
+                    plan.add(user, event)
+                    residual[event] -= 1
+                    added += 1
+        obs.count("gep.copies_added", added)
         return GEPCSolution(
             plan,
             solver=self.name,

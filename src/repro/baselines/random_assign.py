@@ -17,6 +17,7 @@ from repro.core.gepc.base import (
 )
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 class RandomSolver(GEPCSolver):
@@ -29,20 +30,22 @@ class RandomSolver(GEPCSolver):
         self._attempts = attempts_per_user
 
     def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
         rng = random.Random(self._seed)
         plan = GlobalPlan(instance)
         residual = [event.upper for event in instance.events]
 
         users = list(range(instance.n_users))
         rng.shuffle(users)
-        for user in users:
-            for _ in range(self._attempts):
-                event = rng.randrange(instance.n_events) if instance.n_events else None
-                if event is None:
-                    break
-                if residual[event] > 0 and plan.can_attend(user, event):
-                    plan.add(user, event)
-                    residual[event] -= 1
+        with obs.span("random.assign"):
+            for user in users:
+                for _ in range(self._attempts):
+                    event = rng.randrange(instance.n_events) if instance.n_events else None
+                    if event is None:
+                        break
+                    if residual[event] > 0 and plan.can_attend(user, event):
+                        plan.add(user, event)
+                        residual[event] -= 1
 
         cancelled = cancel_deficient_events(instance, plan)
         return GEPCSolution(plan, cancelled=cancelled, solver=self.name)

@@ -16,6 +16,7 @@ from repro.core.metrics import dif as dif_metric
 from repro.core.metrics import total_utility
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 @dataclass
@@ -45,9 +46,11 @@ class RerunBaseline:
         operation: AtomicOperation,
     ) -> RerunOutcome:
         """Apply ``operation`` by re-solving GEPC from scratch."""
+        obs = get_recorder()
         operation.validate(instance)
         new_instance = operation.apply_to_instance(instance)
-        solution = self._solver.solve(new_instance)
+        with obs.span("rerun.resolve"):
+            solution = self._solver.solve(new_instance)
         return RerunOutcome(
             instance=new_instance,
             plan=solution.plan,

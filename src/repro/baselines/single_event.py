@@ -25,6 +25,7 @@ from repro.core.plan import GlobalPlan
 from repro.core.tolerances import BUDGET_TOL
 from repro.flow.graph import FlowNetwork
 from repro.flow.mincost import min_cost_flow
+from repro.obs import get_recorder
 
 
 class SingleEventSolver(GEPCSolver):
@@ -33,6 +34,7 @@ class SingleEventSolver(GEPCSolver):
     name = "single-event"
 
     def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
         plan = GlobalPlan(instance)
         edges = [
             (user, event)
@@ -45,7 +47,8 @@ class SingleEventSolver(GEPCSolver):
         ]
 
         if edges:
-            self._assign(instance, plan, edges)
+            with obs.span("single_event.matching"):
+                self._assign(instance, plan, edges)
         cancelled = cancel_deficient_events(instance, plan)
         return GEPCSolution(
             plan,

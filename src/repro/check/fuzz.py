@@ -201,7 +201,7 @@ def _check_kernel_vs_scalar(
         # A copy with this user's kernel row evicted exercises the scalar
         # O(k) fallback paths of can_attend/cost_with.
         cold = plan.copy()
-        cold._kernel_cache.pop(user, None)
+        cold._kernel_cache.pop(user, None)  # repro-lint: ignore[RL001] deliberate eviction to force the scalar path
         assigned = set(plan.user_plan(user))
         for event in range(instance.n_events):
             report.checks += 1

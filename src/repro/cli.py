@@ -410,6 +410,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arguments(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro-lint invariant checks "
+        "(see docs/linting.md)",
+    )
+    from repro.lint.cli import add_lint_arguments
+    from repro.lint.cli import run as lint_run
+
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=lint_run)
     return parser
 
 

@@ -4,10 +4,27 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Protocol
 
 from repro.core.metrics import total_utility
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+
+
+class Filler(Protocol):
+    """The step-2 capacity-filler contract (UtilityFill, MatchingFill)."""
+
+    name: str
+
+    def fill(
+        self,
+        instance: Instance,
+        plan: GlobalPlan,
+        excluded_events: set[int] | None = None,
+        only_users: set[int] | None = None,
+    ) -> int:
+        """Insert feasible assignments into ``plan`` in place."""
+        ...
 
 
 @dataclass

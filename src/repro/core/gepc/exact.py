@@ -23,6 +23,7 @@ from repro.core.gepc.base import GEPCSolution, GEPCSolver
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
 from repro.core.tolerances import BUDGET_TOL
+from repro.obs import get_recorder
 
 _MAX_STATES = 2_000_000
 
@@ -47,28 +48,32 @@ class ExactSolver(GEPCSolver):
         if state_space > _MAX_STATES:
             raise ValueError("state space too large for the exact solver")
 
-        feasible_plans = [
-            self._feasible_individual_plans(instance, user)
-            for user in range(instance.n_users)
-        ]
+        obs = get_recorder()
+        with obs.span("exact.enumerate"):
+            feasible_plans = [
+                self._feasible_individual_plans(instance, user)
+                for user in range(instance.n_users)
+            ]
 
         # DP over users: state -> (utility, backpointer chain).
         initial = tuple([0] * instance.n_events)
         layer: dict[tuple[int, ...], tuple[float, tuple]] = {
             initial: (0.0, ())
         }
-        for user in range(instance.n_users):
-            next_layer: dict[tuple[int, ...], tuple[float, tuple]] = {}
-            for state, (utility, back) in layer.items():
-                for events, gain in feasible_plans[user]:
-                    new_state = self._bump(instance, state, events)
-                    if new_state is None:
-                        continue
-                    candidate = (utility + gain, (back, events))
-                    incumbent = next_layer.get(new_state)
-                    if incumbent is None or candidate[0] > incumbent[0]:
-                        next_layer[new_state] = candidate
-            layer = next_layer
+        with obs.span("exact.dp"):
+            for user in range(instance.n_users):
+                next_layer: dict[tuple[int, ...], tuple[float, tuple]] = {}
+                for state, (utility, back) in layer.items():
+                    for events, gain in feasible_plans[user]:
+                        new_state = self._bump(instance, state, events)
+                        if new_state is None:
+                            continue
+                        candidate = (utility + gain, (back, events))
+                        incumbent = next_layer.get(new_state)
+                        if incumbent is None or candidate[0] > incumbent[0]:
+                            next_layer[new_state] = candidate
+                layer = next_layer
+        obs.gauge("exact.dp_states", float(len(layer)))
 
         best_state, best_value, best_back = None, -1.0, ()
         for state, (utility, back) in layer.items():

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.assignment.gap import GAPInstance, GAPStatus, solve_gap
+from repro.assignment.gap import GAPInstance, GAPResult, GAPStatus, solve_gap
 from repro.core.gepc.base import (
+    Filler,
     GEPCSolution,
     GEPCSolver,
     cancel_deficient_events,
@@ -62,7 +63,7 @@ class GAPBasedSolver(GEPCSolver):
         backend: str = "auto",
         adjust_conflicts: bool = True,
         fill: bool = True,
-        filler=None,
+        filler: Filler | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
@@ -149,7 +150,9 @@ class GAPBasedSolver(GEPCSolver):
             demands=demands,
         )
 
-    def _solve_gap_with_cancellation(self, instance: Instance):
+    def _solve_gap_with_cancellation(
+        self, instance: Instance
+    ) -> tuple[GAPResult | None, set[int]]:
         """Solve the reduction, cancelling the least valuable event on each
         infeasibility until the GAP is solvable (at worst all events with
         positive lower bounds are cancelled and the GAP is trivially empty).
@@ -181,7 +184,9 @@ class GAPBasedSolver(GEPCSolver):
             cancelled.add(victim)
 
     @staticmethod
-    def _unseatable_events(gap, instance: Instance, cancelled: set[int]):
+    def _unseatable_events(
+        gap: GAPInstance, instance: Instance, cancelled: set[int]
+    ) -> set[int]:
         """Active events whose lower bound exceeds the number of users that
         can feasibly reach them (the ST pruning mask)."""
         allowed_users = gap.allowed().sum(axis=0)

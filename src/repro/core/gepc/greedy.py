@@ -18,6 +18,7 @@ import random
 import numpy as np
 
 from repro.core.gepc.base import (
+    Filler,
     GEPCSolution,
     GEPCSolver,
     cancel_deficient_events,
@@ -48,7 +49,10 @@ class GreedySolver(GEPCSolver):
     name = "greedy"
 
     def __init__(
-        self, seed: int | None = 0, fill: bool = True, filler=None
+        self,
+        seed: int | None = 0,
+        fill: bool = True,
+        filler: Filler | None = None,
     ) -> None:
         self._seed = seed
         self._fill = fill

@@ -23,6 +23,7 @@ larger bounds, but still small user-side plan counts.
 from __future__ import annotations
 
 from itertools import combinations
+from typing import Iterator
 
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
@@ -31,6 +32,7 @@ from repro.core.gepc.base import GEPCSolution, GEPCSolver
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
 from repro.core.tolerances import BUDGET_TOL
+from repro.obs import get_recorder
 
 _MAX_COLUMNS = 200_000
 
@@ -44,15 +46,18 @@ class ILPSolver(GEPCSolver):
         self._max_plan_size = max_plan_size
 
     def solve(self, instance: Instance) -> GEPCSolution:
+        obs = get_recorder()
         columns: list[tuple[int, tuple[int, ...], float]] = []
-        for user in range(instance.n_users):
-            for events, gain in self._feasible_plans(instance, user):
-                columns.append((user, events, gain))
-            if len(columns) > _MAX_COLUMNS:
-                raise ValueError(
-                    "instance too large for the set-partitioning ILP "
-                    f"(> {_MAX_COLUMNS} columns)"
-                )
+        with obs.span("ilp.columns"):
+            for user in range(instance.n_users):
+                for events, gain in self._feasible_plans(instance, user):
+                    columns.append((user, events, gain))
+                if len(columns) > _MAX_COLUMNS:
+                    raise ValueError(
+                        "instance too large for the set-partitioning ILP "
+                        f"(> {_MAX_COLUMNS} columns)"
+                    )
+        obs.gauge("ilp.columns_built", float(len(columns)))
 
         n_z = len(columns)
         m = instance.n_events
@@ -91,12 +96,13 @@ class ILPSolver(GEPCSolver):
             LinearConstraint(lower_rows, -np.inf, np.zeros(m))
         )
 
-        result = milp(
-            objective,
-            constraints=constraints,
-            integrality=np.ones(n_vars),
-            bounds=Bounds(0.0, 1.0),
-        )
+        with obs.span("ilp.milp"):
+            result = milp(
+                objective,
+                constraints=constraints,
+                integrality=np.ones(n_vars),
+                bounds=Bounds(0.0, 1.0),
+            )
         if not result.success:  # pragma: no cover - empty plan is feasible
             raise RuntimeError(f"MILP failed: {result.message}")
 
@@ -120,7 +126,9 @@ class ILPSolver(GEPCSolver):
             },
         )
 
-    def _feasible_plans(self, instance: Instance, user: int):
+    def _feasible_plans(
+        self, instance: Instance, user: int
+    ) -> Iterator[tuple[tuple[int, ...], float]]:
         """All conflict-free within-budget plans for ``user`` (incl. empty)."""
         interesting = [
             event

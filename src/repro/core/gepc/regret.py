@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.gepc.base import (
+    Filler,
     GEPCSolution,
     GEPCSolver,
     cancel_deficient_events,
@@ -30,6 +31,7 @@ from repro.core.gepc.base import (
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.obs import get_recorder
 
 
 class RegretSolver(GEPCSolver):
@@ -37,7 +39,9 @@ class RegretSolver(GEPCSolver):
 
     name = "regret"
 
-    def __init__(self, fill: bool = True, filler=None) -> None:
+    def __init__(
+        self, fill: bool = True, filler: Filler | None = None
+    ) -> None:
         self._fill = fill
         self._filler = filler or UtilityFill()
 
@@ -55,22 +59,28 @@ class RegretSolver(GEPCSolver):
             for event in range(instance.n_events)
         ]
 
+        obs = get_recorder()
         placed = 0
-        while True:
-            choice = self._most_regretted(instance, plan, remaining, candidates)
-            if choice is None:
-                break
-            event, user = choice
-            plan.add(user, event)
-            remaining[event] -= 1
-            placed += 1
+        with obs.span("regret.place"):
+            while True:
+                choice = self._most_regretted(
+                    instance, plan, remaining, candidates
+                )
+                if choice is None:
+                    break
+                event, user = choice
+                plan.add(user, event)
+                remaining[event] -= 1
+                placed += 1
 
         cancelled = cancel_deficient_events(instance, plan)
         filled = 0
         if self._fill:
-            filled = self._filler.fill(
-                instance, plan, excluded_events=cancelled
-            )
+            with obs.span("regret.fill"):
+                filled = self._filler.fill(
+                    instance, plan, excluded_events=cancelled
+                )
+        obs.count("regret.copies_placed", placed)
         return GEPCSolution(
             plan,
             cancelled=cancelled,

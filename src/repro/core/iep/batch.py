@@ -31,6 +31,7 @@ from repro.core.metrics import total_utility
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
 from repro.core.repair import repair_lower_bounds, strip_violations
+from repro.obs import get_recorder
 
 
 @dataclass
@@ -57,21 +58,25 @@ class BatchIEPEngine:
         plan: GlobalPlan,
         operations: list[AtomicOperation],
     ) -> BatchResult:
-        for operation in operations:
-            operation.validate(instance)
-            instance = operation.apply_to_instance(instance)
+        obs = get_recorder()
+        with obs.span("batch.fold"):
+            for operation in operations:
+                operation.validate(instance)
+                instance = operation.apply_to_instance(instance)
         # Note: validation against intermediate instances intentionally --
         # a batch is an ordered change list, exactly like the sequential
         # engine sees it.
 
         new_plan = plan.rebound_to(instance)
         diagnostics: dict[str, float] = {}
-        touched = strip_violations(instance, new_plan, diagnostics)
-        repair_lower_bounds(instance, new_plan, diagnostics)
-        if touched:
-            diagnostics["refilled"] = float(
-                UtilityFill().fill(instance, new_plan, only_users=touched)
-            )
+        with obs.span("batch.repair"):
+            touched = strip_violations(instance, new_plan, diagnostics)
+            repair_lower_bounds(instance, new_plan, diagnostics)
+            if touched:
+                diagnostics["refilled"] = float(
+                    UtilityFill().fill(instance, new_plan, only_users=touched)
+                )
+        obs.count("batch.operations", len(operations))
         return BatchResult(
             instance=instance,
             plan=new_plan,

@@ -14,6 +14,7 @@ their inner loops.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,21 @@ from repro.timeline.conflicts import (
     patched_conflict_matrix,
 )
 from repro.timeline.interval import Interval
+
+if TYPE_CHECKING:
+    from repro.core.costs import CostModel
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    """A write-locked view; the internal cache array stays writable.
+
+    Freezing a *view* (rather than the array itself) matters for
+    ``fee_vector``: ``np.asarray`` may alias the caller's
+    ``cost_model.fees``, which must not be locked behind their back.
+    """
+    view = array.view()
+    view.flags.writeable = False
+    return view
 
 
 @dataclass(frozen=True, slots=True)
@@ -94,7 +110,7 @@ class Instance:
         users: list[User],
         events: list[Event],
         utility: np.ndarray,
-        cost_model=None,
+        cost_model: CostModel | None = None,
     ) -> None:
         from repro.core.costs import DEFAULT_COST_MODEL
 
@@ -133,7 +149,7 @@ class Instance:
         users: list[User],
         events: list[Event],
         utility: np.ndarray,
-        cost_model,
+        cost_model: CostModel,
     ) -> "Instance":
         """Trusted construction path for the ``with_*`` functional updates.
 
@@ -210,7 +226,7 @@ class Instance:
                 self._conflict_matrix = conflict_matrix(
                     [e.interval for e in self.events]
                 )
-        return self._conflict_matrix
+        return _read_only(self._conflict_matrix)
 
     @property
     def event_starts(self) -> np.ndarray:
@@ -219,7 +235,7 @@ class Instance:
             self._event_starts = np.array(
                 [e.start for e in self.events], dtype=float
             )
-        return self._event_starts
+        return _read_only(self._event_starts)
 
     @property
     def fee_vector(self) -> np.ndarray:
@@ -229,7 +245,7 @@ class Instance:
                 self._fee_vector = np.zeros(self.n_events)
             else:
                 self._fee_vector = np.asarray(self.cost_model.fees, dtype=float)
-        return self._fee_vector
+        return _read_only(self._fee_vector)
 
     # ------------------------------------------------------------------ #
     # Pickling (shard dispatch to worker processes)
@@ -410,7 +426,7 @@ class Instance:
     # Functional updates (used by the IEP atomic operations)
     # ------------------------------------------------------------------ #
 
-    def with_event(self, event_id: int, **changes) -> "Instance":
+    def with_event(self, event_id: int, **changes: object) -> "Instance":
         """A new instance with one event's attributes replaced.
 
         Cached geometry and conflict structures are carried forward whenever
@@ -461,7 +477,7 @@ class Instance:
         instance._fee_vector = self._fee_vector
         return instance
 
-    def with_user(self, user_id: int, **changes) -> "Instance":
+    def with_user(self, user_id: int, **changes: object) -> "Instance":
         """A new instance with one user's attributes replaced.
 
         A budget change preserves the distance cache by identity; a home

@@ -24,6 +24,7 @@ solvers' inner loops run on (see ``docs/performance.md``):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -33,7 +34,7 @@ from repro.core.tolerances import BUDGET_TOL, ROUTE_DRIFT_REPIN_TOL
 # Mutation observers installed by repro.check.shadow (empty in normal
 # operation: the guard is one truthiness test per add/remove).  Each hook
 # is called as ``hook(plan, action, user, event)`` after the mutation.
-_MUTATION_HOOKS: list = []
+_MUTATION_HOOKS: list[Callable[["GlobalPlan", str, int, int], None]] = []
 
 
 class GlobalPlan:
@@ -92,7 +93,7 @@ class GlobalPlan:
         """Events with at least one attendee."""
         return {j for j, count in enumerate(self._attendance) if count > 0}
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[int, tuple[int, ...]]]:
         """Iterate ``(user, (event ids...))`` pairs.
 
         Plans are exposed as tuples built straight off the internal lists —
@@ -249,13 +250,12 @@ class GlobalPlan:
             )
         return delta - fee
 
-    def blocked_counts(self, user: int) -> np.ndarray:
-        """``user``'s blocked-event counter row (treat as read-only).
+    def _blocked_row(self, user: int) -> np.ndarray:
+        """``user``'s *writable* blocked-counter row (internal only).
 
-        ``blocked_counts(u)[f]`` is the number of events in ``u``'s plan
-        that conflict with event ``f`` — zero means conflict-free.  Built
-        lazily from the dense conflict matrix, then maintained on every
-        add/remove.
+        ``_touch`` maintains the row in place (``blocked += row``), so the
+        cached array itself must stay writable; only the public accessor
+        hands out a locked view.
         """
         blocked = self._blocked.get(user)
         if blocked is None:
@@ -268,9 +268,21 @@ class GlobalPlan:
             self._blocked[user] = blocked
         return blocked
 
+    def blocked_counts(self, user: int) -> np.ndarray:
+        """``user``'s blocked-event counter row (read-only view).
+
+        ``blocked_counts(u)[f]`` is the number of events in ``u``'s plan
+        that conflict with event ``f`` — zero means conflict-free.  Built
+        lazily from the dense conflict matrix, then maintained on every
+        add/remove.
+        """
+        view = self._blocked_row(user).view()
+        view.flags.writeable = False
+        return view
+
     def conflict_count(self, user: int, event: int) -> int:
         """How many of ``user``'s assigned events conflict with ``event``."""
-        return int(self.blocked_counts(user)[event])
+        return int(self._blocked_row(user)[event])
 
     def insertion_deltas(self, user: int) -> np.ndarray:
         """Splice route-cost deltas for adding *each* event to ``user``'s
@@ -325,7 +337,7 @@ class GlobalPlan:
         deltas.flags.writeable = False
 
         mask = instance.utility[user] > 0.0
-        mask &= self.blocked_counts(user) == 0
+        mask &= self._blocked_row(user) == 0
         budget = instance.users[user].budget
         mask &= (
             self._route_costs[user] + deltas <= budget + BUDGET_TOL

@@ -1,0 +1,84 @@
+"""Configuration loading for repro-lint (``[tool.repro-lint]``).
+
+The engine works with built-in defaults when no ``pyproject.toml`` is
+found *or* when no TOML parser is available (Python 3.10 without
+``tomli``): the shipped defaults mirror the repository's committed
+configuration, so the self-check stays green on every supported
+interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+try:
+    import tomllib as _toml
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10
+    try:
+        import tomli as _toml  # type: ignore[import-not-found,no-redef]
+    except ModuleNotFoundError:
+        _toml = None  # type: ignore[assignment]
+
+DEFAULT_PATHS = ["src"]
+DEFAULT_EXCLUDE = ["tests", ".git", "__pycache__", "build", "dist"]
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint configuration (defaults merged with pyproject)."""
+
+    paths: list[str] = field(default_factory=lambda: list(DEFAULT_PATHS))
+    exclude: list[str] = field(default_factory=lambda: list(DEFAULT_EXCLUDE))
+    rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    root: Path = field(default_factory=Path.cwd)
+
+
+def _normalise_keys(options: dict[str, Any]) -> dict[str, Any]:
+    """TOML keys use dashes; rule options use underscores."""
+    return {key.replace("-", "_"): value for key, value in options.items()}
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    for candidate in [current, *current.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(
+    pyproject: Path | None = None, start: Path | None = None
+) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``pyproject`` (or discover it).
+
+    Missing file, missing table, or missing TOML parser all degrade to
+    the built-in defaults rather than failing the run.
+    """
+    if pyproject is None:
+        pyproject = find_pyproject(start or Path.cwd())
+    config = LintConfig()
+    if pyproject is None or _toml is None:
+        return config
+    config.root = pyproject.parent
+    try:
+        with open(pyproject, "rb") as handle:
+            data = _toml.load(handle)
+    except (OSError, ValueError):  # pragma: no cover - unreadable file
+        return config
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        return config
+    if isinstance(table.get("paths"), list):
+        config.paths = [str(p) for p in table["paths"]]
+    if isinstance(table.get("exclude"), list):
+        config.exclude = [str(p) for p in table["exclude"]]
+    rules = table.get("rules", {})
+    if isinstance(rules, dict):
+        for code, options in rules.items():
+            if isinstance(options, dict):
+                config.rule_options[code.lower()] = _normalise_keys(options)
+    return config

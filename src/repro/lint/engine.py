@@ -1,0 +1,148 @@
+"""The repro-lint engine: walk files, run rules, apply suppressions.
+
+One :class:`~repro.lint.context.ModuleContext` is built per file; every
+selected rule walks the same tree.  Inline suppressions are resolved
+afterwards so unused markers can be reported (``RL000``).  Files that do
+not parse yield a single ``RL900 parse-error`` finding instead of
+aborting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  (populates the registry)
+from repro.lint.config import LintConfig, load_config
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import RULES, Rule, instantiate_rules
+from repro.lint.suppressions import apply_suppressions
+
+PARSE_ERROR_CODE = "RL900"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, assuming a ``src``-layout checkout."""
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def iter_python_files(paths: list[Path], exclude: list[str]) -> list[Path]:
+    excluded = set(exclude)
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in excluded for part in candidate.parts):
+                continue
+            files.append(candidate)
+    return files
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<string>",
+    rules: list[Rule] | None = None,
+    config: LintConfig | None = None,
+    select: list[str] | None = None,
+) -> LintResult:
+    """Lint one in-memory module (the fixture-test entry point)."""
+    if rules is None:
+        rule_options = config.rule_options if config else {}
+        rules = instantiate_rules(rule_options, select)
+    result = LintResult(files=1)
+    try:
+        context = ModuleContext.from_source(source, path=path, module=module)
+    except SyntaxError as error:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                name="parse-error",
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        return result
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(context))
+    kept, suppressed = apply_suppressions(context, findings, set(RULES))
+    result.findings = sorted(kept)
+    result.suppressed = sorted(suppressed)
+    return result
+
+
+def run_lint(
+    paths: list[str | Path] | None = None,
+    *,
+    config: LintConfig | None = None,
+    select: list[str] | None = None,
+) -> LintResult:
+    """Lint files/directories; defaults come from ``[tool.repro-lint]``."""
+    if config is None:
+        config = load_config()
+    if paths:
+        roots = [Path(p) for p in paths]
+    else:
+        roots = [config.root / p for p in config.paths]
+    rules = instantiate_rules(config.rule_options, select)
+    total = LintResult()
+    for path in iter_python_files(roots, config.exclude):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:  # pragma: no cover - unreadable file
+            total.findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    column=0,
+                    code=PARSE_ERROR_CODE,
+                    name="parse-error",
+                    message=f"cannot read file: {error}",
+                )
+            )
+            continue
+        result = lint_source(
+            source,
+            module=module_name_for(path),
+            path=str(path),
+            rules=rules,
+        )
+        total.findings.extend(result.findings)
+        total.suppressed.extend(result.suppressed)
+        total.files += 1
+    total.findings.sort()
+    total.suppressed.sort()
+    return total

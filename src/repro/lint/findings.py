@@ -1,0 +1,38 @@
+"""Finding model shared by every repro-lint rule and reporter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordered by ``(path, line, column, code)`` so reports are stable across
+    runs and across rule-execution order.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    name: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column + 1}: "
+            f"{self.code} [{self.name}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-reporter shape (``docs/linting.md`` documents it)."""
+        return {
+            "code": self.code,
+            "name": self.name,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+        }

@@ -1,0 +1,82 @@
+"""Rule base class and the per-rule registry.
+
+A rule is a small class with a ``code`` (``RL001``...), a kebab-case
+``name``, ``default_options`` (overridable from ``[tool.repro-lint]`` in
+``pyproject.toml``), and a ``check(context)`` method returning findings.
+Importing :mod:`repro.lint.rules` populates :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+RULES: dict[str, type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for repro-lint rules."""
+
+    code: str = "RL000"
+    name: str = "unnamed"
+    description: str = ""
+    default_options: dict[str, Any] = {}
+
+    def __init__(self, options: dict[str, Any] | None = None) -> None:
+        merged = dict(self.default_options)
+        if options:
+            merged.update(options)
+        self.options = merged
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        context: ModuleContext,
+        node: ast.AST | int,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at an AST node (or a bare line number)."""
+        if isinstance(node, int):
+            line, column = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0)
+        return Finding(
+            path=context.path,
+            line=line,
+            column=column,
+            code=self.code,
+            name=self.name,
+            message=message,
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (keyed by code)."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def instantiate_rules(
+    rule_options: dict[str, dict[str, Any]] | None = None,
+    select: list[str] | None = None,
+) -> list[Rule]:
+    """Build rule instances with config overrides applied.
+
+    ``select`` restricts to the given codes (the unused-suppression check
+    always runs in the engine regardless of selection).
+    """
+    rule_options = rule_options or {}
+    rules = []
+    for code in sorted(RULES):
+        if select is not None and code not in select:
+            continue
+        rules.append(RULES[code](rule_options.get(code.lower(), {})))
+    return rules

@@ -1,0 +1,55 @@
+"""Text and JSON reporters for repro-lint results.
+
+The JSON shape is a stable contract (CI consumes it; tests pin it)::
+
+    {
+      "version": 1,
+      "files": 42,
+      "summary": {"findings": 2, "suppressed": 5, "by_rule": {"RL002": 2}},
+      "findings": [
+        {"code": "RL002", "name": "tolerance-discipline",
+         "message": "...", "path": "src/...", "line": 10, "column": 4}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.format() for finding in result.findings]
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files} file(s) checked"
+    )
+    if result.findings:
+        by_rule = ", ".join(
+            f"{code}: {count}" for code, count in result.by_rule().items()
+        )
+        summary += f" [{by_rule}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_dict(result: LintResult) -> dict[str, object]:
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files": result.files,
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "by_rule": result.by_rule(),
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_dict(result), indent=2, sort_keys=True)

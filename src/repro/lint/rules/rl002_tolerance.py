@@ -1,0 +1,77 @@
+"""RL002 tolerance-discipline: budget/cost comparisons use the shared slack.
+
+Route costs are maintained by O(1) splice deltas, so the two sides of a
+feasibility comparison rarely see bit-identical floats — every budget/cost
+comparison must use the *same* tolerance (``repro.core.tolerances``) or a
+plan one layer builds can be flagged infeasible by another.  Before PR 3
+the solvers used ``1e-9`` while the checker used ``1e-6``; this rule flags
+any ordering comparison that mixes a cost-flavoured expression with a raw
+tolerance-sized float literal, which is exactly how that bug looked.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext, module_matches
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+@register
+class ToleranceDiscipline(Rule):
+    code = "RL002"
+    name = "tolerance-discipline"
+    description = (
+        "budget/cost comparisons must use repro.core.tolerances, not raw "
+        "float literals"
+    )
+    default_options = {
+        # Case-insensitive substrings that mark an expression as carrying
+        # budget/cost semantics.
+        "keywords": ["budget", "route_cost", "cost", "load", "capacit", "fee"],
+        # A float literal at most this large (and non-zero) reads as a
+        # hand-rolled tolerance.
+        "max_literal": 1e-3,
+        # The module that *defines* the shared tolerances.
+        "exclude_modules": ["repro.core.tolerances"],
+    }
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if module_matches(context.module, self.options["exclude_modules"]):
+            return []
+        keywords = [str(k).lower() for k in self.options["keywords"]]
+        max_literal = float(self.options["max_literal"])
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, _ORDERING_OPS) for op in node.ops):
+                continue
+            literals = [
+                child.value
+                for child in ast.walk(node)
+                if isinstance(child, ast.Constant)
+                and isinstance(child.value, float)
+                and 0.0 < abs(child.value) <= max_literal
+            ]
+            if not literals:
+                continue
+            text = context.segment(node).lower()
+            matched = next((k for k in keywords if k in text), None)
+            if matched is None:
+                continue
+            findings.append(
+                self.finding(
+                    context,
+                    node,
+                    f"raw tolerance literal {literals[0]!r} in a "
+                    f"'{matched}' comparison — use "
+                    "repro.core.tolerances.BUDGET_TOL so builder and "
+                    "checker agree on the feasibility boundary "
+                    "(the PR-3 mixed-tolerance bug class)",
+                )
+            )
+        return findings

@@ -1,0 +1,178 @@
+"""RL004 leaked-mutable-array: internal ndarrays leave public APIs locked.
+
+The kernel caches (blocked-counter rows, the dense conflict matrix, the
+start/fee vectors) are handed to callers as "treat as read-only" — but a
+*writable* return value makes that a comment, not a contract: one stray
+``row[j] += 1`` in a caller corrupts the cache for every later query, and
+nothing crashes until the shadow auditor happens to compare.  A public
+method returning one of these arrays must either ``.copy()`` it or freeze
+it (``view.flags.writeable = False`` / ``.setflags(write=False)``, the
+``DistanceMatrix.user_event_row`` idiom).
+
+The analysis is intra-procedural and flow-insensitive: a local name
+assigned from a tracked cache attribute anywhere in the function is
+tainted, a ``.copy()`` in the returned expression cleanses it, and a
+function that freezes *any* array is trusted to return the frozen one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+def _freezes_an_array(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the body write-locks some array (flags/setflags idioms)."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "writeable"
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "flags"
+                ):
+                    return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setflags"
+        ):
+            return True
+    return False
+
+
+def _contains_copy(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.Call)
+        and isinstance(child.func, ast.Attribute)
+        and child.func.attr in ("copy", "tolist", "item")
+        for child in ast.walk(node)
+    )
+
+
+# Calls that collapse an array read to a scalar (or fresh object): a value
+# routed through one of these cannot leak a writable array reference.
+_SCALAR_CONVERTERS = frozenset(
+    {"bool", "int", "float", "str", "len", "tuple", "list", "dict", "sorted"}
+)
+
+
+def _bound_names(target: ast.AST) -> list[str]:
+    """Names *bound* by an assignment target.
+
+    ``clone._cache = value`` stores *into* ``clone`` — it does not bind the
+    name ``clone`` to the value — so attribute/subscript targets bind
+    nothing; only plain names (possibly inside tuple/list unpacking) do.
+    """
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_bound_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _bound_names(target.value)
+    return []
+
+
+@register
+class LeakedMutableArray(Rule):
+    code = "RL004"
+    name = "leaked-mutable-array"
+    description = (
+        "public methods must not return internal cache ndarrays without "
+        "freezing or copying them"
+    )
+    default_options = {
+        # Attribute names whose ndarray values are internal caches.  The
+        # DistanceMatrix blocks (_user_event/_event_event) are deliberately
+        # absent: their accessor properties sit on the solvers' hottest
+        # O(1) path, where a per-call view allocation is measurable — the
+        # row accessors expose the frozen-view idiom instead.
+        "attributes": [
+            "_blocked", "_conflict_matrix", "_event_starts", "_fee_vector",
+            "_kernel_cache",
+        ],
+        # Helper functions that return a write-locked view of their
+        # argument; a value routed through one of these is safe to return.
+        "freeze_helpers": ["_read_only"],
+    }
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        attributes = set(self.options["attributes"])
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            if _freezes_an_array(node):
+                continue
+            findings.extend(self._check_function(context, node, attributes))
+        return findings
+
+    def _check_function(
+        self,
+        context: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        attributes: set[str],
+    ) -> list[Finding]:
+        tainted: set[str] = set()
+        cleansers = _SCALAR_CONVERTERS | set(self.options["freeze_helpers"])
+
+        def expr_tainted(expr: ast.AST) -> bool:
+            if _contains_copy(expr):
+                return False
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in cleansers
+            ):
+                return False
+            if isinstance(expr, ast.Attribute) and expr.attr in attributes:
+                return True
+            if isinstance(expr, ast.Name) and expr.id in tainted:
+                return True
+            return any(
+                expr_tainted(child)
+                for child in ast.iter_child_nodes(expr)
+            )
+
+        # Two passes: taint can flow through one intermediate assignment
+        # chain (a = self._cache.get(u); b = a; return b).
+        for _ in range(2):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign) and expr_tainted(node.value):
+                    for target in node.targets:
+                        tainted.update(_bound_names(target))
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and expr_tainted(node.value)
+                    and isinstance(node.target, ast.Name)
+                ):
+                    tainted.add(node.target.id)
+
+        findings = []
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Return)
+                and node.value is not None
+                and expr_tainted(node.value)
+            ):
+                findings.append(
+                    self.finding(
+                        context,
+                        node,
+                        f"public `{func.name}` returns an internal cache "
+                        "array writable — freeze a view "
+                        "(`view.flags.writeable = False`) or return a "
+                        "`.copy()` so callers cannot corrupt the cache",
+                    )
+                )
+        return findings

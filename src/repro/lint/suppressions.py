@@ -1,0 +1,120 @@
+"""Inline suppression markers: ``# repro-lint: ignore[RL001] reason``.
+
+A suppression silences the named rule(s) on its own physical line; a
+*standalone* suppression comment (no code on the line) also covers the
+immediately following line, so multi-line statements can carry a marker
+just above them.  Every suppression must silence at least one finding —
+stale markers are themselves reported (``RL000 unused-suppression``), so
+a fixed violation cannot leave a lie in the source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+
+SUPPRESSION_RE = re.compile(
+    r"repro-lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)"
+)
+
+UNUSED_CODE = "RL000"
+UNUSED_NAME = "unused-suppression"
+
+
+@dataclass
+class Suppression:
+    """One inline ignore marker and the lines it covers."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    covered_lines: tuple[int, ...]
+    used_codes: set[str] = field(default_factory=set)
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.line in self.covered_lines
+            and finding.code in self.codes
+        )
+
+    @property
+    def unused_codes(self) -> tuple[str, ...]:
+        return tuple(c for c in self.codes if c not in self.used_codes)
+
+
+def parse_suppressions(context: ModuleContext) -> list[Suppression]:
+    suppressions = []
+    for line, comment in sorted(context.comments.items()):
+        match = SUPPRESSION_RE.search(comment)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        )
+        if not codes:
+            continue
+        covered = [line]
+        if not context.line_code(line).strip():
+            covered.append(line + 1)  # standalone marker covers next line
+        suppressions.append(
+            Suppression(
+                line=line,
+                codes=codes,
+                reason=match.group(2).strip(),
+                covered_lines=tuple(covered),
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    context: ModuleContext,
+    findings: list[Finding],
+    known_codes: set[str],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (kept, suppressed) and report stale markers.
+
+    Returns the kept list with any ``RL000`` findings appended: one per
+    suppression code that silenced nothing or names an unknown rule.
+    ``RL000`` itself cannot be suppressed.
+    """
+    suppressions = parse_suppressions(context)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        silencer = next(
+            (s for s in suppressions if s.matches(finding)), None
+        )
+        if silencer is None:
+            kept.append(finding)
+        else:
+            silencer.used_codes.add(finding.code)
+            suppressed.append(finding)
+    for suppression in suppressions:
+        for code in suppression.unused_codes:
+            if code not in known_codes:
+                message = (
+                    f"suppression names unknown rule {code} "
+                    "(typo, or the rule was removed?)"
+                )
+            else:
+                message = (
+                    f"unused suppression of {code}: no finding on this "
+                    "line — delete the stale marker"
+                )
+            kept.append(
+                Finding(
+                    path=context.path,
+                    line=suppression.line,
+                    column=0,
+                    code=UNUSED_CODE,
+                    name=UNUSED_NAME,
+                    message=message,
+                )
+            )
+    return kept, suppressed

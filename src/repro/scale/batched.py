@@ -165,14 +165,14 @@ class BatchedPlatform:
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
-        self._platform = EBSNPlatform(instance, solver=solver)
+        self._platform = EBSNPlatform(instance, solver=solver)  # guarded-by: _state_lock
         self._max_pending = max_pending
-        self._pending: list[AtomicOperation] = []
+        self._pending: list[AtomicOperation] = []  # guarded-by: _queue_lock
         self._queue_lock = threading.Lock()
         # Reentrant: a reader helper may be called while flushing.
         self._state_lock = threading.RLock()
-        self._applied_log: list[AtomicOperation] = []
-        self._stats = {
+        self._applied_log: list[AtomicOperation] = []  # guarded-by: _state_lock
+        self._stats = {  # guarded-by: _queue_lock
             "enqueued": 0,
             "folded": 0,
             "applied": 0,

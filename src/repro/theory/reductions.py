@@ -33,6 +33,7 @@ from repro.assignment.gap import GAPInstance
 from repro.core.costs import CostModel
 from repro.core.model import Event, Instance, User
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 from repro.geo.matrix_metric import MatrixMetric, event_point, user_point
 from repro.timeline.interval import Interval
 
@@ -130,7 +131,7 @@ class InequalityProbe:
     @property
     def lower_holds(self) -> bool:
         """The sound direction: ``D_i <= sum_j p_ij``."""
-        return self.route_cost <= self.load_sum + 1e-9
+        return self.route_cost <= self.load_sum + BUDGET_TOL
 
 
 def probe_paper_inequality(
