@@ -31,6 +31,10 @@ any machine regardless of absolute baseline times):
 * ``"max_utility_gap_vs": {"vs": <entry>, "rtol": R}`` — this entry's
   utility may be at most ``R`` (relative) *below* entry ``vs``;
   exceeding it is allowed (one-sided: quality loss gates, gain doesn't).
+* ``"equal_utility_vs": {"vs": <entry>}`` — this entry's utility must
+  equal entry ``vs``'s **exactly** (bit-identical floats).  This is the
+  kernel-strategy contract: ``REPRO_KERNEL`` is a pure performance knob,
+  so any utility difference at all is a correctness bug, not drift.
 
 Stdlib-only on purpose: CI runs it before (and independently of)
 installing the package.
@@ -129,6 +133,24 @@ def _check_cross_entry(
                     f"{speedup:.2f}x, below the required {factor:.2f}x "
                     f"({reference:.4f}s / {wall:.4f}s, "
                     f"cpu_count {cores})"
+                )
+
+    equal_spec = expected.get("equal_utility_vs")
+    if equal_spec:
+        other = by_name.get(equal_spec["vs"])
+        if other is None:
+            problems.append(
+                f"{name}: equal_utility_vs reference "
+                f"{equal_spec['vs']!r} missing from report"
+            )
+        else:
+            utility = float(entry["utility"])
+            reference = float(other["utility"])
+            if utility != reference:
+                problems.append(
+                    f"{name}: utility {utility!r} != "
+                    f"{equal_spec['vs']}'s {reference!r} — kernel "
+                    "strategies must be bit-identical"
                 )
 
     gap_spec = expected.get("max_utility_gap_vs")

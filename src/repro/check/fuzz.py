@@ -404,6 +404,17 @@ def fuzz_seed(seed: int, config: FuzzConfig | None = None) -> SeedReport:
         _measure_drift(plan, config, report)
         _check_kernel_vs_scalar(instance, plan, step, config, report)
 
+    # Strategy and shared-plane equivalence run once per seed on the
+    # final state — after the operation stream has bent the instance
+    # through NewEvent appends, bound shifts, and cache patches, which is
+    # exactly where a strategy shortcut or a share/attach bug would show.
+    strategy_audit = auditor.audit_kernel_strategies(plan)
+    report.checks += strategy_audit.checks
+    report.mismatches.extend(strategy_audit.mismatches)
+    shm_audit = auditor.audit_shared_planes(instance)
+    report.checks += shm_audit.checks
+    report.mismatches.extend(shm_audit.mismatches)
+
     if config.sharded:
         # The stream mutated `instance` past the generated one; the
         # sharded cross-checks run on the *final* instance so they see

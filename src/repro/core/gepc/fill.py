@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernel as kernel_mod
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.tolerances import BUDGET_TOL
 from repro.obs import get_recorder
 
 
@@ -54,23 +56,138 @@ class UtilityFill:
         with obs.span("fill.utility"):
             residual = self._residual_capacity(instance, plan, excluded)
 
-            candidates = self._candidate_pairs(
-                instance, plan, residual, only_users
-            )
-            added = 0
-            checks = 0
-            for _, user, event in candidates:
-                if residual[event] <= 0:
-                    continue
-                checks += 1
-                if plan.can_attend(user, event):
-                    plan.add(user, event)
-                    residual[event] -= 1
-                    added += 1
-        obs.count("fill.candidates", len(candidates))
+            if kernel_mod.active_kernel().vectorized_block:
+                added, checks, n_candidates = self._fill_fast(
+                    instance, plan, residual, only_users
+                )
+            else:
+                candidates = self._candidate_pairs(
+                    instance, plan, residual, only_users
+                )
+                n_candidates = len(candidates)
+                added = 0
+                checks = 0
+                for _, user, event in candidates:
+                    if residual[event] <= 0:
+                        continue
+                    checks += 1
+                    if plan.can_attend(user, event):
+                        plan.add(user, event)
+                        residual[event] -= 1
+                        added += 1
+        obs.count("fill.candidates", n_candidates)
         obs.count("fill.feasibility_checks", checks)
         obs.count("fill.added", added)
         return added
+
+    def _fill_fast(
+        self,
+        instance: Instance,
+        plan: GlobalPlan,
+        residual: np.ndarray,
+        only_users: set[int] | None,
+    ) -> tuple[int, int, int]:
+        """The candidate loop engineered for the batched kernel strategy.
+
+        Decision-for-decision identical to the ``can_attend`` loop below —
+        same candidate order, same accept/reject outcomes — but the per-
+        candidate work is O(1) python:
+
+        * the initial feasibility masks come from **one** batched
+          user×event kernel pass (:meth:`GlobalPlan.kernel_block`);
+        * a user whose plan has not changed since that pass needs no
+          recheck at all — their mask entry is still exact;
+        * a changed ("touched") user is recheck-ed with the same checks
+          ``can_attend`` performs, on pre-extracted python-list planes
+          (:class:`repro.core.kernel.SplicePlanes`) whose floats are the
+          identical IEEE doubles, so every accept/reject matches the
+          numpy-scalar path bit for bit;
+        * the exact splice the recheck computed is handed to
+          :meth:`GlobalPlan.add` as a hint, skipping the re-splice.
+        """
+        users = (
+            np.fromiter(
+                sorted(only_users), dtype=np.intp, count=len(only_users)
+            )
+            if only_users is not None
+            else np.arange(instance.n_users, dtype=np.intp)
+        )
+        open_mask = residual > 0
+        if not open_mask.any() or users.size == 0:
+            return 0, 0, 0
+        open_events = np.flatnonzero(open_mask)
+        _, feasible = plan.kernel_block(users)
+        rows, cols = np.nonzero(feasible[:, open_events])
+        if rows.size == 0:
+            return 0, 0, 0
+        user_ids = users[rows]
+        event_ids = open_events[cols]
+        utilities = instance.utility[user_ids, event_ids]
+        order = np.lexsort((event_ids, user_ids, -utilities))
+        user_list = user_ids[order].tolist()
+        event_list = event_ids[order].tolist()
+
+        planes = kernel_mod.SplicePlanes(instance)
+        # Locals for the hot loop: every name below is a plain python
+        # object (list/dict/float), so each iteration costs a handful of
+        # LOAD_FASTs instead of attribute and numpy-scalar traffic.
+        splice = kernel_mod.scalar_splice
+        starts = planes.starts
+        ee_rows = planes.ee_rows
+        fees = planes.fees
+        budgets = planes.budgets
+        ue = instance.distances.user_event_matrix
+        ue_rows: dict[int, list[float]] = {}
+        residual_left: list[int] = residual.tolist()
+        route_costs = plan._route_costs
+        plans = plan._plans
+        touched: set[int] = set()
+        blocked_rows: dict[int, np.ndarray] = {}
+        added = 0
+        checks = 0
+        for user, event in zip(user_list, event_list):
+            if residual_left[event] <= 0:
+                continue
+            checks += 1
+            if user in touched:
+                blocked = blocked_rows.get(user)
+                if blocked is None:
+                    blocked = plan._blocked_row(user)
+                    blocked_rows[user] = blocked
+                if blocked[event]:
+                    continue
+                events = plans[user]
+                if event in events:
+                    continue
+                row = ue_rows.get(user)
+                if row is None:
+                    row = ue[user].tolist()
+                    ue_rows[user] = row
+                position, delta = splice(
+                    events, event, starts, row, ee_rows, fees
+                )
+                if route_costs[user] + delta > budgets[user] + BUDGET_TOL:
+                    continue
+                plan.add(user, event, splice_hint=(position, delta))
+            else:
+                # The block pass said feasible and this user's plan has not
+                # changed since — the mask entry is still exact; the splice
+                # only precomputes add()'s hint (bit-identical order).
+                row = ue_rows.get(user)
+                if row is None:
+                    row = ue[user].tolist()
+                    ue_rows[user] = row
+                plan.add(
+                    user,
+                    event,
+                    splice_hint=splice(
+                        plans[user], event, starts, row, ee_rows, fees
+                    ),
+                )
+                touched.add(user)
+            residual_left[event] -= 1
+            added += 1
+        return added, checks, len(user_list)
 
     def _residual_capacity(
         self,
@@ -123,9 +240,10 @@ class UtilityFill:
         if not open_mask.any() or users.size == 0:
             return []
         open_events = np.flatnonzero(open_mask)
-        eligible = np.empty((users.size, open_events.size), dtype=bool)
-        for k, user in enumerate(users):
-            eligible[k] = plan.feasible_mask(int(user))[open_events]
+        # One batched kernel pass for every user at once (the active
+        # REPRO_KERNEL strategy decides how), then slice down to open events.
+        _, feasible = plan.kernel_block(users)
+        eligible = feasible[:, open_events]
         rows, cols = np.nonzero(eligible)
         if rows.size == 0:
             return []

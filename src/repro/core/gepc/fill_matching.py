@@ -105,16 +105,17 @@ class MatchingFill:
 
         obs = get_recorder()
         edges: list[tuple[int, int]] = []
-        checks = 0
         open_array = np.asarray(open_events)
-        for user in users:
-            # One vectorized kernel row per user instead of a Python
-            # feasibility check per (user, event) pair.
-            row = plan.feasible_mask(user)[open_array]
-            checks += int(
-                (instance.utility[user, open_array] > 0.0).sum()
-            )
-            for event in open_array[row].tolist():
+        user_array = np.asarray(users, dtype=np.intp)
+        # One batched kernel pass for the whole round instead of a Python
+        # feasibility check per (user, event) pair.
+        _, feasible = plan.kernel_block(user_array)
+        eligible = feasible[:, open_array]
+        checks = int(
+            (instance.utility[user_array][:, open_array] > 0.0).sum()
+        )
+        for k, user in enumerate(users):
+            for event in open_array[eligible[k]].tolist():
                 edges.append((user, event))
         obs.count("fill.feasibility_checks", checks)
         obs.count("fill.matching_edges", len(edges))

@@ -23,9 +23,11 @@ from repro.core.gepc.base import (
     GEPCSolver,
     cancel_deficient_events,
 )
+from repro.core import kernel as kernel_mod
 from repro.core.gepc.copies import CopyExpansion
 from repro.core.gepc.fill import UtilityFill
 from repro.core.model import Instance
+from repro.core.tolerances import BUDGET_TOL
 from repro.core.plan import GlobalPlan
 from repro.obs import get_recorder
 
@@ -70,8 +72,18 @@ class GreedySolver(GEPCSolver):
 
         grabbed = 0
         with obs.span("greedy.grab"):
+            # A user's kernel row only invalidates when *their own* plan
+            # changes, so priming every row up front in one batched pass is
+            # behaviour-identical to the lazy per-user computation — and
+            # replaces n_users cold rowwise calls with one user×event pass.
+            planes = None
+            if kernel_mod.active_kernel().vectorized_block:
+                plan.kernel_block(np.arange(instance.n_users))
+                planes = kernel_mod.SplicePlanes(instance)
             for user in order:
-                grabbed += self._grab_favourites(instance, plan, remaining, user)
+                grabbed += self._grab_favourites(
+                    instance, plan, remaining, user, planes
+                )
                 if not any(remaining):
                     break
 
@@ -102,6 +114,7 @@ class GreedySolver(GEPCSolver):
         plan: GlobalPlan,
         remaining: list[int],
         user: int,
+        planes: kernel_mod.SplicePlanes | None = None,
     ) -> int:
         """One user's greedy selection loop (Algorithm 2 lines 5-13).
 
@@ -113,29 +126,81 @@ class GreedySolver(GEPCSolver):
         Feasibility is read from the plan's vectorized ``feasible_mask``
         kernel — one numpy row per plan state instead of a Python splice
         per candidate; the walk down the preference order (and therefore
-        the chosen events) is identical to the scalar loop's.
+        the chosen events) is identical to the scalar loop's.  Under a
+        batched strategy (``planes`` passed), the first mask comes from the
+        primed block pass and every post-add recheck runs the same checks
+        as O(1) python scalar work on :class:`SplicePlanes` — bit-identical
+        decisions without per-add row rebuilds.
         """
         utility_row = instance.utility[user]
         preference = np.argsort(-utility_row, kind="stable")
         taken = 0
         evaluated = 0
         checks = 0
-        mask = None
-        for event in preference:
-            event = int(event)
-            evaluated += 1
-            if remaining[event] <= 0:
-                continue
-            if utility_row[event] <= 0.0:
-                break  # utilities are sorted; the rest are all zero
-            checks += 1
-            if mask is None:
-                mask = plan.feasible_mask(user)
-            if mask[event]:
-                plan.add(user, event)
+        if planes is None:
+            mask = None
+            for event in preference:
+                event = int(event)
+                evaluated += 1
+                if remaining[event] <= 0:
+                    continue
+                if utility_row[event] <= 0.0:
+                    break  # utilities are sorted; the rest are all zero
+                checks += 1
+                if mask is None:
+                    mask = plan.feasible_mask(user)
+                if mask[event]:
+                    plan.add(user, event)
+                    remaining[event] -= 1
+                    taken += 1
+                    mask = None  # plan changed; recompute lazily
+        else:
+            utilities = utility_row.tolist()
+            mask = plan.feasible_mask(user)
+            blocked = None
+            user_events = plan._plans[user]  # live list; add() mutates it
+            route_costs = plan._route_costs
+            budget = planes.budgets[user]
+            splice = kernel_mod.scalar_splice
+            starts = planes.starts
+            ee_rows = planes.ee_rows
+            fees = planes.fees
+            user_row: list[float] | None = None
+            for event in preference.tolist():
+                evaluated += 1
+                if remaining[event] <= 0:
+                    continue
+                if utilities[event] <= 0.0:
+                    break  # utilities are sorted; the rest are all zero
+                checks += 1
+                if mask is not None:
+                    if not mask[event]:
+                        continue
+                    if user_row is None:
+                        user_row = planes.user_row(user)
+                    # The mask already certified feasibility; the splice
+                    # here only precomputes the hint add() would otherwise
+                    # derive itself (bit-identical operation order).
+                    hint = splice(
+                        user_events, event, starts, user_row, ee_rows, fees
+                    )
+                else:
+                    if blocked is None:
+                        blocked = plan._blocked_row(user)
+                    if blocked[event] or event in user_events:
+                        continue
+                    if user_row is None:
+                        user_row = planes.user_row(user)
+                    position, delta = splice(
+                        user_events, event, starts, user_row, ee_rows, fees
+                    )
+                    if route_costs[user] + delta > budget + BUDGET_TOL:
+                        continue
+                    hint = (position, delta)
+                plan.add(user, event, splice_hint=hint)
                 remaining[event] -= 1
                 taken += 1
-                mask = None  # plan changed; recompute lazily
+                mask = None  # plan changed; scalar rechecks from here on
         obs = get_recorder()
         obs.count("greedy.candidates_evaluated", evaluated)
         obs.count("greedy.feasibility_checks", checks)

@@ -28,6 +28,7 @@ from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.core import kernel as kernel_mod
 from repro.core.model import Instance
 from repro.core.tolerances import BUDGET_TOL, ROUTE_DRIFT_REPIN_TOL
 
@@ -61,6 +62,10 @@ class GlobalPlan:
         # that user's plan changes.
         self._kernel_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._event_ids = np.arange(instance.n_events)
+        # The instance's conflict-matrix view, fetched once on first use —
+        # _touch runs on every mutation and the property re-wraps a view
+        # per call.
+        self._conflict_rows: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -112,16 +117,29 @@ class GlobalPlan:
     # Mutation
     # ------------------------------------------------------------------ #
 
-    def add(self, user: int, event: int) -> None:
+    def add(
+        self,
+        user: int,
+        event: int,
+        splice_hint: tuple[int, float] | None = None,
+    ) -> None:
         """Assign ``user`` to ``event`` (keeps the plan start-sorted).
 
         The cached route cost is updated by splice delta — O(k) position
         search plus O(1) distance arithmetic — never a full route recompute.
+        ``splice_hint`` lets a caller that already computed the exact
+        ``(position, delta)`` splice (e.g. the batched fill fast path via
+        :func:`repro.core.kernel.scalar_splice`, which is bit-identical to
+        :meth:`_splice`) skip the recompute; the shadow checker and the
+        differential fuzzer verify the resulting route costs either way.
         """
         if user in self._attendee_sets[event]:
             raise ValueError(f"user {user} already attends event {event}")
         plan = self._plans[user]
-        position, delta = self._splice(user, plan, event)
+        if splice_hint is None:
+            position, delta = self._splice(user, plan, event)
+        else:
+            position, delta = splice_hint
         plan.insert(position, event)
         self._attendance[event] += 1
         self._attendee_sets[event].add(user)
@@ -163,11 +181,18 @@ class GlobalPlan:
             self.remove(user, event)
         return touched
 
+    def _conflict_matrix(self) -> np.ndarray:
+        rows = self._conflict_rows
+        if rows is None:
+            rows = self.instance.conflict_matrix
+            self._conflict_rows = rows
+        return rows
+
     def _touch(self, user: int, event: int, sign: int) -> None:
         """Post-mutation bookkeeping: blocked counters and kernel cache."""
         blocked = self._blocked.get(user)
         if blocked is not None:
-            row = self.instance.conflict_matrix[event]
+            row = self._conflict_matrix()[event]
             if sign > 0:
                 blocked += row
             else:
@@ -259,7 +284,7 @@ class GlobalPlan:
         """
         blocked = self._blocked.get(user)
         if blocked is None:
-            matrix = self.instance.conflict_matrix
+            matrix = self._conflict_matrix()
             plan = self._plans[user]
             if plan:
                 blocked = matrix[plan].sum(axis=0, dtype=np.int16)
@@ -307,46 +332,47 @@ class GlobalPlan:
         cached = self._kernel_cache.get(user)
         if cached is not None:
             return cached
-        instance = self.instance
-        m = instance.n_events
-        plan = self._plans[user]
-        d = instance.distances
-        user_row = d.user_event_matrix[user]
-        fees = instance.fee_vector
-
-        if not plan:
-            deltas = 2.0 * user_row + fees
-        else:
-            starts = instance.event_starts
-            hops = np.asarray(plan)
-            plan_starts = starts[hops]
-            # Insertion goes after every plan event with start <= candidate
-            # start — exactly the scalar splice's scan.
-            positions = np.searchsorted(plan_starts, starts, side="right")
-            ee = d.event_event_matrix
-            k = len(plan)
-            ids = self._event_ids
-            pred = hops.take(positions - 1, mode="clip")
-            succ = hops.take(positions, mode="clip")
-            middle = -ee[pred, succ] + ee[pred, ids] + ee[ids, succ]
-            first = -user_row[hops[0]] + user_row + ee[:, hops[0]]
-            last = -user_row[hops[-1]] + ee[hops[-1]] + user_row
-            deltas = np.where(
-                positions == 0, first, np.where(positions == k, last, middle)
-            ) + fees
+        deltas, mask = kernel_mod.kernel_row(self, user)
         deltas.flags.writeable = False
-
-        mask = instance.utility[user] > 0.0
-        mask &= self._blocked_row(user) == 0
-        budget = instance.users[user].budget
-        mask &= (
-            self._route_costs[user] + deltas <= budget + BUDGET_TOL
-        )
-        if plan:
-            mask[plan] = False
         mask.flags.writeable = False
         self._kernel_cache[user] = (deltas, mask)
         return deltas, mask
+
+    def kernel_block(
+        self, users: np.ndarray | list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked ``(insertion_deltas, feasible_mask)`` rows for ``users``.
+
+        Rows missing from the per-user cache are computed by the active
+        kernel strategy's block path — one vectorized user×event pass under
+        ``REPRO_KERNEL=batched`` — and cached per user exactly as if
+        :meth:`feasible_mask` had been called row by row (bit-identical
+        values; the cached rows are read-only views into the block
+        matrices).  Returns read-only arrays of shape
+        ``(len(users), n_events)``.
+        """
+        users = np.asarray(users, dtype=np.intp)
+        cache = self._kernel_cache
+        if users.size == 0:
+            m = self.instance.n_events
+            return (
+                np.empty((0, m), dtype=float),
+                np.empty((0, m), dtype=bool),
+            )
+        missing = users[[int(u) not in cache for u in users]]
+        if missing.size:
+            deltas, mask = kernel_mod.kernel_block(self, missing)
+            deltas.flags.writeable = False
+            mask.flags.writeable = False
+            for i, user in enumerate(missing):
+                cache[int(user)] = (deltas[i], mask[i])
+            if missing.size == users.size:
+                return deltas, mask
+        stacked_deltas = np.stack([cache[int(u)][0] for u in users])
+        stacked_mask = np.stack([cache[int(u)][1] for u in users])
+        stacked_deltas.flags.writeable = False
+        stacked_mask.flags.writeable = False
+        return stacked_deltas, stacked_mask
 
     # ------------------------------------------------------------------ #
     # Feasibility helpers used by the solvers' inner loops
@@ -439,6 +465,7 @@ class GlobalPlan:
         # the clone can share them until either plan diverges.
         clone._kernel_cache = dict(self._kernel_cache)
         clone._event_ids = self._event_ids
+        clone._conflict_rows = self._conflict_rows
         return clone
 
     def rebound_to(self, instance: Instance) -> "GlobalPlan":

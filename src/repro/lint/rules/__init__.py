@@ -7,6 +7,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     rl004_leaks,
     rl005_determinism,
     rl006_obs,
+    rl007_shm,
 )
 from repro.lint.rules.rl001_cache import CacheDiscipline
 from repro.lint.rules.rl002_tolerance import ToleranceDiscipline
@@ -14,6 +15,7 @@ from repro.lint.rules.rl003_locks import LockDiscipline
 from repro.lint.rules.rl004_leaks import LeakedMutableArray
 from repro.lint.rules.rl005_determinism import Determinism
 from repro.lint.rules.rl006_obs import ObsCoverage
+from repro.lint.rules.rl007_shm import ShmDiscipline
 
 __all__ = [
     "CacheDiscipline",
@@ -22,4 +24,5 @@ __all__ = [
     "LeakedMutableArray",
     "Determinism",
     "ObsCoverage",
+    "ShmDiscipline",
 ]

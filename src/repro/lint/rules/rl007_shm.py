@@ -1,0 +1,97 @@
+"""RL007 shm-discipline: shared-memory segments only via the lifecycle manager.
+
+``repro.core.shm`` owns every ``multiprocessing.shared_memory`` segment in
+the repo: :class:`PlaneManager` creates (and exactly-once unlinks) them,
+:func:`attach_plane` opens them without resource-tracker registration, and
+``weakref.finalize`` + ``atexit`` guarantee teardown even on crash paths.
+A raw ``SharedMemory(...)`` constructed anywhere else bypasses all of
+that — the segment has no owner, the resource tracker double-registers it
+under fork pools, and a worker death leaks it in ``/dev/shm`` forever.
+
+The rule therefore flags, outside the owning module:
+
+* any call whose target is ``SharedMemory`` (bare or dotted, however the
+  module was imported or aliased);
+* any ``import multiprocessing.shared_memory`` /
+  ``from multiprocessing.shared_memory import ...`` — importing the
+  module at all is the tell that a call site is about to go around the
+  manager.
+
+See ``docs/linting.md`` and the module docstring of ``repro/core/shm.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext, dotted_name, module_matches
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+_SHM_MODULE = "multiprocessing.shared_memory"
+
+
+@register
+class ShmDiscipline(Rule):
+    code = "RL007"
+    name = "shm-discipline"
+    description = (
+        "shared-memory segments must go through repro.core.shm's lifecycle "
+        "manager, never raw SharedMemory(...) at call sites"
+    )
+    default_options = {
+        "modules": ["repro"],
+        "allow_modules": ["repro.core.shm"],
+    }
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        if not module_matches(context.module, self.options["modules"]):
+            return []
+        if module_matches(context.module, self.options["allow_modules"]):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is not None and (
+                    dotted == "SharedMemory"
+                    or dotted.endswith(".SharedMemory")
+                ):
+                    findings.append(
+                        self.finding(
+                            context,
+                            node,
+                            f"raw `{dotted}(...)` bypasses the segment "
+                            "lifecycle manager — use PlaneManager.share / "
+                            "attach_plane from repro.core.shm so the "
+                            "segment is tracked, finalized, and unlinked "
+                            "exactly once",
+                        )
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _SHM_MODULE or alias.name.startswith(
+                        _SHM_MODULE + "."
+                    ):
+                        findings.append(self._import_finding(context, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == _SHM_MODULE or (
+                    node.module == "multiprocessing"
+                    and any(
+                        alias.name == "shared_memory"
+                        for alias in node.names
+                    )
+                ):
+                    findings.append(self._import_finding(context, node))
+        return findings
+
+    def _import_finding(
+        self, context: ModuleContext, node: ast.AST
+    ) -> Finding:
+        return self.finding(
+            context,
+            node,
+            "importing multiprocessing.shared_memory outside "
+            "repro.core.shm — segment creation and attachment belong to "
+            "the lifecycle manager (PlaneManager / attach_plane)",
+        )

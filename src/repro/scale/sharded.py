@@ -34,8 +34,11 @@ shard was solved in a worker process.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
+import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
@@ -44,6 +47,7 @@ from repro.core.gepc.fill import UtilityFill
 from repro.core.gepc.greedy import GreedySolver
 from repro.core.model import Instance
 from repro.core.plan import GlobalPlan
+from repro.core.shm import PlaneManager
 from repro.obs import Recorder, get_recorder, recording
 from repro.scale.partition import (
     Partition,
@@ -51,6 +55,17 @@ from repro.scale.partition import (
     partition_instance,
     reachable_matrix,
 )
+
+#: Environment switch for the zero-copy dispatch path.  Shared-memory
+#: planes are the default for parallel solves; ``REPRO_SHM=0`` falls back
+#: to pickling each shard's dense slices (useful for platform triage).
+SHM_ENV_VAR = "REPRO_SHM"
+
+
+def _shm_enabled() -> bool:
+    return os.environ.get(SHM_ENV_VAR, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
 
 
 def _solve_shard(payload: tuple[int, Instance, int | None, bool]) -> dict:
@@ -82,6 +97,35 @@ def _solve_shard(payload: tuple[int, Instance, int | None, bool]) -> dict:
         "counters": dict(recorder.counters),
         "seconds": span.elapsed,
     }
+
+
+def _solve_shard_shm(
+    payload: tuple[int, Instance, np.ndarray, np.ndarray, int | None, bool]
+) -> dict:
+    """Worker entry for the zero-copy dispatch path.
+
+    ``parent`` arrives as plane handles (see ``Instance.__getstate__``)
+    and is attached — not copied — during unpickling; the worker then
+    cuts its own shard slice from the attached planes.  Slicing copies
+    the same bytes ``Instance.subinstance`` copies in-process from the
+    warmed parent, so the shard solve is bit-identical to the
+    ``workers=1`` path.
+    """
+    index, parent, user_ids, event_ids, seed, fill = payload
+    with recording(Recorder()) as recorder:
+        recorder.count(
+            "shm.planes_attached_in_worker", len(parent._plane_attachments)
+        )
+        with recorder.span("scale.shard_slice"):
+            shard_instance = parent.subinstance(user_ids, event_ids)
+    result = _solve_shard((index, shard_instance, seed, fill))
+    for key, value in recorder.counters.items():
+        result["counters"][key] = result["counters"].get(key, 0) + value
+    # Attachments close on GC too (weakref.finalize); closing before
+    # returning keeps long-lived pool workers from holding mappings.
+    for attachment in parent._plane_attachments:
+        attachment.close()
+    return result
 
 
 def _repair_candidates(
@@ -144,10 +188,20 @@ class ShardedSolver(GEPCSolver):
     filler:
         The boundary-repair filler re-run on fringe users after the
         merge (defaults to :class:`UtilityFill`).
+    share_planes:
+        Whether parallel solves publish the parent's dense planes into
+        shared memory and dispatch shards as (handles, id arrays) —
+        zero-copy — instead of pickling each shard's sliced planes.
+        ``None`` (default) reads the ``REPRO_SHM`` environment switch
+        (on unless set to ``0``/``false``/``off``/``no``).  The merged
+        plan is bit-identical either way.
 
     The process pool is created lazily on the first parallel solve and
     reused across solves; call :meth:`close` (or use the solver as a
-    context manager) to release the workers.
+    context manager) to release the workers.  Shared-memory segments
+    live only for the duration of one parallel solve: they are released
+    in a ``finally`` even when a worker dies mid-solve, and a broken
+    pool is torn down and rebuilt on the next solve.
     """
 
     name = "sharded"
@@ -159,6 +213,7 @@ class ShardedSolver(GEPCSolver):
         seed: int | None = 0,
         fill: bool = True,
         filler: Filler | None = None,
+        share_planes: bool | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -169,8 +224,16 @@ class ShardedSolver(GEPCSolver):
         self._seed = seed
         self._fill = fill
         self._filler = filler or UtilityFill()
+        self._share_planes = share_planes
         self._pool: ProcessPoolExecutor | None = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
+        # Partition memo for repeated solves of the *same* instance
+        # object: partitioning is deterministic in (instance, shards,
+        # seed), so the cut can be reused — it is pure serial time on
+        # every solve otherwise.  Held via weakref so the solver never
+        # keeps a dead instance (and its planes) alive.
+        self._partition_ref: "weakref.ref[Instance] | None" = None
+        self._partition_cached: Partition | None = None
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle
@@ -194,6 +257,18 @@ class ShardedSolver(GEPCSolver):
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+
+    def _reset_broken_pool(self) -> None:
+        """Discard a pool whose worker died; the next solve rebuilds it.
+
+        A ``BrokenProcessPool`` executor rejects every future submission,
+        so keeping it would poison all later solves through this solver.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # Workers are already gone; don't block on them.
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "ShardedSolver":
         return self
@@ -220,8 +295,13 @@ class ShardedSolver(GEPCSolver):
             )
             return solution
 
-        partition = partition_instance(instance, self._shards, self._seed or 0)
-        results = self._solve_shards(partition.shards, obs)
+        # Warm the dense planes before partitioning so every shard slice
+        # is a bit-exact cut of the same arrays — and so the zero-copy
+        # path has planes to publish.  (The partitioner would warm the
+        # user-event block anyway; this makes the rest explicit.)
+        instance.warm_planes()
+        partition = self._partition_for(instance)
+        results = self._solve_shards(instance, partition.shards, obs)
 
         with obs.span("scale.merge"):
             plan = GlobalPlan(instance)
@@ -335,21 +415,80 @@ class ShardedSolver(GEPCSolver):
         return rescued
 
     def _solve_shards(
-        self, shards: list[Shard], obs: Recorder
+        self, instance: Instance, shards: list[Shard], obs: Recorder
     ) -> list[dict]:
-        payloads = [
-            (shard.index, shard.instance, self._seed, self._fill)
-            for shard in shards
-        ]
         width = min(self._workers, len(shards))
         with obs.span("scale.solve_shards"):
             if width <= 1:
-                return [_solve_shard(payload) for payload in payloads]
-            pool = self._executor(width)
-            # map() preserves submission order: merge order (and thus the
-            # final plan) is independent of completion order.
-            return list(pool.map(_solve_shard, payloads))
+                return [
+                    _solve_shard(
+                        (shard.index, shard.instance, self._seed, self._fill)
+                    )
+                    for shard in shards
+                ]
+            share = (
+                _shm_enabled()
+                if self._share_planes is None
+                else self._share_planes
+            )
+            if not share:
+                payloads = [
+                    (shard.index, shard.instance, self._seed, self._fill)
+                    for shard in shards
+                ]
+                return self._map_pool(width, _solve_shard, payloads)
+            # Zero-copy dispatch: publish the parent planes once, ship
+            # only (handles, shard id arrays).  Segments are released in
+            # the finally — also when a worker dies mid-solve — so no
+            # /dev/shm entry can outlive the solve.
+            manager = PlaneManager()
+            try:
+                instance.share_planes(manager)
+                payloads_shm = [
+                    (
+                        shard.index,
+                        instance,
+                        shard.user_ids,
+                        shard.event_ids,
+                        self._seed,
+                        self._fill,
+                    )
+                    for shard in shards
+                ]
+                return self._map_pool(width, _solve_shard_shm, payloads_shm)
+            finally:
+                instance.unshare_planes()
+                manager.release()
+
+    def _map_pool(self, width: int, worker, payloads: list) -> list[dict]:
+        # map() preserves submission order: merge order (and thus the
+        # final plan) is independent of completion order.
+        try:
+            return list(self._executor(width).map(worker, payloads))
+        except BrokenProcessPool:
+            self._reset_broken_pool()
+            raise
+
+    def _partition_for(self, instance: Instance) -> Partition:
+        """The (memoized) partition of ``instance``.
+
+        Safe because partitioning is a pure function of
+        ``(instance, shards, seed)`` and instances are immutable by
+        convention — the IEP operations produce *new* instances, which
+        miss the identity check and re-partition.
+        """
+        cached = (
+            self._partition_cached
+            if self._partition_ref is not None
+            and self._partition_ref() is instance
+            else None
+        )
+        if cached is None:
+            cached = partition_instance(instance, self._shards, self._seed or 0)
+            self._partition_ref = weakref.ref(instance)
+            self._partition_cached = cached
+        return cached
 
     def partition(self, instance: Instance) -> Partition:
         """The partition :meth:`solve` would use (for inspection/tests)."""
-        return partition_instance(instance, self._shards, self._seed or 0)
+        return self._partition_for(instance)

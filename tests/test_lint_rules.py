@@ -415,13 +415,87 @@ def test_rl006_allows_abstract_entry_point():
 
 
 # --------------------------------------------------------------------- #
+# RL007 shm-discipline
+# --------------------------------------------------------------------- #
+
+
+def test_rl007_flags_raw_shared_memory_call():
+    result = run(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def publish(array):
+            segment = SharedMemory(create=True, size=array.nbytes)
+            return segment.name
+        """,
+        module="repro.scale.rogue",
+    )
+    # Both the import and the raw construction fire.
+    assert codes(result) == ["RL007", "RL007"]
+
+
+def test_rl007_flags_dotted_and_aliased_construction():
+    result = run(
+        """
+        import multiprocessing.shared_memory as shm_mod
+
+        def attach(name):
+            return shm_mod.SharedMemory(name=name)
+        """,
+        module="repro.core.rogue",
+    )
+    assert codes(result) == ["RL007", "RL007"]
+
+
+def test_rl007_allows_owning_module():
+    result = run(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def _open_untracked(name):
+            return SharedMemory(name=name, track=False)
+        """,
+        module="repro.core.shm",
+    )
+    assert codes(result) == []
+
+
+def test_rl007_allows_manager_call_sites():
+    result = run(
+        """
+        from repro.core.shm import PlaneManager, attach_plane
+
+        def publish(instance):
+            with PlaneManager() as manager:
+                handles = instance.share_planes(manager)
+            return handles
+        """,
+        module="repro.scale.sharded",
+    )
+    assert codes(result) == []
+
+
+def test_rl007_silent_outside_repro():
+    result = run(
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def scratch():
+            return SharedMemory(create=True, size=8)
+        """,
+        module="scripts.scratchpad",
+    )
+    assert codes(result) == []
+
+
+# --------------------------------------------------------------------- #
 # Rule registry and option plumbing
 # --------------------------------------------------------------------- #
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert sorted(RULES) == [
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
     ]
 
 

@@ -1,0 +1,210 @@
+"""repro.core.shm: segment lifecycle, zero-copy dispatch, and teardown.
+
+What these tests pin down is the discipline the module docstring
+promises: creation only through :class:`PlaneManager`, attach-side opens
+that never fight the owner over the segment, release that is idempotent
+and exactly-once on every path (explicit, context-exit, GC), and an
+``Instance`` pickle that ships handles — not planes — and reconstructs
+bit-identical arrays in both fork and spawn children.
+"""
+
+import concurrent.futures
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.check.auditor import InvariantAuditor
+from repro.core.shm import (
+    PlaneHandle,
+    PlaneManager,
+    attach_plane,
+    leaked_segments,
+)
+from repro.datasets import make_city
+
+# --------------------------------------------------------------------- #
+# PlaneManager / PlaneAttachment lifecycle
+# --------------------------------------------------------------------- #
+
+
+def test_share_attach_roundtrip_bit_identical():
+    array = np.arange(12.0).reshape(3, 4)
+    with PlaneManager() as manager:
+        handle = manager.share(array)
+        assert handle.nbytes == array.nbytes
+        attachment = attach_plane(handle)
+        assert np.array_equal(attachment.array, array)
+        assert attachment.array.dtype == array.dtype
+        attachment.close()
+    assert leaked_segments() == []
+
+
+def test_attached_planes_are_read_only():
+    with PlaneManager() as manager:
+        handle = manager.share(np.ones(5))
+        attachment = attach_plane(handle)
+        with pytest.raises(ValueError):
+            attachment.array[0] = 2.0
+        attachment.close()
+
+
+def test_attachment_close_is_idempotent():
+    with PlaneManager() as manager:
+        attachment = attach_plane(manager.share(np.ones(3)))
+        attachment.close()
+        attachment.close()  # second close must be a no-op
+
+
+def test_release_is_idempotent_and_empties_the_manager():
+    manager = PlaneManager()
+    manager.share(np.ones(4))
+    manager.share(np.zeros((2, 2)))
+    assert manager.n_segments == 2
+    manager.release()
+    assert manager.n_segments == 0
+    manager.release()  # double release: exactly-once unlink, no raise
+    assert leaked_segments() == []
+
+
+def test_attach_after_release_raises_file_not_found():
+    manager = PlaneManager()
+    handle = manager.share(np.ones(4))
+    manager.release()
+    with pytest.raises(FileNotFoundError):
+        attach_plane(handle)
+
+
+def test_close_unlink_ordering_owner_outlives_attachment():
+    """Attachment close never destroys the owner's segment."""
+    manager = PlaneManager()
+    handle = manager.share(np.full(6, 7.0))
+    first = attach_plane(handle)
+    first.close()
+    # The segment must still be attachable: only the owner unlinks.
+    second = attach_plane(handle)
+    assert float(second.array.sum()) == 42.0
+    second.close()
+    manager.release()
+    assert leaked_segments() == []
+
+
+def test_gc_finalizer_reclaims_unreleased_segments():
+    manager = PlaneManager()
+    manager.share(np.ones(8))
+    assert len(leaked_segments()) == 1
+    del manager  # weakref.finalize backstop fires on GC
+    assert leaked_segments() == []
+
+
+def test_zero_size_plane_roundtrips():
+    with PlaneManager() as manager:
+        handle = manager.share(np.empty((0, 3)))
+        attachment = attach_plane(handle)
+        assert attachment.array.shape == (0, 3)
+        attachment.close()
+
+
+def test_handle_is_tiny_and_picklable():
+    with PlaneManager() as manager:
+        handle = manager.share(np.zeros((500, 400)))
+        payload = pickle.dumps(handle)
+        assert len(payload) < 512  # bytes, vs the 1.6 MB plane
+        clone = pickle.loads(payload)
+        assert clone == handle
+        assert isinstance(clone, PlaneHandle)
+
+
+# --------------------------------------------------------------------- #
+# Instance plane publication and zero-copy pickling
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def city():
+    instance = make_city("beijing", scale=0.3)
+    instance.warm_planes()
+    return instance
+
+
+def test_shared_instance_pickle_ships_handles_not_planes():
+    # Big enough that the utility plane dominates the payload (the tiny
+    # fixture city's user/event lists would drown the ratio).
+    instance = make_city("vancouver", scale=0.5)
+    instance.warm_planes()
+    dense = len(pickle.dumps(instance))
+    with PlaneManager() as manager:
+        instance.share_planes(manager)
+        try:
+            shared = len(pickle.dumps(instance))
+        finally:
+            instance.unshare_planes()
+    assert shared < dense / 4
+
+
+def test_shared_instance_roundtrip_is_bit_identical(city):
+    with PlaneManager() as manager:
+        city.share_planes(manager)
+        try:
+            clone = pickle.loads(pickle.dumps(city))
+            assert np.array_equal(clone.utility, city.utility)
+            assert np.array_equal(
+                clone.distances.user_event_matrix,
+                city.distances.user_event_matrix,
+            )
+            assert np.array_equal(
+                clone.distances.event_event_matrix,
+                city.distances.event_event_matrix,
+            )
+            assert np.array_equal(
+                clone.conflict_matrix, city.conflict_matrix
+            )
+            assert np.array_equal(clone.event_starts, city.event_starts)
+            assert np.array_equal(clone.fee_vector, city.fee_vector)
+        finally:
+            city.unshare_planes()
+    assert leaked_segments() == []
+
+
+def test_unshared_instance_pickles_the_legacy_way(city):
+    clone = pickle.loads(pickle.dumps(city))
+    assert np.array_equal(clone.utility, city.utility)
+    assert clone._plane_handles is None
+
+
+def test_auditor_equivalence_of_shm_backed_planes(city):
+    """Attached planes must audit identically to locally rebuilt ones."""
+    report = InvariantAuditor().audit_shared_planes(city)
+    assert report.ok, report.mismatches[:3]
+    assert city._plane_handles is None  # audit cleans up after itself
+    assert leaked_segments() == []
+
+
+# --------------------------------------------------------------------- #
+# Cross-process attachment: fork and spawn children
+# --------------------------------------------------------------------- #
+
+
+def _child_plane_sum(handle: PlaneHandle) -> float:
+    attachment = attach_plane(handle)
+    try:
+        return float(attachment.array.sum())
+    finally:
+        attachment.close()
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+def test_child_process_attaches_by_handle(method):
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{method} start method unavailable")
+    array = np.arange(64.0).reshape(8, 8)
+    with PlaneManager() as manager:
+        handle = manager.share(array)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=multiprocessing.get_context(method),
+        ) as pool:
+            total = pool.submit(_child_plane_sum, handle).result(timeout=120)
+        assert total == float(array.sum())
+    assert leaked_segments() == []
