@@ -36,6 +36,20 @@ any machine regardless of absolute baseline times):
   kernel-strategy contract: ``REPRO_KERNEL`` is a pure performance knob,
   so any utility difference at all is a correctness bug, not drift.
 
+Scale-soak gates (baseline-declared, applied to the fresh report's own
+measured values — absolute, machine-calibrated with headroom):
+
+* ``"max_latency_ms": {"p50": X, "p99": Y}`` — the entry's
+  ``latency_ms`` percentiles may not exceed these budgets (p50 gates
+  the enqueue fast path, p99 the coalesced flush boundary).
+* ``"min_ops_per_sec": Z`` — end-to-end soak throughput floor.
+* ``"max_peak_rss_mib": W`` — process peak-RSS ceiling; this is the
+  memory-wall gate, so it is absolute rather than baseline-relative.
+* ``"min_plane_compression": {"factor": F}`` — the entry's
+  ``plane.compression`` (dense-equivalent plane MiB over peak resident
+  tile MiB) must stay at least ``F``: the tiled backend's reason to
+  exist.
+
 Stdlib-only on purpose: CI runs it before (and independently of)
 installing the package.
 """
@@ -152,6 +166,55 @@ def _check_cross_entry(
                     f"{equal_spec['vs']}'s {reference!r} — kernel "
                     "strategies must be bit-identical"
                 )
+
+    latency_spec = expected.get("max_latency_ms")
+    if latency_spec:
+        measured = entry.get("latency_ms") or {}
+        for quantile in ("p50", "p99"):
+            budget = latency_spec.get(quantile)
+            if budget is None:
+                continue
+            value = measured.get(quantile)
+            if value is None:
+                problems.append(
+                    f"{name}: latency_ms.{quantile} missing from report"
+                )
+            elif float(value) > float(budget):
+                problems.append(
+                    f"{name}: latency {quantile} {float(value):.1f}ms "
+                    f"exceeds the {float(budget):.1f}ms budget"
+                )
+
+    ops_floor = expected.get("min_ops_per_sec")
+    if ops_floor:
+        value = float(entry.get("ops_per_sec", 0.0))
+        if value < float(ops_floor):
+            problems.append(
+                f"{name}: throughput {value:.2f} ops/s below the "
+                f"{float(ops_floor):.2f} ops/s floor"
+            )
+
+    rss_ceiling = expected.get("max_peak_rss_mib")
+    if rss_ceiling:
+        value = float(entry.get("peak_rss_mib", 0.0))
+        if value > float(rss_ceiling):
+            problems.append(
+                f"{name}: peak RSS {value:.0f} MiB exceeds the "
+                f"{float(rss_ceiling):.0f} MiB ceiling"
+            )
+
+    compression_spec = expected.get("min_plane_compression")
+    if compression_spec:
+        plane = entry.get("plane") or {}
+        factor = float(compression_spec["factor"])
+        value = float(plane.get("compression", 0.0))
+        if value < factor:
+            problems.append(
+                f"{name}: distance-plane compression {value:.2f}x below "
+                f"the required {factor:.2f}x "
+                f"(dense-equiv {plane.get('dense_equiv_plane_mib')} MiB, "
+                f"peak resident {plane.get('peak_resident_mib')} MiB)"
+            )
 
     gap_spec = expected.get("max_utility_gap_vs")
     if gap_spec:

@@ -15,7 +15,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.bench.memory import peak_memory_mb
+from repro.bench.memory import peak_memory_mb, peak_rss_delta_mb
 from repro.obs import Recorder, get_recorder
 
 
@@ -43,10 +43,13 @@ def measure(
     the solver's own phase spans under it); otherwise a detached local
     recorder provides the monotonic timing alone.
 
-    ``trace_memory=False`` skips the tracemalloc wrapper (reported peak is
-    0.0).  Per-malloc tracing slows allocation-heavy vectorized code by an
-    order of magnitude, so pure wall-clock workloads (the ``kernel`` bench
-    preset) must opt out to measure the real hot path.
+    ``trace_memory=False`` skips the tracemalloc wrapper and falls back to
+    the OS peak-RSS delta (``ru_maxrss`` growth across the call, see
+    :func:`repro.bench.memory.peak_rss_delta_mb`).  Per-malloc tracing
+    slows allocation-heavy vectorized code by an order of magnitude, so
+    pure wall-clock workloads (the ``kernel`` and ``scale`` bench presets)
+    must opt out to measure the real hot path; they still get a real —
+    if coarser — memory number instead of the former hard-coded 0.0.
     """
     recorder = get_recorder()
     timer = recorder if recorder.enabled else Recorder()
@@ -55,7 +58,7 @@ def measure(
         if trace_memory:
             outcome, memory = peak_memory_mb(call)
         else:
-            outcome, memory = call(), 0.0
+            outcome, memory = peak_rss_delta_mb(call)
     recorder.gauge(f"bench.{label}.peak_mib", memory)
     utility = outcome if isinstance(outcome, (int, float)) else outcome.utility
     return outcome, ExperimentResult(

@@ -9,9 +9,36 @@ sizes of the three IEP repairs).
 
 from __future__ import annotations
 
+import resource
+import sys
 import tracemalloc
 from collections.abc import Callable
 from typing import Any
+
+# ru_maxrss units differ by platform: KiB on Linux, bytes on macOS.
+_RU_MAXRSS_TO_MIB = (
+    1.0 / (1024.0 * 1024.0) if sys.platform == "darwin" else 1.0 / 1024.0
+)
+
+
+def peak_rss_mib() -> float:
+    """The process lifetime peak resident-set size, in MiB."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RU_MAXRSS_TO_MIB
+
+
+def peak_rss_delta_mb(call: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``call`` and return ``(result, rss_growth_mb)``.
+
+    The tracemalloc-free fallback for workloads that opt out of per-malloc
+    tracing: the OS high-water resident-set mark (``ru_maxrss``) sampled
+    before and after the call.  ``ru_maxrss`` is a lifetime maximum and
+    never decreases, so the delta is how far *this* call pushed the peak —
+    zero when an earlier phase already drove RSS higher, hence a lower
+    bound on the call's own footprint (clamped at 0.0, never negative).
+    """
+    before = peak_rss_mib()
+    result = call()
+    return result, max(peak_rss_mib() - before, 0.0)
 
 
 def peak_memory_mb(call: Callable[[], Any]) -> tuple[Any, float]:

@@ -69,6 +69,21 @@ class Preset:
     # strategy; the batched entry carries the speedup + bit-identical
     # utility cross gates against the rowwise one.
     kernel_strategies: tuple[str, ...] = ()
+    # Scale-soak presets (``scale_users > 0``): a synthetic
+    # ``generate_scale_instance`` workload served through
+    # :class:`repro.scale.BatchedPlatform` under the **tiled** distance
+    # backend with the LRU pinned to ``tile_cache_mib``.  The entry
+    # reports per-operation latency percentiles, throughput, peak RSS,
+    # and distance-plane compression, each gated by the thresholds
+    # below (emitted with the entry so a regenerated baseline keeps
+    # its gates; see scripts/check_bench_regression.py).
+    scale_users: int = 0
+    tile_cache_mib: float = 32.0
+    max_latency_p50_ms: float = 0.0
+    max_latency_p99_ms: float = 0.0
+    min_ops_per_sec: float = 0.0
+    max_peak_rss_mib: float = 0.0
+    min_plane_compression: float = 5.0
 
 
 PRESETS: dict[str, Preset] = {
@@ -108,6 +123,45 @@ PRESETS: dict[str, Preset] = {
         shards=8,
         utility_gap_rtol=0.12,
         synthetic=(12000, 900, 120, 8),
+    ),
+    # Million-user trajectory soak (ROADMAP open item 3): 10^5 users,
+    # 10^4 mixed operations through the batched front-end under the
+    # tiled distance backend with a 32 MiB LRU — the dense plane would
+    # be ~195 MiB, so the compression gate is what keeps the backend
+    # honest.  p50 is the enqueue fast path (queued, no flush); p99 is
+    # a flush boundary carrying a whole coalesced batch, so its budget
+    # is ~batch x the amortised per-op cost.  Too slow for CI — run
+    # locally to regenerate results/bench_baseline_scale.json.
+    "scale": Preset(
+        city="scale-synthetic",
+        scale=1.0,
+        operations=10_000,
+        include_gap=False,
+        trace_memory=False,
+        scale_users=100_000,
+        tile_cache_mib=32.0,
+        max_latency_p50_ms=10.0,
+        max_latency_p99_ms=60_000.0,
+        min_ops_per_sec=1.5,
+        max_peak_rss_mib=2048.0,
+        min_plane_compression=5.0,
+    ),
+    # CI-sized soak smoke: same machinery at 10^4 users / 500 ops with
+    # a 4 MiB LRU (the 10^4-user plane is only ~20 MiB, so the cache
+    # must shrink for compression to mean anything at this size).
+    "scale-smoke": Preset(
+        city="scale-synthetic",
+        scale=1.0,
+        operations=500,
+        include_gap=False,
+        trace_memory=False,
+        scale_users=10_000,
+        tile_cache_mib=4.0,
+        max_latency_p50_ms=10.0,
+        max_latency_p99_ms=10_000.0,
+        min_ops_per_sec=8.0,
+        max_peak_rss_mib=1024.0,
+        min_plane_compression=2.0,
     ),
 }
 
@@ -206,6 +260,111 @@ def _kernel_strategy_entries(
     return entries
 
 
+def _percentile_ms(sorted_seconds: list[float], q: float) -> float:
+    """Nearest-rank percentile of a sorted latency list, in ms."""
+    if not sorted_seconds:
+        return 0.0
+    rank = min(len(sorted_seconds) - 1, int(round(q * (len(sorted_seconds) - 1))))
+    return sorted_seconds[rank] * 1000.0
+
+
+def _scale_entries(preset: Preset, seed: int) -> list[dict]:
+    """The scale-soak workload: publish, then a batched IEP stream.
+
+    The tiled backend is pinned (this preset exists to gate it) and the
+    LRU budget comes from the preset, not the caller's environment.
+    Per-operation latency is the wall time of each ``enqueue`` call:
+    most ops just queue (the p50 fast path), one in ``max_pending``
+    carries the coalesced flush (the p99 tail).  Throughput divides the
+    whole stream — draws, queue, flushes, final drain — by the
+    operation count, so it is the number capacity planning wants.
+    """
+    import time
+
+    from repro.bench.memory import peak_rss_mib
+    from repro.core.metrics import total_utility
+    from repro.core.tiles import use_distance_backend
+    from repro.datasets import ScaleConfig, generate_scale_instance
+    from repro.scale import BatchedPlatform
+
+    previous = os.environ.get("REPRO_TILE_CACHE_MIB")
+    os.environ["REPRO_TILE_CACHE_MIB"] = str(preset.tile_cache_mib)
+    try:
+        with use_distance_backend("tiled"), recording() as recorder:
+            config = ScaleConfig(n_users=preset.scale_users, seed=seed)
+            instance = generate_scale_instance(config)
+            platform = BatchedPlatform(
+                instance, solver=GreedySolver(seed=seed)
+            )
+            publish_start = time.perf_counter()
+            publish_utility = platform.publish_plans()
+            publish_seconds = time.perf_counter() - publish_start
+            stream = OperationStream(seed=seed)
+            latencies: list[float] = []
+            soak_start = time.perf_counter()
+            for _ in range(preset.operations):
+                operation = next(
+                    iter(stream.mixed(platform.instance, platform.plan, 1))
+                )
+                op_start = time.perf_counter()
+                platform.enqueue(operation)
+                latencies.append(time.perf_counter() - op_start)
+            platform.drain()
+            soak_seconds = time.perf_counter() - soak_start
+            utility = total_utility(platform.instance, platform.plan)
+            plane_stats = platform.instance.distances.tile_stats()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_TILE_CACHE_MIB", None)
+        else:
+            os.environ["REPRO_TILE_CACHE_MIB"] = previous
+
+    latencies.sort()
+    peak_rss = peak_rss_mib()
+    # Compression denominator: the backend's whole resident footprint
+    # (coords + event-event block + tile high-water), not just tiles —
+    # scattered row serving can materialise zero tiles.
+    peak_backend = max(plane_stats["peak_backend_mib"], 1e-9)
+    entry = {
+        "solver": f"scale-soak-{preset.operations}",
+        "seed": seed,
+        "wall_time_s": soak_seconds,
+        "peak_mib": peak_rss,
+        "utility": utility,
+        "cancelled": 0,
+        "counters": dict(recorder.counters),
+        "spans": recorder.snapshot()["spans"],
+        "publish_seconds": publish_seconds,
+        "publish_utility": publish_utility,
+        "latency_ms": {
+            "p50": _percentile_ms(latencies, 0.50),
+            "p90": _percentile_ms(latencies, 0.90),
+            "p99": _percentile_ms(latencies, 0.99),
+        },
+        "ops_per_sec": (
+            preset.operations / soak_seconds if soak_seconds > 0 else 0.0
+        ),
+        "peak_rss_mib": peak_rss,
+        "plane": {
+            "dense_equiv_plane_mib": plane_stats["dense_equiv_plane_mib"],
+            "peak_resident_mib": plane_stats["peak_resident_mib"],
+            "peak_backend_mib": plane_stats["peak_backend_mib"],
+            "compression": plane_stats["dense_equiv_plane_mib"]
+            / peak_backend,
+        },
+        # Gate specs ride with the entry (baseline-declared, applied to
+        # the fresh report's values by check_bench_regression.py).
+        "max_latency_ms": {
+            "p50": preset.max_latency_p50_ms,
+            "p99": preset.max_latency_p99_ms,
+        },
+        "min_ops_per_sec": preset.min_ops_per_sec,
+        "max_peak_rss_mib": preset.max_peak_rss_mib,
+        "min_plane_compression": {"factor": preset.min_plane_compression},
+    }
+    return [entry]
+
+
 def _sharded_entries(
     instance,
     seed: int,
@@ -301,6 +460,17 @@ def build_report(
     # Imported late: repro.datasets pulls numpy-heavy generator modules.
     from repro.datasets import MeetupConfig, generate_ebsn, make_city
 
+    if preset.scale_users:
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "preset": preset_name,
+            "city": preset.city,
+            "scale": preset.scale,
+            "seed": seed,
+            "cpu_count": os.cpu_count() or 1,
+            "entries": _scale_entries(preset, seed),
+        }
     if preset.synthetic is not None:
         n_users, n_events, n_groups, n_clusters = preset.synthetic
         instance = generate_ebsn(

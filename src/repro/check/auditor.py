@@ -269,9 +269,18 @@ class InvariantAuditor:
         if instance._distances is not None:
             fresh = reference.distances
             live = instance._distances
+            # Compare *served* values through the backend interface: for
+            # the dense backend this is the plane itself; for the tiled
+            # backend it assembles every pair the solvers could ever read,
+            # so a stale or mis-invalidated tile diverges here exactly
+            # like a mis-patched dense row would.
+            ids = np.arange(live.n_users, dtype=np.intp)
             self._compare_matrix(
                 report, "instance_user_event_distances",
-                live.user_event_matrix, fresh.user_event_matrix,
+                live.user_event_rows(ids),
+                fresh.user_event_rows(
+                    np.arange(fresh.n_users, dtype=np.intp)
+                ),
             )
             self._compare_matrix(
                 report, "instance_event_event_distances",

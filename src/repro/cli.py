@@ -310,6 +310,14 @@ def _add_scale_arguments(sub: argparse.ArgumentParser) -> None:
 
 def _add_trace_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
+        "--distance",
+        choices=("dense", "tiled"),
+        default=None,
+        help="distance backend: dense plane (default/oracle) or "
+        "coordinate-resident tiles (value-identical; see "
+        "docs/memory.md).  Overrides REPRO_DISTANCE.",
+    )
+    sub.add_argument(
         "--trace",
         action="store_true",
         help="print a per-phase timing/counter table to stderr",
@@ -426,6 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    distance = getattr(args, "distance", None)
+    if distance is not None:
+        from repro.core.tiles import set_distance_backend
+
+        set_distance_backend(distance)
     trace = getattr(args, "trace", False)
     trace_json = getattr(args, "trace_json", None)
     if not trace and trace_json is None:

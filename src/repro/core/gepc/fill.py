@@ -24,6 +24,21 @@ from repro.core.tolerances import BUDGET_TOL
 from repro.obs import get_recorder
 
 
+def _prune_unreachable(instance: Instance, users: np.ndarray) -> np.ndarray:
+    """Drop users the spatial index proves can reach no event.
+
+    Sound and decision-identical: a user with no candidate event has an
+    all-False feasible-mask row (every event fails the same
+    ``2d + fee <= B + tol`` budget test the kernel evaluates), so they can
+    never produce a candidate pair — pruning them only shrinks the kernel
+    pass.  Under the dense backend there is no index and this is a no-op.
+    """
+    candidates = instance.candidate_index
+    if candidates is None or users.size == 0:
+        return users
+    return users[candidates.active_user_mask()[users]]
+
+
 class UtilityFill:
     """Greedy utility-descending capacity filler."""
 
@@ -112,6 +127,7 @@ class UtilityFill:
             if only_users is not None
             else np.arange(instance.n_users, dtype=np.intp)
         )
+        users = _prune_unreachable(instance, users)
         open_mask = residual > 0
         if not open_mask.any() or users.size == 0:
             return 0, 0, 0
@@ -136,7 +152,7 @@ class UtilityFill:
         ee_rows = planes.ee_rows
         fees = planes.fees
         budgets = planes.budgets
-        ue = instance.distances.user_event_matrix
+        d = instance.distances
         ue_rows: dict[int, list[float]] = {}
         residual_left: list[int] = residual.tolist()
         route_costs = plan._route_costs
@@ -161,7 +177,7 @@ class UtilityFill:
                     continue
                 row = ue_rows.get(user)
                 if row is None:
-                    row = ue[user].tolist()
+                    row = d.user_event_row(user).tolist()
                     ue_rows[user] = row
                 position, delta = splice(
                     events, event, starts, row, ee_rows, fees
@@ -175,7 +191,7 @@ class UtilityFill:
                 # only precomputes add()'s hint (bit-identical order).
                 row = ue_rows.get(user)
                 if row is None:
-                    row = ue[user].tolist()
+                    row = d.user_event_row(user).tolist()
                     ue_rows[user] = row
                 plan.add(
                     user,
@@ -232,10 +248,13 @@ class UtilityFill:
         re-checks the insertion loop performs.
         """
         users = (
-            np.fromiter(sorted(only_users), dtype=int, count=len(only_users))
+            np.fromiter(
+                sorted(only_users), dtype=np.intp, count=len(only_users)
+            )
             if only_users is not None
-            else np.arange(instance.n_users)
+            else np.arange(instance.n_users, dtype=np.intp)
         )
+        users = _prune_unreachable(instance, users)
         open_mask = residual > 0
         if not open_mask.any() or users.size == 0:
             return []

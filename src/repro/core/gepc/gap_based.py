@@ -131,7 +131,12 @@ class GAPBasedSolver(GEPCSolver):
         utility = instance.utility
         m = instance.n_events
         fees = instance.fee_vector
-        loads = fees[None, :] + 2.0 * instance.distances.user_event_matrix
+        # The GAP reduction is inherently dense (the LP wants the whole
+        # load matrix) and only runs at LP-tractable sizes; the bulk
+        # accessor keeps it backend-portable without a full-plane read.
+        loads = fees[None, :] + 2.0 * instance.distances.user_event_rows(
+            np.arange(instance.n_users, dtype=np.intp)
+        )
         demands = np.asarray(
             [
                 0 if j in cancelled else instance.events[j].lower

@@ -151,7 +151,7 @@ class RowwiseKernel(KernelStrategy):
         instance = plan.instance
         events = plan._plans[user]
         d = instance.distances
-        user_row = d.user_event_matrix[user]
+        user_row = d.user_event_row(user)
         fees = instance.fee_vector
         if not events:
             deltas = 2.0 * user_row + fees
@@ -203,14 +203,21 @@ class BatchedKernel(RowwiseKernel):
         if n == 0 or m == 0:
             return deltas, np.zeros((n, m), dtype=bool)
         d = instance.distances
-        ue = d.user_event_matrix
         fees = instance.fee_vector
         lengths = np.fromiter(
             (len(plan._plans[int(u)]) for u in users), dtype=np.intp, count=n
         )
         empty = lengths == 0
         if empty.any():
-            deltas[empty] = 2.0 * ue[users[empty]] + fees
+            # Chunked like the busy path: under the tiled backend a
+            # single all-users gather would assemble the full n x m plane
+            # in one allocation, defeating the bounded working set.
+            # Chunking changes no per-row elementwise op, so the deltas
+            # stay bit-identical.
+            for chunk in _chunks(np.flatnonzero(empty), self.chunk_size):
+                deltas[chunk] = (
+                    2.0 * d.user_event_rows(users[chunk]) + fees
+                )
         busy = np.flatnonzero(~empty)
         for chunk in _chunks(busy, self.chunk_size):
             self._busy_deltas(plan, users, lengths, chunk, deltas)
@@ -246,7 +253,6 @@ class BatchedKernel(RowwiseKernel):
         """Fill ``out[rows]`` for users with non-empty plans (one chunk)."""
         instance = plan.instance
         d = instance.distances
-        ue = d.user_event_matrix
         ee = d.event_event_matrix
         starts = instance.event_starts
         fees = instance.fee_vector
@@ -274,7 +280,7 @@ class BatchedKernel(RowwiseKernel):
         succ = hops[rng[:, None], np.minimum(positions, (k - 1)[:, None])]
         first_event = hops[:, 0]
         last_event = hops[rng, k - 1]
-        ue_sel = ue[users[rows]]
+        ue_sel = d.user_event_rows(users[rows])
         middle = (
             -ee[pred, succ] + ee[pred, ids[None, :]] + ee[ids[None, :], succ]
         )
@@ -362,13 +368,13 @@ class SplicePlanes:
             row.tolist() for row in d.event_event_matrix
         ]
         self.budgets: list[float] = [u.budget for u in instance.users]
-        self._ue = d.user_event_matrix
+        self._d = d
         self._ue_rows: dict[int, list[float]] = {}
 
     def user_row(self, user: int) -> list[float]:
         row = self._ue_rows.get(user)
         if row is None:
-            row = self._ue[user].tolist()
+            row = self._d.user_event_row(user).tolist()
             self._ue_rows[user] = row
         return row
 
@@ -426,7 +432,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - requires the optional numba build
             _numba_row_deltas(
                 np.asarray(plan._plans[user], dtype=np.int64),
                 instance.event_starts,
-                d.user_event_matrix[user],
+                d.user_event_row(user),
                 d.event_event_matrix,
                 instance.fee_vector,
                 deltas,

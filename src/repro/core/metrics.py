@@ -20,12 +20,19 @@ def user_utility(instance: Instance, plan: GlobalPlan, user: int) -> float:
 
 
 def total_utility(instance: Instance, plan: GlobalPlan) -> float:
-    """``U_P``: the global utility of ``plan`` (Definition 1 objective)."""
+    """``U_P``: the global utility of ``plan`` (Definition 1 objective).
+
+    Reads the plan lists in place (no per-user copies) and skips empty
+    plans outright — at soak scale most users hold none, and this runs
+    once per applied operation.
+    """
+    utility = instance.utility
     return float(
         sum(
-            instance.utility[user, event]
-            for user in range(instance.n_users)
-            for event in plan.user_plan(user)
+            utility[user, event]
+            for user, events in enumerate(plan._plans)
+            if events
+            for event in events
         )
     )
 
@@ -35,8 +42,10 @@ def dif(old: GlobalPlan, new: GlobalPlan) -> int:
     if old.instance.n_users != new.instance.n_users:
         raise ValueError("plans cover different user populations")
     impact = 0
-    for user in range(old.instance.n_users):
-        lost = set(old.user_plan(user)) - set(new.user_plan(user))
+    for user, events in enumerate(old._plans):
+        if not events:
+            continue
+        lost = set(events) - set(new._plans[user])
         impact += len(lost)
     return impact
 

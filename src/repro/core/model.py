@@ -18,7 +18,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.tiles import (
+    TiledDistanceMatrix,
+    active_distance_backend,
+)
 from repro.geo.distance import DistanceMatrix
+from repro.geo.grid import SpatialCandidateIndex
 from repro.geo.point import Point
 from repro.timeline.conflicts import (
     conflict_graph,
@@ -32,6 +37,11 @@ from repro.timeline.interval import Interval
 
 if TYPE_CHECKING:
     from repro.core.costs import CostModel
+
+#: Either distance backend satisfies the same serving interface
+#: (``user_event`` / ``user_event_row`` / ``user_event_rows`` / ...);
+#: ``REPRO_DISTANCE`` picks which one new caches are built with.
+DistanceBackend = DistanceMatrix | TiledDistanceMatrix
 
 
 def _read_only(array: np.ndarray) -> np.ndarray:
@@ -137,7 +147,8 @@ class Instance:
             and self.cost_model.fees.shape != (len(events),)
         ):
             raise ValueError("one admission fee per event required")
-        self._distances: DistanceMatrix | None = None
+        self._distances: DistanceBackend | None = None
+        self._candidates: SpatialCandidateIndex | None = None
         self._conflicts: list[set[int]] | None = None
         self._conflict_matrix: np.ndarray | None = None
         self._event_starts: np.ndarray | None = None
@@ -169,6 +180,7 @@ class Instance:
         instance.utility = utility
         instance.cost_model = cost_model
         instance._distances = None
+        instance._candidates = None
         instance._conflicts = None
         instance._conflict_matrix = None
         instance._event_starts = None
@@ -190,15 +202,59 @@ class Instance:
         return len(self.events)
 
     @property
-    def distances(self) -> DistanceMatrix:
-        """Lazily built distance cache (user-event and event-event)."""
+    def distances(self) -> DistanceBackend:
+        """Lazily built distance cache (user-event and event-event).
+
+        The backend is chosen at build time by ``REPRO_DISTANCE``:
+        ``dense`` (the default and the bit-exactness oracle) materialises
+        the full plane; ``tiled`` keeps only coordinates resident and
+        serves tiles on demand — value-identical on every served pair.
+        """
         if self._distances is None:
-            self._distances = DistanceMatrix(
-                [u.location for u in self.users],
-                [e.location for e in self.events],
-                metric=self.cost_model.metric,
-            )
+            if active_distance_backend() == "tiled":
+                self._distances = TiledDistanceMatrix.from_points(
+                    [u.location for u in self.users],
+                    [e.location for e in self.events],
+                    metric=self.cost_model.metric,
+                )
+            else:
+                self._distances = DistanceMatrix(
+                    [u.location for u in self.users],
+                    [e.location for e in self.events],
+                    metric=self.cost_model.metric,
+                )
         return self._distances
+
+    @property
+    def distance_backend(self) -> str:
+        """Which backend this instance's distance cache uses (building
+        it if needed): ``"dense"`` or ``"tiled"``."""
+        if isinstance(self.distances, TiledDistanceMatrix):
+            return "tiled"
+        return "dense"
+
+    @property
+    def candidate_index(self) -> SpatialCandidateIndex | None:
+        """Spatial pruning index, or ``None`` under the dense backend.
+
+        Built lazily (tiled backend only): per-event candidate user sets
+        containing exactly the users whose singleton round trip passes
+        the kernel's own budget test — iterating candidates instead of
+        everyone is bit-identical (see :mod:`repro.geo.grid`).  Dense
+        stays the unpruned oracle.
+        """
+        if self._candidates is None:
+            d = self.distances
+            if not isinstance(d, TiledDistanceMatrix):
+                return None
+            self._candidates = SpatialCandidateIndex(
+                d.user_coords,
+                np.array([u.budget for u in self.users], dtype=float),
+                d.event_coords,
+                self.fee_vector,
+                self.cost_model.metric,
+            )
+        return self._candidates
 
     @property
     def conflicts(self) -> list[set[int]]:
@@ -283,14 +339,25 @@ class Instance:
         assert self._conflict_matrix is not None  # warmed above
         assert self._event_starts is not None
         assert self._fee_vector is not None
-        self._plane_handles = {
+        handles = {
             "utility": manager.share(self.utility),
-            "user_event": manager.share(d.user_event_matrix),
-            "event_event": manager.share(d.event_event_matrix),
             "conflict_matrix": manager.share(self._conflict_matrix),
             "event_starts": manager.share(self._event_starts),
             "fee_vector": manager.share(self._fee_vector),
         }
+        if isinstance(d, TiledDistanceMatrix):
+            # Tiled mode never owns a dense plane: publish the tiny
+            # coordinate arrays instead; workers rebuild an identical
+            # tiled backend from them (distances are elementwise in the
+            # endpoint coordinates, so every served value matches).
+            handles["user_coords"] = manager.share(d.user_coords)
+            handles["event_coords"] = manager.share(d.event_coords)
+        else:
+            handles["user_event"] = manager.share(
+                d.user_event_matrix  # repro-lint: ignore[RL008] dense branch shares its already-materialised plane
+            )
+            handles["event_event"] = manager.share(d.event_event_matrix)
+        self._plane_handles = handles
         return self._plane_handles
 
     def unshare_planes(self) -> None:
@@ -333,6 +400,7 @@ class Instance:
         self.events = state["events"]
         self.cost_model = state["cost_model"]
         self._distances = None
+        self._candidates = None
         self._conflicts = None
         self._conflict_matrix = None
         self._event_starts = None
@@ -356,11 +424,20 @@ class Instance:
             self._plane_attachments.append(attachment)
             arrays[key] = attachment.array
         self.utility = arrays["utility"]
-        self._distances = _DistanceMatrix.from_matrices(
-            arrays["user_event"],
-            arrays["event_event"],
-            metric=self.cost_model.metric,
-        )
+        if "user_coords" in arrays:
+            # Tiled dispatch: the parent shipped coordinates, not planes;
+            # the worker's backend recomputes identical tiles on demand.
+            self._distances = TiledDistanceMatrix(
+                arrays["user_coords"],
+                arrays["event_coords"],
+                metric=self.cost_model.metric,
+            )
+        else:
+            self._distances = _DistanceMatrix.from_matrices(
+                arrays["user_event"],
+                arrays["event_event"],
+                metric=self.cost_model.metric,
+            )
         self._conflict_matrix = arrays["conflict_matrix"]
         self._event_starts = arrays["event_starts"]
         self._fee_vector = arrays["fee_vector"]
@@ -386,8 +463,8 @@ class Instance:
         ``user_ids``/``event_ids`` must be strictly increasing global ids;
         members keep their relative order and are re-indexed to ``0..``.
         """
-        user_ids = np.asarray(user_ids, dtype=int)
-        event_ids = np.asarray(event_ids, dtype=int)
+        user_ids = np.asarray(user_ids, dtype=np.intp)
+        event_ids = np.asarray(event_ids, dtype=np.intp)
         users = [
             replace(self.users[int(old)], id=new)
             for new, old in enumerate(user_ids)
@@ -452,8 +529,11 @@ class Instance:
         starts = self.event_starts
         ordered = sorted(event_ids, key=starts.__getitem__)
         d = self.distances
-        user_row = d.user_event_matrix[user]
-        cost = float(user_row[ordered[0]]) + float(user_row[ordered[-1]])
+        # Only the first/last legs touch the user row — scalar serves
+        # keep the tiled backend from materialising a row per call.
+        cost = d.user_event(user, ordered[0]) + d.user_event(
+            user, ordered[-1]
+        )
         if len(ordered) > 1:
             hops = np.asarray(ordered)
             cost += float(
@@ -547,6 +627,20 @@ class Instance:
                     [u.location for u in self.users],
                     [e.location for e in events],
                 )
+        if self._candidates is not None:
+            # Candidate sets are purely geometric (budget vs round trip),
+            # so bound/time changes carry them by identity; a move patches
+            # only the moved event's set.
+            if not location_changed:
+                instance._candidates = self._candidates
+            else:
+                instance._candidates = self._candidates.with_event_location(
+                    event_id,
+                    np.array(
+                        (updated.location.x, updated.location.y),
+                        dtype=float,
+                    ),
+                )
         if not interval_changed:
             instance._conflicts = self._conflicts
             instance._conflict_matrix = self._conflict_matrix
@@ -587,14 +681,25 @@ class Instance:
                 instance._distances = self._distances
             else:
                 patched = self._distances.copy()
-                if self.events:
-                    patched.user_event_matrix[user_id, :] = (
-                        self.cost_model.metric.cross(
-                            [updated.location],
-                            [e.location for e in self.events],
-                        )[0]
-                    )
+                patched.replace_user_location(
+                    user_id,
+                    updated.location,
+                    [e.location for e in self.events],
+                )
                 instance._distances = patched
+        if updated.location == old.location:
+            if updated.budget == old.budget:
+                # Neither geometry nor budget moved: the candidate sets
+                # are unchanged.
+                instance._candidates = self._candidates
+            elif self._candidates is not None:
+                # Budget-only change: patch the one user's membership
+                # exactly instead of rebuilding the whole index.
+                instance._candidates = self._candidates.with_user_budget(
+                    user_id, updated.budget
+                )
+        # A relocation leaves the index to rebuild lazily — one user's
+        # move can change their grid cell and every event's set.
         instance._conflicts = self._conflicts
         instance._conflict_matrix = self._conflict_matrix
         instance._event_starts = self._event_starts
@@ -616,6 +721,7 @@ class Instance:
             self.users, self.events, utility, self.cost_model
         )
         instance._distances = self._distances
+        instance._candidates = self._candidates
         instance._conflicts = self._conflicts
         instance._conflict_matrix = self._conflict_matrix
         instance._event_starts = self._event_starts
@@ -657,6 +763,13 @@ class Instance:
                 event.location,
                 [u.location for u in self.users],
                 [e.location for e in self.events],
+            )
+        if self._candidates is not None:
+            instance._candidates = self._candidates.with_appended_event(
+                np.array(
+                    (event.location.x, event.location.y), dtype=float
+                ),
+                float(fee),
             )
         intervals = [e.interval for e in events]
         if self._conflicts is not None:

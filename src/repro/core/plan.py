@@ -213,31 +213,29 @@ class GlobalPlan:
         while position < len(plan) and starts[plan[position]] <= start:
             position += 1
         d = self.instance.distances
-        user_row = d.user_event_matrix[user]
         fee = float(self.instance.fee_vector[event])
         if not plan:
-            return 0, 2.0 * float(user_row[event]) + fee
-        ee = d.event_event_matrix
+            return 0, 2.0 * d.user_event(user, event) + fee
         if position == 0:
             successor = plan[0]
             delta = (
-                -float(user_row[successor])
-                + float(user_row[event])
-                + float(ee[event, successor])
+                -d.user_event(user, successor)
+                + d.user_event(user, event)
+                + d.event_event(event, successor)
             )
         elif position == len(plan):
             predecessor = plan[-1]
             delta = (
-                -float(user_row[predecessor])
-                + float(ee[predecessor, event])
-                + float(user_row[event])
+                -d.user_event(user, predecessor)
+                + d.event_event(predecessor, event)
+                + d.user_event(user, event)
             )
         else:
             predecessor, successor = plan[position - 1], plan[position]
             delta = (
-                -float(ee[predecessor, successor])
-                + float(ee[predecessor, event])
-                + float(ee[event, successor])
+                -d.event_event(predecessor, successor)
+                + d.event_event(predecessor, event)
+                + d.event_event(event, successor)
             )
         return position, delta + fee
 
@@ -247,31 +245,29 @@ class GlobalPlan:
         """Route-cost delta of removing ``plan[position]`` (negative)."""
         event = plan[position]
         d = self.instance.distances
-        user_row = d.user_event_matrix[user]
         fee = float(self.instance.fee_vector[event])
         if len(plan) == 1:
-            return -(2.0 * float(user_row[event]) + fee)
-        ee = d.event_event_matrix
+            return -(2.0 * d.user_event(user, event) + fee)
         if position == 0:
             successor = plan[1]
             delta = (
-                float(user_row[successor])
-                - float(user_row[event])
-                - float(ee[event, successor])
+                d.user_event(user, successor)
+                - d.user_event(user, event)
+                - d.event_event(event, successor)
             )
         elif position == len(plan) - 1:
             predecessor = plan[-2]
             delta = (
-                float(user_row[predecessor])
-                - float(ee[predecessor, event])
-                - float(user_row[event])
+                d.user_event(user, predecessor)
+                - d.event_event(predecessor, event)
+                - d.user_event(user, event)
             )
         else:
             predecessor, successor = plan[position - 1], plan[position + 1]
             delta = (
-                float(ee[predecessor, successor])
-                - float(ee[predecessor, event])
-                - float(ee[event, successor])
+                d.event_event(predecessor, successor)
+                - d.event_event(predecessor, event)
+                - d.event_event(event, successor)
             )
         return delta - fee
 
@@ -458,8 +454,13 @@ class GlobalPlan:
         clone._attendance = list(self._attendance)
         clone._route_costs = list(self._route_costs)
         clone._attendee_sets = [set(s) for s in self._attendee_sets]
+        # Blocked rows are lazily rebuilt from the plan + conflict matrix;
+        # an empty plan's row is all zeros, so only rows backing a live
+        # plan are worth carrying (at soak scale most users hold none).
         clone._blocked = {
-            user: row.copy() for user, row in self._blocked.items()
+            user: row.copy()
+            for user, row in self._blocked.items()
+            if self._plans[user]
         }
         # Cached kernel rows are immutable (write-locked) once built, so
         # the clone can share them until either plan diverges.
@@ -515,9 +516,12 @@ class GlobalPlan:
                 clone._attendance[event] += 1
                 clone._attendee_sets[event].add(user)
         if not time_changed and instance.n_events == old.n_events:
-            # Conflict relation unchanged: blocked counters carry forward.
+            # Conflict relation unchanged: blocked counters carry forward
+            # (empty-plan rows are all zeros — rebuilt lazily, not copied).
             clone._blocked = {
-                user: row.copy() for user, row in self._blocked.items()
+                user: row.copy()
+                for user, row in self._blocked.items()
+                if self._plans[user]
             }
         # geometry_changed is folded into changed_events above; referenced
         # here so the three-way split stays explicit for future use.

@@ -17,15 +17,18 @@ from repro.datasets.cities import CITY_CONFIGS, make_city
 from repro.datasets.cutout import cutout, event_sweep, user_sweep
 from repro.datasets.io import load_instance, save_instance
 from repro.datasets.meetup import MeetupConfig, generate_ebsn
+from repro.datasets.scale import ScaleConfig, generate_scale_instance
 from repro.datasets.tags import TAG_VOCABULARY, tag_similarity
 
 __all__ = [
     "CITY_CONFIGS",
     "MeetupConfig",
+    "ScaleConfig",
     "TAG_VOCABULARY",
     "cutout",
     "event_sweep",
     "generate_ebsn",
+    "generate_scale_instance",
     "load_instance",
     "make_city",
     "save_instance",

@@ -103,6 +103,19 @@ class DistanceMatrix:
         row.flags.writeable = False
         return row
 
+    def user_event_rows(
+        self, users: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Distance rows for a batch of users (fresh float64 block).
+
+        The backend-portable bulk accessor: dense gathers with one fancy
+        index; the tiled backend assembles the same block from cached
+        tiles.  Callers iterating very large user sets should chunk so the
+        output block stays bounded.
+        """
+        ids = np.asarray(users, dtype=np.intp).reshape(-1)
+        return self._user_event[ids]
+
     @classmethod
     def from_matrices(
         cls,
@@ -154,8 +167,12 @@ class DistanceMatrix:
         (bit-exact with a from-scratch rebuild over the same locations)
         instead of re-running the metric.
         """
-        user_ids = np.asarray(user_ids, dtype=int)
-        event_ids = np.asarray(event_ids, dtype=int)
+        # np.intp, not the builtin int: the ids index numpy planes, and
+        # the builtin maps to a platform-dependent width (C long — 32-bit
+        # on LLP64 platforms) while intp is always the pointer-sized
+        # indexing type.
+        user_ids = np.asarray(user_ids, dtype=np.intp)
+        event_ids = np.asarray(event_ids, dtype=np.intp)
         clone = object.__new__(DistanceMatrix)
         clone._metric = self._metric
         clone._user_event = self._user_event[np.ix_(user_ids, event_ids)].copy()
@@ -187,6 +204,24 @@ class DistanceMatrix:
             column[event] = 0.0
             self._event_event[:, event] = column
             self._event_event[event, :] = column
+
+    def replace_user_location(
+        self,
+        user: int,
+        location: Point,
+        event_locations: Sequence[Point],
+    ) -> None:
+        """Update the cached row after a user moves home (IEP update).
+
+        The row is recomputed as one vectorized ``metric.cross`` call,
+        matching how the full plane is built.  This keeps the plane write
+        inside the geo layer — call sites never touch the raw matrix
+        (lint rule RL008).
+        """
+        if event_locations:
+            self._user_event[user, :] = self._metric.cross(
+                [location], event_locations
+            )[0]
 
     def with_event_location(
         self,

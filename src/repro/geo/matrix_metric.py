@@ -85,3 +85,46 @@ class MatrixMetric:
             "cross expects user points on the left and event points on the "
             "right"
         )
+
+    def cross_coords(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Array-coded lookup: rows of ``(index, side)`` pairs.
+
+        Mirrors :meth:`cross` for the tiled backend's raw-coordinate
+        serving path; additionally supports event-by-event blocks (the
+        tiled backend builds its event-event plane through this hook).
+        """
+        a = np.asarray(a, dtype=float).reshape(-1, 2)
+        b = np.asarray(b, dtype=float).reshape(-1, 2)
+        if a.shape[0] == 0 or b.shape[0] == 0:
+            return np.zeros((a.shape[0], b.shape[0]))
+        rows = a[:, 0].astype(int)
+        cols = b[:, 0].astype(int)
+        if (a[:, 1] == USER_SIDE).all() and (b[:, 1] == EVENT_SIDE).all():
+            return self._user_event[np.ix_(rows, cols)].copy()
+        if (a[:, 1] == EVENT_SIDE).all() and (b[:, 1] == EVENT_SIDE).all():
+            return self._event_event[np.ix_(rows, cols)].copy()
+        raise ValueError(
+            "cross_coords expects user rows against event rows, or event "
+            "rows against event rows"
+        )
+
+    def scalar_coords(
+        self, ax: float, ay: float, bx: float, by: float
+    ) -> float:
+        """One coded lookup — the scalar twin of :meth:`cross_coords`."""
+        if ay == USER_SIDE and by == EVENT_SIDE:
+            return float(self._user_event[int(ax), int(bx)])
+        if ay == EVENT_SIDE and by == EVENT_SIDE:
+            return float(self._event_event[int(ax), int(bx)])
+        raise ValueError(
+            "scalar_coords expects a user (or event) row against an "
+            "event row"
+        )
+
+    def rect_lower_bound(
+        self, point: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> float:
+        """Matrix distances carry no geometry, so the only sound lower
+        bound on the distance from ``point`` to anywhere inside the
+        rectangle is zero (the spatial index then prunes nothing)."""
+        return 0.0

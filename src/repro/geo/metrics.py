@@ -10,6 +10,7 @@ by :class:`repro.geo.distance.DistanceMatrix` and the cost model.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 from typing import Protocol
 
@@ -37,6 +38,38 @@ class TravelMetric(Protocol):
         """Dense ``len(left) x len(right)`` distance matrix."""
         ...
 
+    def cross_coords(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense block over raw ``(k, 2)`` coordinate arrays.
+
+        The tiled distance backend computes blocks straight from cached
+        coordinate arrays; ``cross`` delegates here, so the elementwise
+        operation sequence (and therefore every float result) is shared
+        with the dense path bit for bit.
+        """
+        ...
+
+    def rect_lower_bound(
+        self, point: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Lower bound on the distance from ``point`` to each ``[lo, hi]``
+        axis-aligned rectangle (used by the spatial pruning grid; must
+        never exceed the true distance to any point inside the rect)."""
+        ...
+
+    def scalar_coords(
+        self, ax: float, ay: float, bx: float, by: float
+    ) -> float:
+        """One distance, python-scalar fast path.
+
+        MUST return the exact float64 ``cross_coords`` would put in the
+        corresponding cell — the tiled backend serves scattered scalar
+        probes through this hook (a 1x1 numpy block costs ~100x the
+        arithmetic in array overhead) and its value-identity contract
+        rides on the equality.  Python floats and correctly-rounded IEEE
+        ops make that achievable: same operations, same order.
+        """
+        ...
+
 
 def _coords(points: Sequence[Point]) -> np.ndarray:
     return np.array([(p.x, p.y) for p in points], dtype=float)
@@ -62,8 +95,31 @@ class EuclideanMetric:
     ) -> np.ndarray:
         if not left or not right:
             return np.zeros((len(left), len(right)))
-        diff = _coords(left)[:, None, :] - _coords(right)[None, :, :]
+        return self.cross_coords(_coords(left), _coords(right))
+
+    def cross_coords(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        diff = a[:, None, :] - b[None, :, :]
         return np.sqrt((diff * diff).sum(axis=2))
+
+    def rect_lower_bound(
+        self, point: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        # Distance to the nearest point of each rectangle: clamp the
+        # query into the rect, then measure.  Exact (not just a bound)
+        # for axis-aligned rects under the L2 metric.
+        nearest = np.clip(point[None, :], lo, hi)
+        diff = nearest - point[None, :]
+        return np.sqrt((diff * diff).sum(axis=1))
+
+    def scalar_coords(
+        self, ax: float, ay: float, bx: float, by: float
+    ) -> float:
+        # Bit-identical to one cross_coords cell: subtract, multiply,
+        # add (numpy sums a length-2 axis as one add, index order), sqrt
+        # — all correctly-rounded IEEE doubles in the same order.
+        dx = ax - bx
+        dy = ay - by
+        return math.sqrt(dx * dx + dy * dy)
 
 
 class ManhattanMetric:
@@ -86,8 +142,23 @@ class ManhattanMetric:
     ) -> np.ndarray:
         if not left or not right:
             return np.zeros((len(left), len(right)))
-        diff = np.abs(_coords(left)[:, None, :] - _coords(right)[None, :, :])
+        return self.cross_coords(_coords(left), _coords(right))
+
+    def cross_coords(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        diff = np.abs(a[:, None, :] - b[None, :, :])
         return diff.sum(axis=2)
+
+    def rect_lower_bound(
+        self, point: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        nearest = np.clip(point[None, :], lo, hi)
+        return np.abs(nearest - point[None, :]).sum(axis=1)
+
+    def scalar_coords(
+        self, ax: float, ay: float, bx: float, by: float
+    ) -> float:
+        # Same IEEE ops in the same order as one cross_coords cell.
+        return abs(ax - bx) + abs(ay - by)
 
 
 EUCLIDEAN = EuclideanMetric()

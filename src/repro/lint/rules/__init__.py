@@ -8,6 +8,7 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     rl005_determinism,
     rl006_obs,
     rl007_shm,
+    rl008_dense,
 )
 from repro.lint.rules.rl001_cache import CacheDiscipline
 from repro.lint.rules.rl002_tolerance import ToleranceDiscipline
@@ -16,6 +17,7 @@ from repro.lint.rules.rl004_leaks import LeakedMutableArray
 from repro.lint.rules.rl005_determinism import Determinism
 from repro.lint.rules.rl006_obs import ObsCoverage
 from repro.lint.rules.rl007_shm import ShmDiscipline
+from repro.lint.rules.rl008_dense import DenseMaterialisationDiscipline
 
 __all__ = [
     "CacheDiscipline",
@@ -25,4 +27,5 @@ __all__ = [
     "Determinism",
     "ObsCoverage",
     "ShmDiscipline",
+    "DenseMaterialisationDiscipline",
 ]

@@ -136,9 +136,22 @@ def reachable_matrix(instance: Instance) -> np.ndarray:
     ever make implies singleton reachability, so the fringe over-approxi-
     mates (never misses) cross-shard opportunities.
     """
+    candidates = instance.candidate_index
+    if candidates is not None:
+        # Tiled backend: the spatial index already holds exactly the
+        # ``within`` booleans (its refinement evaluates the identical
+        # ``2d + fee <= B + tol`` comparison), so scatter the candidate
+        # sets instead of materialising the full distance plane.
+        within = np.zeros(
+            (instance.n_users, instance.n_events), dtype=bool
+        )
+        for event in range(instance.n_events):
+            within[candidates.candidate_users(event), event] = True
+        return (instance.utility > 0.0) & within
     budgets = np.array([u.budget for u in instance.users], dtype=float)
     round_trip = (
-        2.0 * instance.distances.user_event_matrix + instance.fee_vector
+        2.0 * instance.distances.user_event_matrix  # repro-lint: ignore[RL008] dense branch reuses the already-materialised oracle plane
+        + instance.fee_vector
     )
     within = round_trip <= budgets[:, None] + BUDGET_TOL
     return (instance.utility > 0.0) & within

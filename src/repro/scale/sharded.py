@@ -391,10 +391,21 @@ class ShardedSolver(GEPCSolver):
         Returns the number of assignments committed.
         """
         rescued = 0
+        spatial = instance.candidate_index
         for event in sorted(cancelled):
             spec = instance.events[event]
+            # Under the tiled backend, only this event's spatial candidates
+            # can ever pass can_attend's budget check (the candidate test
+            # is the same 2d+fee bound), so restricting the pool skips no
+            # user the dense scan could have added — the committed adds,
+            # and their order, are identical.
+            pool = (
+                range(instance.n_users)
+                if spatial is None
+                else spatial.candidate_users(event).tolist()
+            )
             order = sorted(
-                range(instance.n_users),
+                pool,
                 key=lambda u: (-float(instance.utility[u, event]), u),
             )
             added: list[int] = []

@@ -12,6 +12,18 @@ from repro.geo.point import Point
 from repro.timeline.interval import Interval
 
 
+def served_user_event_plane(instance: Instance) -> np.ndarray:
+    """The full user-event distance plane, served through the backend.
+
+    Backend-portable replacement for reading ``user_event_matrix``
+    directly (which the tiled backend refuses): bulk-serves every row via
+    the interface both backends share, so plane comparisons run
+    identically under ``REPRO_DISTANCE=dense`` and ``=tiled``.
+    """
+    ids = np.arange(instance.n_users, dtype=np.intp)
+    return instance.distances.user_event_rows(ids)
+
+
 def build_instance(
     users: list[tuple[float, float, float]],
     events: list[tuple[float, float, int, int, float, float]],

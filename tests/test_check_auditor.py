@@ -165,9 +165,22 @@ class TestCorruptionDetection:
 
     def test_instance_distance_corruption(self, solved):
         instance, plan = fresh_plan(solved)
-        matrix = instance.distances.user_event_matrix
-        matrix.flags.writeable = True
-        matrix[0, 0] += 1.0
+        d = instance.distances
+        if instance.distance_backend == "tiled":
+            # No dense plane exists to poke under the tiled backend:
+            # skew the cached user coordinate instead (and drop the
+            # covering tiles) so every served distance drifts.
+            d._user_coords[0, 0] += 1.0
+            d._invalidate(user_tile=0)
+            undo = lambda: (  # noqa: E731
+                d._user_coords.__setitem__((0, 0), d._user_coords[0, 0] - 1.0),
+                d._invalidate(user_tile=0),
+            )
+        else:
+            matrix = d.user_event_matrix
+            matrix.flags.writeable = True
+            matrix[0, 0] += 1.0
+            undo = lambda: matrix.__setitem__((0, 0), matrix[0, 0] - 1.0)  # noqa: E731
         try:
             report = InvariantAuditor().audit(plan)
             mismatch = next(
@@ -177,7 +190,7 @@ class TestCorruptionDetection:
             )
             assert "max |diff|" in mismatch.detail
         finally:
-            matrix[0, 0] -= 1.0
+            undo()
 
     def test_instance_conflict_corruption(self, solved):
         instance, plan = fresh_plan(solved)

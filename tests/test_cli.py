@@ -120,3 +120,53 @@ class TestScaleFlags:
     def test_fuzz_sharded_flag_parsed(self):
         args = build_parser().parse_args(["fuzz", "--sharded"])
         assert args.sharded is True
+
+
+class TestDistanceFlag:
+    @pytest.fixture(autouse=True)
+    def _reset_backend_override(self):
+        from repro.core import tiles
+
+        yield
+        tiles.set_distance_backend(None)
+
+    def test_distance_defaults_to_env(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.distance is None
+
+    def test_distance_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--distance", "sparse"])
+
+    def test_solve_tiled(self, capsys, monkeypatch):
+        from repro.core import tiles
+
+        monkeypatch.delenv("REPRO_DISTANCE", raising=False)
+        code = main(
+            ["solve", "--city", "beijing", "--scale", "0.3",
+             "--distance", "tiled"]
+        )
+        assert code == 0
+        # the flag must override the (absent) env var for the whole run
+        assert tiles.active_distance_backend() == "tiled"
+
+    def test_solve_tiled_matches_dense(self, capsys):
+        def solver_rows(text):
+            # drop the volatile time/memory columns; keep
+            # solver/utility/cancelled/violations
+            rows = []
+            for line in text.splitlines():
+                cols = line.split()
+                if len(cols) == 6 and cols[0] == "greedy":
+                    rows.append((cols[0], cols[1], cols[4], cols[5]))
+            return rows
+
+        outputs = {}
+        for backend in ("dense", "tiled"):
+            assert main(
+                ["solve", "--city", "beijing", "--scale", "0.3",
+                 "--distance", backend]
+            ) == 0
+            outputs[backend] = solver_rows(capsys.readouterr().out)
+        assert outputs["dense"]  # the row pattern actually matched
+        assert outputs["tiled"] == outputs["dense"]

@@ -184,3 +184,58 @@ class TestSweeps:
         assert EVENT_GRID == (20, 50, 100, 200, 500)
         assert USER_GRID == (200, 500, 1000, 5000)
         assert DEFAULT_EVENTS == 50
+
+
+class TestScaleGenerator:
+    """The vectorized soak-scale generator (``repro.datasets.scale``)."""
+
+    def _small(self, **overrides):
+        from repro.datasets import ScaleConfig, generate_scale_instance
+
+        config = ScaleConfig(
+            n_users=overrides.pop("n_users", 2000),
+            n_events=overrides.pop("n_events", 32),
+            n_clusters=overrides.pop("n_clusters", 8),
+            **overrides,
+        )
+        return generate_scale_instance(config)
+
+    def test_shapes_and_validity(self):
+        instance = self._small()
+        assert instance.n_users == 2000
+        assert instance.n_events == 32
+        assert instance.utility.shape == (2000, 32)
+        assert (instance.utility >= 0.0).all()
+        for event in instance.events:
+            assert 0 <= event.lower <= event.upper
+            assert event.interval.end > event.interval.start
+
+    def test_deterministic_for_fixed_seed(self):
+        a = self._small(seed=42)
+        b = self._small(seed=42)
+        assert np.array_equal(a.utility, b.utility)
+        assert all(
+            ua.location == ub.location and ua.budget == ub.budget
+            for ua, ub in zip(a.users, b.users)
+        )
+        c = self._small(seed=43)
+        assert not np.array_equal(a.utility, c.utility)
+
+    def test_geography_is_cluster_local(self):
+        # City diameter >> budgets, so reachability (and with it the
+        # candidate density the tiled soak relies on) stays sparse.
+        from repro.core.tiles import use_distance_backend
+
+        with use_distance_backend("tiled"):
+            instance = self._small()
+            index = instance.candidate_index
+            assert index is not None
+            density = index.candidate_pairs() / (
+                instance.n_users * instance.n_events
+            )
+        assert density < 0.25
+
+    def test_utility_sparse_and_cluster_aligned(self):
+        instance = self._small()
+        liked = instance.utility > 0.0
+        assert 0.0 < liked.mean() < 0.2

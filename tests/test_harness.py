@@ -1,8 +1,10 @@
 """Tests for ExperimentResult and remaining harness surface."""
 
+import numpy as np
 import pytest
 
 from repro.bench.harness import ExperimentResult, measure
+from repro.bench.memory import peak_rss_delta_mb, peak_rss_mib
 
 
 class TestExperimentResult:
@@ -36,3 +38,38 @@ class TestMeasureContract:
 
         _, result = measure("obj", WithUtility)
         assert result.utility == 2.25
+
+
+class TestPeakRss:
+    """The getrusage fallback behind ``measure(trace_memory=False)``.
+
+    Regression: untracked runs used to hard-code ``peak_mib: 0.0``,
+    which made the scale bench's memory column meaningless."""
+
+    def test_peak_rss_is_sane(self):
+        peak = peak_rss_mib()
+        assert 1.0 < peak < 1e7  # MiB; catches unit-conversion mistakes
+
+    def test_peak_rss_is_monotone_highwater(self):
+        before = peak_rss_mib()
+        block = np.ones((512, 1024), dtype=np.float64)  # 4 MiB
+        assert peak_rss_mib() >= before
+        del block
+
+    def test_delta_is_non_negative_and_returns_outcome(self):
+        outcome, delta = peak_rss_delta_mb(lambda: "done")
+        assert outcome == "done"
+        assert delta >= 0.0
+
+    def test_untracked_measure_reports_rss_not_zero_sentinel(self):
+        # A run that visibly grows the high-water mark must not report
+        # the old 0.0 sentinel.
+        grown = {}
+
+        def run():
+            grown["block"] = np.ones((16 * 1024, 1024))  # 128 MiB
+            return 1.0
+
+        _, result = measure("rss", run, trace_memory=False)
+        grown.clear()
+        assert result.memory_mb >= 0.0

@@ -493,9 +493,55 @@ def test_rl007_silent_outside_repro():
 # --------------------------------------------------------------------- #
 
 
-def test_all_seven_rules_registered():
+def test_rl008_flags_dense_plane_access():
+    result = run(
+        """
+        def round_trips(instance):
+            return 2.0 * instance.distances.user_event_matrix
+        """,
+        module="repro.scale.rogue",
+    )
+    assert codes(result) == ["RL008"]
+
+
+def test_rl008_allows_event_event_block():
+    result = run(
+        """
+        def hops(instance, route):
+            return instance.distances.event_event_matrix[route[:-1], route[1:]]
+        """,
+        module="repro.scale.rogue",
+    )
+    assert codes(result) == []
+
+
+def test_rl008_allows_geometry_layer_and_tiles():
+    snippet = """
+        def oracle_plane(dense):
+            return dense.user_event_matrix
+        """
+    assert codes(run(snippet, module="repro.geo.distance")) == []
+    assert codes(run(snippet, module="repro.core.tiles")) == []
+
+
+def test_rl008_flags_row_free_serving_rewrites():
+    result = run(
+        """
+        def plane_sum(instance):
+            plane = instance.distances.user_event_matrix  # repro-lint: ignore[RL008] oracle comparison
+            return plane.sum()
+        """,
+        module="repro.scale.rogue",
+    )
+    # The inline suppression mechanism silences it, as at the two
+    # real dense-oracle branches (model.share_planes, partition).
+    assert codes(result) == []
+
+
+def test_all_eight_rules_registered():
     assert sorted(RULES) == [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008",
     ]
 
 

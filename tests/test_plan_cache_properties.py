@@ -15,6 +15,7 @@ from repro.core.plan import GlobalPlan
 from repro.core.tolerances import BUDGET_TOL
 from repro.geo.point import Point
 from repro.timeline.interval import Interval
+from tests.conftest import served_user_event_plane
 
 
 def make_instance(seed: int) -> Instance:
@@ -266,8 +267,8 @@ class TestCachePreservation:
         moved = instance.with_event(3, location=Point(9.5, 0.5))
         fresh = Instance(moved.users, moved.events, moved.utility)
         np.testing.assert_allclose(
-            moved.distances.user_event_matrix,
-            fresh.distances.user_event_matrix,
+            served_user_event_plane(moved),
+            served_user_event_plane(fresh),
         )
         np.testing.assert_allclose(
             moved.distances.event_event_matrix,
@@ -280,6 +281,6 @@ class TestCachePreservation:
         moved = instance.with_user(2, location=Point(0.25, 8.0))
         fresh = Instance(moved.users, moved.events, moved.utility)
         np.testing.assert_allclose(
-            moved.distances.user_event_matrix,
-            fresh.distances.user_event_matrix,
+            served_user_event_plane(moved),
+            served_user_event_plane(fresh),
         )

@@ -7,7 +7,11 @@ import pytest
 
 from repro.datasets import MeetupConfig, generate_ebsn, make_city
 from repro.scale import partition_instance, reachable_matrix
-from tests.conftest import build_instance, random_instance
+from tests.conftest import (
+    build_instance,
+    random_instance,
+    served_user_event_plane,
+)
 
 
 @pytest.fixture(scope="module")
@@ -119,8 +123,8 @@ class TestSubinstanceSlicing:
             sliced = shard.instance
             rebuilt = sliced.rebuilt()
             assert np.array_equal(
-                sliced.distances.user_event_matrix,
-                rebuilt.distances.user_event_matrix,
+                served_user_event_plane(sliced),
+                served_user_event_plane(rebuilt),
             )
             assert np.array_equal(
                 sliced.conflict_matrix, rebuilt.conflict_matrix
@@ -148,8 +152,8 @@ class TestSubinstanceSlicing:
         assert np.array_equal(clone.utility, shard.instance.utility)
         # Caches are dropped in transit and rebuilt lazily, bit-exact.
         assert np.array_equal(
-            clone.distances.user_event_matrix,
-            shard.instance.distances.user_event_matrix,
+            served_user_event_plane(clone),
+            served_user_event_plane(shard.instance),
         )
 
     def test_city_partition_round_trips(self):

@@ -23,6 +23,7 @@ from repro.core.shm import (
     leaked_segments,
 )
 from repro.datasets import make_city
+from tests.conftest import served_user_event_plane
 
 # --------------------------------------------------------------------- #
 # PlaneManager / PlaneAttachment lifecycle
@@ -150,8 +151,8 @@ def test_shared_instance_roundtrip_is_bit_identical(city):
             clone = pickle.loads(pickle.dumps(city))
             assert np.array_equal(clone.utility, city.utility)
             assert np.array_equal(
-                clone.distances.user_event_matrix,
-                city.distances.user_event_matrix,
+                served_user_event_plane(clone),
+                served_user_event_plane(city),
             )
             assert np.array_equal(
                 clone.distances.event_event_matrix,
