@@ -35,6 +35,14 @@ any machine regardless of absolute baseline times):
   equal entry ``vs``'s **exactly** (bit-identical floats).  This is the
   kernel-strategy contract: ``REPRO_KERNEL`` is a pure performance knob,
   so any utility difference at all is a correctness bug, not drift.
+* ``"max_latency_ratio_vs": {"vs": <entry>, "quantile": "p50",
+  "factor": F}`` — this entry's ``latency_ms`` quantile may be at most
+  ``F`` times entry ``vs``'s same quantile.  This is the WAL-overhead
+  gate: durable submits (fsync'd write-ahead append + periodic
+  snapshots) must stay within ``F``x of the in-memory submit path (see
+  docs/durability.md).  ``min_ms`` (default 0.05) skips the gate when
+  the reference quantile is below it — sub-tenth-millisecond baselines
+  are timer noise, not signal.
 
 Scale-soak gates (baseline-declared, applied to the fresh report's own
 measured values — absolute, machine-calibrated with headroom):
@@ -166,6 +174,41 @@ def _check_cross_entry(
                     f"{equal_spec['vs']}'s {reference!r} — kernel "
                     "strategies must be bit-identical"
                 )
+
+    ratio_spec = expected.get("max_latency_ratio_vs")
+    if ratio_spec:
+        other = by_name.get(ratio_spec["vs"])
+        if other is None:
+            problems.append(
+                f"{name}: max_latency_ratio_vs reference "
+                f"{ratio_spec['vs']!r} missing from report"
+            )
+        else:
+            quantile = ratio_spec.get("quantile", "p50")
+            factor = float(ratio_spec["factor"])
+            min_ms = float(ratio_spec.get("min_ms", 0.05))
+            value = (entry.get("latency_ms") or {}).get(quantile)
+            reference = (other.get("latency_ms") or {}).get(quantile)
+            if value is None or reference is None:
+                problems.append(
+                    f"{name}: latency_ms.{quantile} missing from "
+                    f"report entry or its {ratio_spec['vs']!r} reference"
+                )
+            elif float(reference) < min_ms:
+                print(
+                    f"note: {name}: max_latency_ratio_vs gate skipped "
+                    f"({ratio_spec['vs']} {quantile} "
+                    f"{float(reference):.4f}ms < {min_ms}ms floor)"
+                )
+            else:
+                ratio = float(value) / float(reference)
+                if ratio > factor:
+                    problems.append(
+                        f"{name}: latency {quantile} "
+                        f"{float(value):.3f}ms is {ratio:.2f}x "
+                        f"{ratio_spec['vs']}'s {float(reference):.3f}ms; "
+                        f"allowed {factor:.2f}x"
+                    )
 
     latency_spec = expected.get("max_latency_ms")
     if latency_spec:

@@ -65,7 +65,7 @@ from repro.datasets import (
     save_instance,
 )
 from repro.geo.point import Point
-from repro.platform import EBSNPlatform, OperationStream
+from repro.platform import DurablePlatform, EBSNPlatform, OperationStream
 from repro.scale import BatchedPlatform, ShardedSolver
 from repro.timeline.interval import Interval
 
@@ -76,6 +76,7 @@ __all__ = [
     "BatchedPlatform",
     "BudgetChange",
     "CostModel",
+    "DurablePlatform",
     "EBSNPlatform",
     "EtaDecrease",
     "EtaIncrease",

@@ -84,6 +84,12 @@ class Preset:
     min_ops_per_sec: float = 0.0
     max_peak_rss_mib: float = 0.0
     min_plane_compression: float = 5.0
+    # Durable presets compare per-submit latency of the in-memory
+    # platform against the DurablePlatform (WAL append + fsync +
+    # periodic snapshots) on the same seeded stream; the durable entry
+    # carries a ``max_latency_ratio_vs`` gate at this p50 factor.
+    durable: bool = False
+    durable_latency_ratio: float = 1.5
 
 
 PRESETS: dict[str, Preset] = {
@@ -145,6 +151,23 @@ PRESETS: dict[str, Preset] = {
         min_ops_per_sec=1.5,
         max_peak_rss_mib=2048.0,
         min_plane_compression=5.0,
+    ),
+    # WAL-overhead gate (docs/durability.md): the same seeded operation
+    # stream submitted through the in-memory platform and through the
+    # DurablePlatform (fsync'd WAL + snapshots every 32 ops); the
+    # durable entry gates its p50 submit latency at 1.5x the in-memory
+    # p50 and its utility at bit-identical.  Half-scale Vancouver so a
+    # submit is a real repair (~4ms): the gate measures the durability
+    # tax on production-shaped operations, where the per-append
+    # fdatasync is a fraction of the repair — not on toy sub-ms applies
+    # that any disk flush would dwarf.
+    "durable": Preset(
+        city="vancouver",
+        scale=0.5,
+        operations=150,
+        include_gap=False,
+        trace_memory=False,
+        durable=True,
     ),
     # CI-sized soak smoke: same machinery at 10^4 users / 500 ops with
     # a 4 MiB LRU (the 10^4-user plane is only ~20 MiB, so the cache
@@ -365,6 +388,86 @@ def _scale_entries(preset: Preset, seed: int) -> list[dict]:
     return [entry]
 
 
+def _durable_entries(instance, preset: Preset, seed: int) -> list[dict]:
+    """In-memory vs durable submit latency on one seeded stream.
+
+    Both platforms publish the same plan (same solver seed) and then
+    submit the identical operation sequence — drawn once per step
+    against the in-memory platform's state; the states evolve in
+    lockstep because the engine is deterministic and both sides accept
+    or reject the same operations.  The durable side runs with real
+    fsyncs and its default snapshot cadence: the gated number is the
+    full durability tax, not a best case.  Per-op latency is each
+    ``submit`` call's wall time (rejected submissions time the
+    validate-and-refuse path on both sides alike).
+    """
+    import tempfile
+    import time
+
+    from repro.platform import DurablePlatform
+
+    def run(make_platform, label: str) -> dict:
+        platform = make_platform()
+        stream = OperationStream(seed=seed)
+        start = time.perf_counter()
+        platform.publish_plans()
+        latencies: list[float] = []
+        with recording() as recorder:
+            for _ in range(preset.operations):
+                operation = next(
+                    iter(stream.mixed(platform.instance, platform.plan, 1))
+                )
+                op_start = time.perf_counter()
+                try:
+                    platform.submit(operation)
+                except (ValueError, IndexError, KeyError):
+                    pass
+                latencies.append(time.perf_counter() - op_start)
+        seconds = time.perf_counter() - start
+        utility = platform.audit()["utility"]
+        if hasattr(platform, "close"):
+            platform.close()
+        latencies.sort()
+        return {
+            "solver": label,
+            "seed": seed,
+            "wall_time_s": seconds,
+            "peak_mib": 0.0,
+            "utility": utility,
+            "cancelled": 0,
+            "counters": dict(recorder.counters),
+            "spans": recorder.snapshot()["spans"],
+            "latency_ms": {
+                "p50": _percentile_ms(latencies, 0.50),
+                "p90": _percentile_ms(latencies, 0.90),
+                "p99": _percentile_ms(latencies, 0.99),
+            },
+        }
+
+    label = f"submit-memory-{preset.operations}"
+    memory_entry = run(
+        lambda: EBSNPlatform(instance, solver=GreedySolver(seed=seed)),
+        label,
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-durable-") as state_dir:
+        durable_entry = run(
+            lambda: DurablePlatform(
+                instance, state_dir, solver=GreedySolver(seed=seed)
+            ),
+            f"submit-durable-{preset.operations}",
+        )
+    # Gate specs ride with the entry (baseline-declared): the WAL +
+    # snapshot tax on the submit median, and bit-identical utility —
+    # durability must never change what gets applied.
+    durable_entry["max_latency_ratio_vs"] = {
+        "vs": label,
+        "quantile": "p50",
+        "factor": preset.durable_latency_ratio,
+    }
+    durable_entry["equal_utility_vs"] = {"vs": label}
+    return [memory_entry, durable_entry]
+
+
 def _sharded_entries(
     instance,
     seed: int,
@@ -484,6 +587,17 @@ def build_report(
         )
     else:
         instance = make_city(preset.city, scale=preset.scale)
+    if preset.durable:
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "preset": preset_name,
+            "city": preset.city,
+            "scale": preset.scale,
+            "seed": seed,
+            "cpu_count": os.cpu_count() or 1,
+            "entries": _durable_entries(instance, preset, seed),
+        }
     if preset.sharded:
         entries = _sharded_entries(
             instance,

@@ -15,12 +15,24 @@ state honest:
 * :func:`run_fuzz` replays seeded random atomic-operation streams over
   small Meetup instances and cross-checks the incremental IEP path
   against a from-scratch rebuild, and the vectorized kernel against the
-  scalar fallbacks (surfaced as ``repro-gepc fuzz``).
+  scalar fallbacks (surfaced as ``repro-gepc fuzz``);
+* :func:`run_crash_fuzz` kills a :class:`~repro.platform.durable
+  .DurablePlatform` at seeded-random injection points (with and without
+  torn WAL tails), recovers, and diffs the recovered state against an
+  uncrashed twin (surfaced as ``repro-gepc fuzz --durable``; see
+  ``docs/durability.md``).
 
 See ``docs/correctness.md`` for the full guide.
 """
 
 from repro.check.auditor import AuditReport, CacheMismatch, InvariantAuditor
+from repro.check.crashfuzz import (
+    CrashFuzzConfig,
+    CrashFuzzSummary,
+    CrashScenarioReport,
+    crash_fuzz_seed,
+    run_crash_fuzz,
+)
 from repro.check.fuzz import FuzzConfig, FuzzSummary, SeedReport, fuzz_seed, run_fuzz
 from repro.check.shadow import (
     ENV_VAR,
@@ -35,14 +47,19 @@ __all__ = [
     "ENV_VAR",
     "AuditReport",
     "CacheMismatch",
+    "CrashFuzzConfig",
+    "CrashFuzzSummary",
+    "CrashScenarioReport",
     "FuzzConfig",
     "FuzzSummary",
     "InvariantAuditor",
     "SeedReport",
     "ShadowCheckError",
     "ShadowStats",
+    "crash_fuzz_seed",
     "fuzz_seed",
     "maybe_shadow_checks",
+    "run_crash_fuzz",
     "run_fuzz",
     "shadow_checks",
     "shadow_checks_enabled",

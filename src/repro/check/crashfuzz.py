@@ -1,0 +1,390 @@
+"""Crash-recovery fuzzing (``repro-gepc fuzz --durable``).
+
+For each seed: generate a small Meetup instance, publish through a
+:class:`~repro.platform.durable.DurablePlatform`, and run one uncrashed
+*baseline* pass of a seeded operation stream, recording the state
+(utility + :class:`~repro.core.plan.PlanSummary`) after every sequence
+number.  Then, for every crash-injection point (``wal-append``,
+``apply``, ``snapshot``) both with and without a torn WAL tail, rerun
+the identical stream with a :class:`~repro.platform.durable
+.CrashInjector` armed at a seeded-random occurrence, kill the platform
+mid-flight, and recover the directory.  The recovered state must be:
+
+* **auditor-clean** — the :class:`~repro.check.auditor.InvariantAuditor`
+  finds zero cache mismatches and ``check_plan`` zero violations;
+* **twin-identical** — bit-identical utility and an equal plan summary
+  versus the uncrashed baseline at the recovered sequence number (the
+  durable horizon: everything the WAL + snapshots had made durable at
+  the kill, nothing more, nothing less);
+* **tail-safe** — when the tail was torn, the torn record is truncated
+  and never replayed (the horizon excludes it).
+
+Everything is seeded; a CI failure reproduces locally with
+``repro-gepc fuzz --durable --base-seed <seed> --seeds 1``.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.iep.operations import AtomicOperation
+from repro.core.model import Instance
+from repro.core.plan import PlanSummary
+from repro.datasets.meetup import MeetupConfig, generate_ebsn
+from repro.obs import get_recorder
+from repro.platform.durable import (
+    CRASH_POINTS,
+    REJECTION_ERRORS,
+    CrashInjector,
+    DurablePlatform,
+    InjectedCrash,
+    RecoveryError,
+)
+from repro.platform.stream import OperationStream
+
+
+@dataclass(frozen=True)
+class CrashFuzzConfig:
+    """Shape of one crash-recovery fuzzing run (identical across seeds)."""
+
+    operations: int = 24
+    n_users: int = 24
+    n_events: int = 10
+    conflict_ratio: float = 0.35
+    # Small cadence so several snapshots land inside each run and the
+    # recovery path exercises snapshot+replay, not just replay.
+    snapshot_every: int = 4
+    # fsync per append is pointless inside the fuzzer (the "disk" is a
+    # temp dir that dies with the process); atomicity is still exercised.
+    fsync: bool = False
+
+
+@dataclass
+class CrashScenarioReport:
+    """One injected crash + recovery, diffed against the baseline."""
+
+    seed: int
+    point: str
+    tear_tail: bool
+    crash_after: int
+    crashed: bool = False
+    recovered_seq: int = 0
+    snapshot_seq: int = 0
+    replayed: int = 0
+    truncated_records: int = 0
+    mismatches: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and not self.mismatches and not self.violations
+
+    def label(self) -> str:
+        tear = "+tear" if self.tear_tail else ""
+        return f"seed {self.seed} {self.point}{tear}@{self.crash_after}"
+
+
+@dataclass
+class CrashFuzzSummary:
+    """Aggregate over all seeds and crash scenarios."""
+
+    reports: list[CrashScenarioReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def scenarios(self) -> int:
+        return len(self.reports)
+
+    @property
+    def seeds(self) -> int:
+        return len({report.seed for report in self.reports})
+
+    @property
+    def mismatches(self) -> list[str]:
+        return [m for report in self.reports for m in report.mismatches]
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for report in self.reports for v in report.violations]
+
+    @property
+    def truncated_records(self) -> int:
+        return sum(report.truncated_records for report in self.reports)
+
+    @property
+    def replayed(self) -> int:
+        return sum(report.replayed for report in self.reports)
+
+    def failures(self) -> list[CrashScenarioReport]:
+        return [report for report in self.reports if not report.ok]
+
+
+class _PointCounter:
+    """Injector stand-in that only counts crash-point occurrences."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def fire(self, point: str, wal: object) -> None:
+        self.counts[point] = self.counts.get(point, 0) + 1
+
+
+@dataclass(frozen=True)
+class _BaselineState:
+    """Uncrashed state after one sequence number."""
+
+    utility: float
+    summary: PlanSummary
+
+
+def _generate(seed: int, config: CrashFuzzConfig) -> Instance:
+    return generate_ebsn(
+        MeetupConfig(
+            n_users=config.n_users,
+            n_events=config.n_events,
+            n_groups=4,
+            conflict_ratio=config.conflict_ratio,
+            seed=seed,
+        )
+    )
+
+
+def _run_stream(
+    seed: int,
+    config: CrashFuzzConfig,
+    directory: Path,
+    operations: list[AtomicOperation] | None,
+    injector: CrashInjector | _PointCounter | None,
+) -> tuple[DurablePlatform, list[AtomicOperation], bool]:
+    """One platform pass; returns (platform, ops used, crashed?).
+
+    With ``operations=None`` the stream is drawn fresh (deterministic
+    given the seed and the published plan); passing the list back in
+    repeats the identical workload for the crashed twin.
+    """
+    instance = _generate(seed, config)
+    platform = DurablePlatform(
+        instance,
+        directory,
+        solver=GreedySolver(seed=seed),
+        snapshot_every=config.snapshot_every,
+        fsync=config.fsync,
+        injector=injector,  # type: ignore[arg-type]
+    )
+    try:
+        platform.publish_plans()
+    except InjectedCrash:
+        return platform, operations or [], True
+    if operations is None:
+        operations = list(
+            OperationStream(seed=seed).mixed(
+                platform.instance, platform.plan, config.operations
+            )
+        )
+    for operation in operations:
+        try:
+            platform.submit(operation)
+        except REJECTION_ERRORS:
+            continue
+        except InjectedCrash:
+            return platform, operations, True
+    platform.close()
+    return platform, operations, False
+
+
+def _run_baseline(
+    seed: int, config: CrashFuzzConfig, directory: Path
+) -> tuple[
+    dict[int, _BaselineState], list[AtomicOperation], dict[str, int]
+]:
+    """The uncrashed twin: per-seq states + the workload + point counts."""
+    counter = _PointCounter()
+    instance = _generate(seed, config)
+    platform = DurablePlatform(
+        instance,
+        directory,
+        solver=GreedySolver(seed=seed),
+        snapshot_every=config.snapshot_every,
+        fsync=config.fsync,
+        injector=counter,  # type: ignore[arg-type]
+    )
+    states: dict[int, _BaselineState] = {}
+
+    def record() -> None:
+        states[platform.seq] = _BaselineState(
+            utility=platform.audit()["utility"],
+            summary=PlanSummary.of(platform.plan),
+        )
+
+    platform.publish_plans()
+    record()
+    operations = list(
+        OperationStream(seed=seed).mixed(
+            platform.instance, platform.plan, config.operations
+        )
+    )
+    for operation in operations:
+        try:
+            platform.submit(operation)
+        except REJECTION_ERRORS:
+            pass
+        # Rejected ops consume a sequence number without changing state;
+        # record under the new seq either way so every possible recovery
+        # horizon has a twin state.
+        record()
+    platform.close()
+    return states, operations, counter.counts
+
+
+def crash_fuzz_seed(
+    seed: int, config: CrashFuzzConfig | None = None
+) -> list[CrashScenarioReport]:
+    """All crash scenarios for one seed (every point, with/without tear)."""
+    config = config or CrashFuzzConfig()
+    reports: list[CrashScenarioReport] = []
+    root = Path(tempfile.mkdtemp(prefix=f"crashfuzz-{seed}-"))
+    try:
+        baseline, operations, counts = _run_baseline(
+            seed, config, root / "baseline"
+        )
+        rng = random.Random(seed)
+        for point in CRASH_POINTS:
+            for tear_tail in (False, True):
+                occurrences = counts.get(point, 0)
+                if occurrences == 0:
+                    continue
+                crash_after = rng.randint(1, occurrences)
+                reports.append(
+                    _run_scenario(
+                        seed,
+                        config,
+                        root / f"{point}-{tear_tail}",
+                        operations,
+                        baseline,
+                        point,
+                        tear_tail,
+                        crash_after,
+                    )
+                )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return reports
+
+
+def _run_scenario(
+    seed: int,
+    config: CrashFuzzConfig,
+    directory: Path,
+    operations: list[AtomicOperation],
+    baseline: dict[int, _BaselineState],
+    point: str,
+    tear_tail: bool,
+    crash_after: int,
+) -> CrashScenarioReport:
+    report = CrashScenarioReport(
+        seed=seed, point=point, tear_tail=tear_tail, crash_after=crash_after
+    )
+    injector = CrashInjector(
+        crash_after=crash_after, point=point, tear_tail=tear_tail
+    )
+    _, _, crashed = _run_stream(
+        seed, config, directory, operations, injector
+    )
+    report.crashed = crashed
+    if not crashed:
+        report.violations.append(
+            f"{report.label()}: injector never fired (run completed)"
+        )
+        return report
+    try:
+        recovered, recovery = DurablePlatform.recover(
+            directory,
+            solver=GreedySolver(seed=seed),
+            snapshot_every=config.snapshot_every,
+            fsync=config.fsync,
+        )
+    except RecoveryError as exc:
+        inner = exc.report
+        if inner is not None:
+            report.mismatches.extend(inner.mismatches)
+            report.violations.extend(inner.violations)
+        report.violations.append(f"{report.label()}: {exc}")
+        return report
+    recovered.close()
+    report.recovered_seq = recovery.last_seq
+    report.snapshot_seq = recovery.snapshot_seq
+    report.replayed = recovery.replayed
+    report.truncated_records = recovery.truncated_records
+    report.mismatches.extend(recovery.mismatches)
+    report.violations.extend(recovery.violations)
+
+    twin = baseline.get(recovery.last_seq)
+    if twin is None:
+        report.mismatches.append(
+            f"{report.label()}: recovered to seq {recovery.last_seq}, "
+            "which the uncrashed twin never reached"
+        )
+        return report
+    if recovery.utility != twin.utility:
+        report.mismatches.append(
+            f"{report.label()}: utility {recovery.utility!r} != "
+            f"uncrashed twin {twin.utility!r} at seq {recovery.last_seq}"
+        )
+    if PlanSummary.of(recovered.plan) != twin.summary:
+        report.mismatches.append(
+            f"{report.label()}: recovered plan differs from uncrashed "
+            f"twin at seq {recovery.last_seq}"
+        )
+    if tear_tail and report.truncated_records == 0 and point != "snapshot":
+        # A torn tail must be detected (the snapshot point can land after
+        # the WAL record was already superseded by a snapshot, but for
+        # wal-append/apply the torn record is always the newest).
+        report.violations.append(
+            f"{report.label()}: tail was torn but nothing was truncated"
+        )
+    return report
+
+
+def run_crash_fuzz(
+    seeds: Iterable[int], config: CrashFuzzConfig | None = None
+) -> CrashFuzzSummary:
+    """Crash-fuzz every seed and aggregate; emits ``repro.obs`` counters."""
+    obs = get_recorder()
+    config = config or CrashFuzzConfig()
+    summary = CrashFuzzSummary()
+    with obs.span("check.crashfuzz"):
+        for seed in seeds:
+            with obs.span("seed"):
+                reports = crash_fuzz_seed(seed, config)
+            summary.reports.extend(reports)
+            obs.count("check.crashfuzz.seeds")
+            obs.count("check.crashfuzz.scenarios", len(reports))
+            obs.count(
+                "check.crashfuzz.mismatches",
+                sum(len(r.mismatches) for r in reports),
+            )
+            obs.count(
+                "check.crashfuzz.violations",
+                sum(len(r.violations) for r in reports),
+            )
+    obs.count("check.crashfuzz.replayed", summary.replayed)
+    obs.count("check.crashfuzz.truncated", summary.truncated_records)
+    return summary
+
+
+__all__ = [
+    "CrashFuzzConfig",
+    "CrashFuzzSummary",
+    "CrashScenarioReport",
+    "crash_fuzz_seed",
+    "run_crash_fuzz",
+]

@@ -11,8 +11,11 @@ Installed as ``repro-gepc``::
     repro-gepc stats --city vancouver
     repro-gepc export --city beijing --out /tmp/beijing
     repro-gepc simulate --city auckland --scale 0.5 --operations 20
+    repro-gepc simulate --city auckland --durable /tmp/auckland-state
     repro-gepc replay /tmp/beijing /tmp/workload.json
     repro-gepc fuzz --seeds 25 --operations 12
+    repro-gepc fuzz --durable --seeds 10
+    repro-gepc recover /tmp/auckland-state
 
 Every command accepts ``--trace`` (per-phase timing/counter table on
 stderr) and ``--trace-json PATH`` (machine-readable recorder snapshot);
@@ -29,7 +32,13 @@ import sys
 
 from repro.bench.harness import measure
 from repro.bench.tables import format_table
-from repro.check import FuzzConfig, maybe_shadow_checks, run_fuzz
+from repro.check import (
+    CrashFuzzConfig,
+    FuzzConfig,
+    maybe_shadow_checks,
+    run_crash_fuzz,
+    run_fuzz,
+)
 from repro.core.constraints import check_plan
 from repro.core.gepc import GAPBasedSolver, GreedySolver
 from repro.core.model import InstanceStats
@@ -161,9 +170,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     if args.batch > 1:
         return _simulate_batched(instance, solver, args)
-    platform = EBSNPlatform(instance, solver=solver)
-    utility = platform.publish_plans()
-    print(f"published: utility={utility:.1f}")
+    if args.durable is not None:
+        from repro.platform import DurablePlatform
+
+        platform = DurablePlatform(instance, args.durable, solver=solver)
+        utility = platform.publish_plans()
+        print(
+            f"published: utility={utility:.1f} "
+            f"(durable state in {args.durable})"
+        )
+    else:
+        platform = EBSNPlatform(instance, solver=solver)
+        utility = platform.publish_plans()
+        print(f"published: utility={utility:.1f}")
     stream = OperationStream(seed=args.seed)
     for _ in range(args.operations):
         operation = next(
@@ -175,6 +194,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"utility={entry.utility_after:.1f}"
         )
     audit = platform.audit()
+    if args.durable is not None:
+        platform.close()
     print(
         format_table(
             "End-of-run audit",
@@ -256,6 +277,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.durable:
+        return _fuzz_durable(args)
     config = FuzzConfig(
         operations=args.operations,
         n_users=args.users,
@@ -294,6 +317,82 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if summary.ok else 1
+
+
+def _fuzz_durable(args: argparse.Namespace) -> int:
+    """Crash-recovery fuzz: kill at every injection point, recover, diff."""
+    config = CrashFuzzConfig(
+        operations=args.operations,
+        n_users=args.users,
+        n_events=args.events,
+    )
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    summary = run_crash_fuzz(seeds, config)
+    print(
+        format_table(
+            f"Crash-recovery fuzz: seeds {seeds.start}..{seeds.stop - 1}",
+            [
+                "seeds", "scenarios", "replayed", "torn records",
+                "mismatches", "violations",
+            ],
+            [[
+                summary.seeds,
+                summary.scenarios,
+                summary.replayed,
+                summary.truncated_records,
+                len(summary.mismatches),
+                len(summary.violations),
+            ]],
+        )
+    )
+    for report in summary.failures():
+        print(f"{report.label()} FAILED:", file=sys.stderr)
+        for mismatch in report.mismatches[:10]:
+            print(f"  {mismatch}", file=sys.stderr)
+        for violation in report.violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            f"  reproduce: repro-gepc fuzz --durable "
+            f"--base-seed {report.seed} --seeds 1 "
+            f"--operations {config.operations}",
+            file=sys.stderr,
+        )
+    return 0 if summary.ok else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a durable platform directory and report what was rebuilt."""
+    from repro.platform import DurablePlatform, RecoveryError
+
+    try:
+        platform, report = DurablePlatform.recover(
+            args.directory, solver=GreedySolver(seed=args.seed)
+        )
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    platform.close()
+    print(report.summary())
+    print(
+        format_table(
+            f"Recovered state: {args.directory}",
+            [
+                "snapshot seq", "last seq", "replayed", "rejected",
+                "torn records", "utility", "audit checks", "mismatches",
+            ],
+            [[
+                report.snapshot_seq,
+                report.last_seq,
+                report.replayed,
+                report.rejected_skipped,
+                report.truncated_records,
+                report.utility,
+                report.audit_checks,
+                len(report.mismatches),
+            ]],
+        )
+    )
+    return 0 if report.ok else 1
 
 
 def _add_scale_arguments(sub: argparse.ArgumentParser) -> None:
@@ -365,6 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalesce operations in batches of this size through the "
         "BatchedPlatform (default 1: serial submission)",
     )
+    subparsers.choices["simulate"].add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="run on a DurablePlatform persisting WAL + snapshots to "
+        "DIR (recover later with `repro-gepc recover DIR`; see "
+        "docs/durability.md)",
+    )
 
     solve_file = subparsers.add_parser("solve-file")
     solve_file.add_argument("dataset")
@@ -416,8 +521,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally cross-check the sharded solver and batched "
         "platform against their monolithic/serial counterparts",
     )
+    fuzz.add_argument(
+        "--durable", action="store_true",
+        help="crash-recovery fuzz: kill a DurablePlatform at every "
+        "injection point (with and without torn WAL tails), recover, "
+        "and diff against an uncrashed twin (see docs/durability.md)",
+    )
     _add_trace_arguments(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="recover a durable platform directory (snapshot + WAL "
+        "replay; see docs/durability.md)",
+    )
+    recover.add_argument(
+        "directory", help="state directory written by --durable runs"
+    )
+    recover.add_argument("--seed", type=int, default=0)
+    _add_trace_arguments(recover)
+    recover.set_defaults(handler=_cmd_recover)
 
     lint = subparsers.add_parser(
         "lint",

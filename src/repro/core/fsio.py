@@ -1,0 +1,82 @@
+"""Crash-safe filesystem primitives: atomic writes and directory syncs.
+
+Every durable artifact in the repository — dataset documents, operation
+logs, snapshots, the write-ahead log — funnels its bytes through this
+module so the crash-safety contract lives in exactly one place:
+
+* :func:`atomic_write_text` / :func:`atomic_write_bytes` write to a
+  temporary file *in the target directory*, flush, ``fsync``, then
+  ``os.replace`` onto the destination.  A crash at any point leaves
+  either the old file or the new file — never a truncated hybrid.
+* :func:`fsync_dir` makes a rename itself durable: POSIX only guarantees
+  the new directory entry survives a crash once the parent directory's
+  metadata has been synced.
+
+``fsync`` can be disabled per call (``durable=False``) for tests and
+bulk exports where the atomicity matters but the flush-per-file cost
+does not.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def fsync_dir(directory: str | Path) -> None:
+    """Flush a directory's metadata (rename durability) to disk.
+
+    Best-effort on platforms whose directory handles reject ``fsync``
+    (some network and Windows filesystems): the rename is still atomic,
+    only its crash-durability is weakened.
+    """
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, durable: bool = True
+) -> Path:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary.  With ``durable=True``
+    the file is fsynced before the rename and the parent directory after
+    it, so a crash can never expose a truncated or unparseable ``path``:
+    readers see the complete old content or the complete new content.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Crash-simulation and error paths: never leave the tmp file
+        # behind to be mistaken for real data.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: str | Path, text: str, durable: bool = True
+) -> Path:
+    """:func:`atomic_write_bytes` for UTF-8 text."""
+    return atomic_write_bytes(path, text.encode("utf-8"), durable=durable)

@@ -11,8 +11,16 @@ datasets can be archived, diffed, and reloaded:
 * ``meta.json``    — cost-model metadata (travel metric, fees enabled).
 
 ``save_instance`` writes a directory of those documents; ``load_instance``
-reads one back.  Round-tripping is exact up to float representation (tested
-in ``tests/test_io.py``).
+reads one back.  Every file is written atomically (tmp + rename via
+:mod:`repro.core.fsio`), so a crash mid-save leaves complete old documents
+or complete new ones — never a truncated, unparseable JSON file.
+Round-tripping is exact up to float representation (tested in
+``tests/test_io.py``).
+
+The document builders (:func:`instance_to_documents` /
+:func:`instance_from_documents`) are exposed separately so other durable
+artifacts — most importantly :mod:`repro.platform.snapshot` — embed the
+same schema instead of inventing a second instance encoding.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.costs import CostModel
+from repro.core.fsio import atomic_write_text
 from repro.core.model import Event, Instance, User
 from repro.geo.metrics import metric_by_name
 from repro.geo.point import Point
@@ -31,8 +40,8 @@ from repro.timeline.interval import Interval
 _FORMAT_VERSION = 1
 
 
-def save_instance(instance: Instance, directory: str | Path) -> Path:
-    """Write ``instance`` as a directory of JSON documents.
+def instance_to_documents(instance: Instance) -> dict:
+    """``instance`` as one JSON-ready dict of its document sections.
 
     Only named geometric metrics serialise; matrix-backed metrics (the
     theory reductions) carry raw distance tables that have no document
@@ -45,26 +54,23 @@ def save_instance(instance: Instance, directory: str | Path) -> Path:
             f"cannot serialise instances with a "
             f"{instance.cost_model.metric.name!r} metric"
         ) from None
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-
     users = [
         {
-            "id": user.id,
-            "location": [user.location.x, user.location.y],
-            "budget": user.budget,
+            "id": int(user.id),
+            "location": [float(user.location.x), float(user.location.y)],
+            "budget": float(user.budget),
         }
         for user in instance.users
     ]
     events = [
         {
-            "id": event.id,
-            "location": [event.location.x, event.location.y],
-            "lower": event.lower,
-            "upper": event.upper,
-            "start": event.interval.start,
-            "end": event.interval.end,
-            "fee": instance.cost_model.fee(event.id),
+            "id": int(event.id),
+            "location": [float(event.location.x), float(event.location.y)],
+            "lower": int(event.lower),
+            "upper": int(event.upper),
+            "start": float(event.interval.start),
+            "end": float(event.interval.end),
+            "fee": float(instance.cost_model.fee(event.id)),
         }
         for event in instance.events
     ]
@@ -75,30 +81,22 @@ def save_instance(instance: Instance, directory: str | Path) -> Path:
         "n_users": instance.n_users,
         "n_events": instance.n_events,
     }
-
-    (directory / "users.json").write_text(json.dumps(users, indent=1))
-    (directory / "events.json").write_text(json.dumps(events, indent=1))
-    (directory / "utility.json").write_text(
-        json.dumps(instance.utility.tolist())
-    )
-    (directory / "meta.json").write_text(json.dumps(meta, indent=1))
-    return directory
+    return {
+        "users": users,
+        "events": events,
+        "utility": instance.utility.tolist(),
+        "meta": meta,
+    }
 
 
-def load_instance(directory: str | Path) -> Instance:
-    """Read an instance previously written by :func:`save_instance`."""
-    directory = Path(directory)
-    meta = json.loads((directory / "meta.json").read_text())
+def instance_from_documents(documents: dict) -> Instance:
+    """Rebuild an instance from :func:`instance_to_documents` output."""
+    meta = documents["meta"]
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported dataset format version {meta.get('format_version')}"
         )
-
-    users_doc = json.loads((directory / "users.json").read_text())
-    events_doc = json.loads((directory / "events.json").read_text())
-    utility = np.asarray(
-        json.loads((directory / "utility.json").read_text()), dtype=float
-    )
+    utility = np.asarray(documents["utility"], dtype=float)
     utility = utility.reshape(meta["n_users"], meta["n_events"])
 
     users = [
@@ -107,11 +105,11 @@ def load_instance(directory: str | Path) -> Instance:
             location=Point(*doc["location"]),
             budget=doc["budget"],
         )
-        for doc in sorted(users_doc, key=lambda d: d["id"])
+        for doc in sorted(documents["users"], key=lambda d: d["id"])
     ]
     events = []
     fees = []
-    for doc in sorted(events_doc, key=lambda d: d["id"]):
+    for doc in sorted(documents["events"], key=lambda d: d["id"]):
         events.append(
             Event(
                 id=doc["id"],
@@ -128,3 +126,37 @@ def load_instance(directory: str | Path) -> Instance:
         fees=np.asarray(fees) if meta.get("has_fees") else None,
     )
     return Instance(users, events, utility, cost_model)
+
+
+def save_instance(instance: Instance, directory: str | Path) -> Path:
+    """Write ``instance`` as a directory of JSON documents (atomic)."""
+    documents = instance_to_documents(instance)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    atomic_write_text(
+        directory / "users.json", json.dumps(documents["users"], indent=1)
+    )
+    atomic_write_text(
+        directory / "events.json", json.dumps(documents["events"], indent=1)
+    )
+    atomic_write_text(
+        directory / "utility.json", json.dumps(documents["utility"])
+    )
+    atomic_write_text(
+        directory / "meta.json", json.dumps(documents["meta"], indent=1)
+    )
+    return directory
+
+
+def load_instance(directory: str | Path) -> Instance:
+    """Read an instance previously written by :func:`save_instance`."""
+    directory = Path(directory)
+    return instance_from_documents(
+        {
+            "meta": json.loads((directory / "meta.json").read_text()),
+            "users": json.loads((directory / "users.json").read_text()),
+            "events": json.loads((directory / "events.json").read_text()),
+            "utility": json.loads((directory / "utility.json").read_text()),
+        }
+    )

@@ -8,17 +8,48 @@ operation streams for it (the workload for the IEP experiments and the
 incremental-day example).
 """
 
-from repro.platform.oplog import load_operations, save_operations
+from repro.platform.durable import (
+    CrashInjector,
+    DurablePlatform,
+    InjectedCrash,
+    RecoveryError,
+    RecoveryReport,
+)
+from repro.platform.oplog import (
+    WriteAheadLog,
+    load_operations,
+    recover_wal,
+    save_operations,
+)
 from repro.platform.service import EBSNPlatform, PlatformLogEntry
 from repro.platform.simulation import DayReport, DaySimulation
+from repro.platform.snapshot import (
+    Snapshot,
+    SnapshotError,
+    latest_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.platform.stream import OperationStream
 
 __all__ = [
+    "CrashInjector",
     "DayReport",
     "DaySimulation",
+    "DurablePlatform",
     "EBSNPlatform",
+    "InjectedCrash",
     "OperationStream",
     "PlatformLogEntry",
+    "RecoveryError",
+    "RecoveryReport",
+    "Snapshot",
+    "SnapshotError",
+    "WriteAheadLog",
+    "latest_snapshot",
     "load_operations",
+    "load_snapshot",
+    "recover_wal",
     "save_operations",
+    "save_snapshot",
 ]

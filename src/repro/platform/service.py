@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.check.auditor import InvariantAuditor
 from repro.core.constraints import check_plan
 from repro.core.gepc.base import GEPCSolver
 from repro.core.gepc.greedy import GreedySolver
@@ -51,6 +50,7 @@ class EBSNPlatform:
         self._engine = IEPEngine()
         self._plan: GlobalPlan | None = None
         self._log: list[PlatformLogEntry] = []
+        self._rejected = 0
         # Running total utility of the current plan, maintained across
         # publish/submit so `submit` never recomputes the full objective
         # just to fill `utility_before`.
@@ -78,6 +78,30 @@ class EBSNPlatform:
     def is_planned(self) -> bool:
         return self._plan is not None
 
+    @property
+    def rejected_count(self) -> int:
+        """How many submitted operations the engine refused to apply."""
+        return self._rejected
+
+    def install_plan(
+        self, plan: GlobalPlan, utility: float | None = None
+    ) -> None:
+        """Adopt an externally computed plan as the current state.
+
+        Used by crash recovery (:class:`repro.platform.durable
+        .DurablePlatform`) to install a snapshot + replayed plan without
+        re-solving, and by tests that construct plans by hand.  The plan
+        must be built over this platform's instance.
+        """
+        if plan.instance is not self._instance:
+            self._instance = plan.instance
+        self._plan = plan
+        self._last_utility = (
+            float(utility)
+            if utility is not None
+            else total_utility(self._instance, plan)
+        )
+
     # ------------------------------------------------------------------ #
     # Service operations
     # ------------------------------------------------------------------ #
@@ -102,7 +126,18 @@ class EBSNPlatform:
         return self.plan.attendees(event)
 
     def submit(self, operation: AtomicOperation) -> PlatformLogEntry:
-        """Apply one atomic operation incrementally and log its impact."""
+        """Apply one atomic operation incrementally and log its impact.
+
+        Rejection contract: when the engine refuses the operation (it
+        raises ``ValueError``/``IndexError``/``KeyError`` from validation
+        or an infeasible repair), the exception propagates and the
+        platform state is provably untouched — ``instance``, ``plan``,
+        ``_last_utility``, and the log are only assigned *after* a
+        successful apply (the engine never mutates its inputs).  Rejected
+        submissions are counted in :attr:`rejected_count` and the
+        ``platform.rejected`` observability counter so durable wrappers
+        can tombstone the operation in their WAL.
+        """
         obs = get_recorder()
         # Timings must reach the log even with tracing off: fall back to a
         # detached local recorder, whose span still measures wall clock.
@@ -116,8 +151,15 @@ class EBSNPlatform:
             self._last_utility = total_utility(self._instance, self.plan)
         before = self._last_utility
         span = timer.span("platform.submit")
-        with span:
-            result = self._engine.apply(self._instance, self.plan, operation)
+        try:
+            with span:
+                result = self._engine.apply(
+                    self._instance, self.plan, operation
+                )
+        except (ValueError, IndexError, KeyError):
+            self._rejected += 1
+            obs.count("platform.rejected")
+            raise
         self._instance = result.instance
         self._plan = result.plan
         after = result.utility
@@ -144,6 +186,10 @@ class EBSNPlatform:
         ``cache_mismatches``/``cache_checks``.  The deep audit rebuilds
         the instance's caches, so keep it off hot paths.
         """
+        # Imported lazily: repro.check's package init imports the crash
+        # fuzzer, which imports the platform package back.
+        from repro.check.auditor import InvariantAuditor
+
         violations = check_plan(self._instance, self.plan)
         numbers = {
             "utility": total_utility(self._instance, self.plan),

@@ -1,0 +1,175 @@
+"""Snapshot serializers: durable point-in-time ``Instance`` + ``GlobalPlan``.
+
+A snapshot is one self-describing JSON file::
+
+    snapshot-000000000042.json
+    {
+      "format_version": 1,
+      "seq": 42,                  # WAL sequence the state includes
+      "utility": 4815.48,         # total utility at capture time
+      "instance": {...},          # repro.datasets.io document sections
+      "plan": [[2, 5], [], ...],  # per-user event ids
+      "crc": 1234567890           # CRC32 over the canonical body
+    }
+
+The instance section reuses :func:`repro.datasets.io.instance_to_documents`
+— one schema for archived datasets and for durable snapshots.  Writes go
+through :func:`repro.core.fsio.atomic_write_text` (tmp + fsync + rename),
+so a crash mid-snapshot leaves the previous snapshots intact and never a
+half-written file; the CRC catches the residual cases (filesystem-level
+corruption, manual tampering) at load time.
+
+:func:`latest_snapshot` is the recovery entry point: it walks snapshots
+newest-first and returns the first one that validates, skipping (and
+reporting) any that do not.  See ``docs/durability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.fsio import atomic_write_text
+from repro.core.metrics import total_utility
+from repro.core.model import Instance
+from repro.core.plan import GlobalPlan
+from repro.datasets.io import instance_from_documents, instance_to_documents
+from repro.obs import get_recorder
+from repro.platform.oplog import canonical_json, document_crc
+
+_FORMAT_VERSION = 1
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".json"
+
+
+class SnapshotError(ValueError):
+    """A snapshot file failed validation (version, CRC, or structure)."""
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One loaded snapshot: the durable state at WAL sequence ``seq``."""
+
+    seq: int
+    utility: float
+    instance: Instance
+    plan: GlobalPlan
+    path: Path | None = None
+
+
+def snapshot_path(directory: str | Path, seq: int) -> Path:
+    """Canonical snapshot filename (zero-padded so sorts are seq order)."""
+    return Path(directory) / f"{SNAPSHOT_PREFIX}{seq:012d}{SNAPSHOT_SUFFIX}"
+
+
+def plan_to_document(plan: GlobalPlan) -> list[list[int]]:
+    """The plan as per-user event-id lists (start-sorted, JSON-ready)."""
+    return [
+        [int(event) for event in plan.user_plan(user)]
+        for user in range(plan.instance.n_users)
+    ]
+
+
+def plan_from_document(
+    instance: Instance, document: list[list[int]]
+) -> GlobalPlan:
+    """Rebuild a plan by re-adding every assignment (caches rebuilt)."""
+    plan = GlobalPlan(instance)
+    for user, events in enumerate(document):
+        for event in events:
+            plan.add(user, event)
+    return plan
+
+
+def save_snapshot(
+    directory: str | Path,
+    instance: Instance,
+    plan: GlobalPlan,
+    seq: int,
+    utility: float | None = None,
+    durable: bool = True,
+) -> Path:
+    """Atomically write a snapshot of ``instance`` + ``plan`` at ``seq``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if utility is None:
+        utility = total_utility(instance, plan)
+    body = {
+        "format_version": _FORMAT_VERSION,
+        "seq": int(seq),
+        "utility": float(utility),
+        "instance": instance_to_documents(instance),
+        "plan": plan_to_document(plan),
+    }
+    body["crc"] = document_crc(body)
+    text = canonical_json(body)
+    path = atomic_write_text(
+        snapshot_path(directory, seq), text, durable=durable
+    )
+    obs = get_recorder()
+    obs.count("durable.snapshots")
+    obs.count("durable.snapshot_bytes", float(len(text)))
+    return path
+
+
+def load_snapshot(path: str | Path) -> Snapshot:
+    """Read and validate one snapshot file.
+
+    Raises :class:`SnapshotError` when the file is not a complete, CRC-
+    clean snapshot document of a supported version.
+    """
+    path = Path(path)
+    try:
+        body = json.loads(path.read_text())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"{path.name}: not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise SnapshotError(f"{path.name}: not a snapshot document")
+    if body.get("format_version") != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path.name}: unsupported snapshot version "
+            f"{body.get('format_version')}"
+        )
+    crc = body.get("crc")
+    if not isinstance(crc, int) or crc != document_crc(body):
+        raise SnapshotError(f"{path.name}: CRC mismatch (torn or corrupted)")
+    instance = instance_from_documents(body["instance"])
+    plan = plan_from_document(instance, body["plan"])
+    return Snapshot(
+        seq=int(body["seq"]),
+        utility=float(body["utility"]),
+        instance=instance,
+        plan=plan,
+        path=path,
+    )
+
+
+def list_snapshots(directory: str | Path) -> list[Path]:
+    """Snapshot files in ``directory``, oldest first (by sequence)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path
+        for path in directory.iterdir()
+        if path.name.startswith(SNAPSHOT_PREFIX)
+        and path.name.endswith(SNAPSHOT_SUFFIX)
+    )
+
+
+def latest_snapshot(directory: str | Path) -> Snapshot | None:
+    """Newest snapshot that validates, or ``None`` when none exists.
+
+    Invalid snapshots (torn by a crash on a filesystem without atomic
+    rename, or corrupted on disk) are skipped — recovery falls back to
+    the previous good one and replays a longer WAL suffix instead.
+    """
+    obs = get_recorder()
+    for path in reversed(list_snapshots(directory)):
+        try:
+            return load_snapshot(path)
+        except SnapshotError:
+            obs.count("durable.snapshot_skipped")
+            continue
+    return None

@@ -11,6 +11,7 @@ See ``docs/scaling.md`` for the design.  The three public pieces:
 
 from repro.scale.batched import (
     BatchedPlatform,
+    BatchRejectionError,
     BatchResult,
     coalesce_operations,
 )
@@ -23,6 +24,7 @@ from repro.scale.partition import (
 from repro.scale.sharded import ShardedSolver
 
 __all__ = [
+    "BatchRejectionError",
     "BatchResult",
     "BatchedPlatform",
     "Partition",

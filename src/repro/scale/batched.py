@@ -145,7 +145,31 @@ class BatchResult:
 
     @property
     def ok(self) -> bool:
-        return self.violations == 0
+        return self.violations == 0 and not self.rejected
+
+
+class BatchRejectionError(RuntimeError):
+    """One or more operations in a flushed batch were rejected.
+
+    Raised *after* the rest of the batch has been applied (rejections
+    never roll back or block their batch-mates); ``.result`` carries the
+    full :class:`BatchResult` including every ``(operation, reason)``
+    pair, so callers can inspect exactly which submissions failed.
+    """
+
+    def __init__(self, result: BatchResult):
+        reasons = "; ".join(
+            f"{type(op).__name__}: {reason}"
+            for op, reason in result.rejected[:3]
+        )
+        more = len(result.rejected) - 3
+        if more > 0:
+            reasons += f"; and {more} more"
+        super().__init__(
+            f"{len(result.rejected)} of {result.submitted} batched "
+            f"operation(s) rejected ({reasons})"
+        )
+        self.result = result
 
 
 class BatchedPlatform:
@@ -159,13 +183,36 @@ class BatchedPlatform:
 
     def __init__(
         self,
-        instance: Instance,
+        instance: Instance | None = None,
         solver: GEPCSolver | None = None,
         max_pending: int = 64,
+        platform: object | None = None,
+        raise_on_reject: bool = False,
     ) -> None:
+        """Front a platform with a coalescing queue.
+
+        Either pass ``instance`` (an :class:`EBSNPlatform` is built
+        internally) or ``platform`` (any object with the platform
+        surface — notably :class:`repro.platform.durable.DurablePlatform`
+        to get WAL + snapshots under batched traffic).
+
+        ``raise_on_reject=True`` makes :meth:`flush` raise
+        :class:`BatchRejectionError` whenever a batch had rejected
+        operations — for callers that treat a silent drop as a bug
+        rather than expected staleness.
+        """
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
-        self._platform = EBSNPlatform(instance, solver=solver)  # guarded-by: _state_lock
+        if (instance is None) == (platform is None):
+            raise ValueError(
+                "pass exactly one of `instance` or `platform`"
+            )
+        if platform is None:
+            platform = EBSNPlatform(instance, solver=solver)
+        elif solver is not None:
+            raise ValueError("`solver` only applies with `instance`")
+        self._platform = platform  # guarded-by: _state_lock
+        self._raise_on_reject = raise_on_reject
         self._max_pending = max_pending
         self._pending: list[AtomicOperation] = []  # guarded-by: _queue_lock
         self._queue_lock = threading.Lock()
@@ -281,7 +328,11 @@ class BatchedPlatform:
 
         Returns an empty :class:`BatchResult` when nothing was queued.
         Invalid operations (stale against the batch's evolving instance)
-        are rejected and recorded, never partially applied.
+        are rejected and recorded, never partially applied — and never
+        silently swallowed: every failure is in ``result.rejected`` with
+        its reason, mirrored to the ``batched.rejected`` counter, and
+        with ``raise_on_reject`` it escalates to
+        :class:`BatchRejectionError` once the batch completes.
         """
         with self._state_lock:
             with self._queue_lock:
@@ -320,6 +371,8 @@ class BatchedPlatform:
         self._obs.count("batched.applied", len(result.applied))
         self._obs.count("batched.rejected", len(result.rejected))
         self._obs.count("batched.violations", result.violations)
+        if self._raise_on_reject and result.rejected:
+            raise BatchRejectionError(result)
         return result
 
     def drain(self) -> BatchResult:

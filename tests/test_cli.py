@@ -170,3 +170,68 @@ class TestDistanceFlag:
             outputs[backend] = solver_rows(capsys.readouterr().out)
         assert outputs["dense"]  # the row pattern actually matched
         assert outputs["tiled"] == outputs["dense"]
+
+
+class TestDurableFlags:
+    def test_simulate_durable_writes_state(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        code = main(
+            ["simulate", "--city", "beijing", "--scale", "0.3",
+             "--operations", "5", "--durable", state]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable" in out
+        assert (tmp_path / "state" / "wal.jsonl").exists()
+        assert list((tmp_path / "state").glob("snapshot-*.json"))
+
+    def test_recover_after_simulate(self, capsys, tmp_path):
+        state = str(tmp_path / "state")
+        assert main(
+            ["simulate", "--city", "beijing", "--scale", "0.3",
+             "--operations", "5", "--durable", state]
+        ) == 0
+        capsys.readouterr()
+        assert main(["recover", state]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "replayed" in out
+
+    def test_recover_empty_directory_fails(self, capsys, tmp_path):
+        code = main(["recover", str(tmp_path / "nothing")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "no valid snapshot" in err
+
+    def test_recover_torn_tail(self, capsys, tmp_path):
+        from repro.platform.durable import _tear_wal_tail
+
+        state = tmp_path / "state"
+        assert main(
+            ["simulate", "--city", "beijing", "--scale", "0.3",
+             "--operations", "6", "--durable", str(state)]
+        ) == 0
+        _tear_wal_tail(state / "wal.jsonl")
+        capsys.readouterr()
+        assert main(["recover", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "truncated 1 torn record" in out
+
+    def test_fuzz_durable_smoke(self, capsys):
+        code = main(
+            ["fuzz", "--durable", "--seeds", "1", "--operations", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Crash-recovery fuzz" in out
+        assert "mismatches" in out
+
+    def test_fuzz_durable_flag_parsed(self):
+        args = build_parser().parse_args(["fuzz", "--durable"])
+        assert args.durable is True
+        args = build_parser().parse_args(["fuzz"])
+        assert args.durable is False
+
+    def test_simulate_defaults_to_memory(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.durable is None

@@ -23,7 +23,7 @@ class TestTopLevelDocsExist:
         [
             "README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGELOG.md",
             "CONTRIBUTING.md", "docs/algorithms.md", "docs/datasets.md",
-            "docs/reproduction.md", "docs/api.md",
+            "docs/reproduction.md", "docs/api.md", "docs/durability.md",
         ],
     )
     def test_exists_and_nonempty(self, name):

@@ -96,3 +96,59 @@ class TestRoundTrip:
         instance = gap_to_xi_gepc(gap)
         with pytest.raises(ValueError, match="cannot serialise"):
             save_instance(instance, tmp_path / "matrix")
+
+
+class TestAtomicInstanceSave:
+    """Satellite: dataset writers go through atomic tmp+rename; a crash
+    mid-save leaves the previous complete documents, never a hybrid."""
+
+    def test_crash_mid_save_preserves_previous_dataset(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.core.fsio as fsio
+
+        original = random_instance(4, n_users=6, n_events=4)
+        save_instance(original, tmp_path / "city")
+
+        def torn_replace(src, dst):  # the crash lands before any rename
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(fsio.os, "replace", torn_replace)
+        replacement = random_instance(5, n_users=9, n_events=5)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_instance(replacement, tmp_path / "city")
+        monkeypatch.undo()
+
+        # The previous complete dataset is untouched — same shape, same
+        # payload — and no *.tmp residue pollutes the directory.
+        loaded = load_instance(tmp_path / "city")
+        assert loaded.n_users == original.n_users
+        assert loaded.n_events == original.n_events
+        assert np.allclose(loaded.utility, original.utility)
+        residue = [
+            p.name
+            for p in (tmp_path / "city").iterdir()
+            if p.name.endswith(".tmp")
+        ]
+        assert residue == []
+
+    def test_documents_written_atomically(self, tmp_path, monkeypatch):
+        """save_instance routes every document through atomic_write_text
+        (the crash-safety contract lives in repro.core.fsio)."""
+        from pathlib import Path
+
+        import repro.core.fsio as fsio
+        import repro.datasets.io as dsio
+
+        written = []
+        real = fsio.atomic_write_text
+
+        def spy(path, text, durable=True):
+            written.append(Path(path).name)
+            return real(path, text, durable=durable)
+
+        monkeypatch.setattr(dsio, "atomic_write_text", spy)
+        save_instance(random_instance(0), tmp_path / "spy")
+        assert {"users.json", "events.json", "utility.json", "meta.json"} <= (
+            set(written)
+        )

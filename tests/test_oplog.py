@@ -148,3 +148,209 @@ class TestReplay:
             replay_instance, replay_plan = result.instance, result.plan
 
         assert replay_plan == current_plan
+
+
+class TestNumpyCoercion:
+    """Satellite: fuzzer-drawn ops carry numpy scalars; the codec must
+    emit plain-JSON builtins (json.dumps rejects np.float64 et al.)."""
+
+    def test_numpy_scalar_fields_serialise(self):
+        import numpy as np
+
+        operations = [
+            EtaDecrease(np.int64(1), np.int64(2)),
+            TimeChange(np.int64(0), Interval(np.float64(1.0), np.float64(2.0))),
+            UtilityChange(np.int64(3), np.int64(1), np.float64(0.75)),
+            BudgetChange(np.int64(2), np.float64(17.5)),
+            NewEvent(
+                Point(np.float64(1.0), np.float64(2.0)),
+                np.int64(1),
+                np.int64(5),
+                Interval(np.float64(0.5), np.float64(1.5)),
+                tuple(np.asarray([0.1, 0.9])),
+                fee=np.float64(2.0),
+            ),
+        ]
+        for operation in operations:
+            document = operation_to_dict(operation)
+            text = json.dumps(document)  # TypeError before the coercion fix
+            assert operation_from_dict(json.loads(text)) == operation
+
+    def test_stream_drawn_ops_round_trip_through_json(self):
+        """Every op an OperationStream can draw survives dict -> JSON ->
+        dict -> object, bit-identically (NewEvent utilities come straight
+        from a numpy RNG)."""
+        instance = random_instance(11, n_users=14, n_events=7)
+        plan = GreedySolver(seed=11).solve(instance).plan
+        engine = IEPEngine()
+        stream = OperationStream(seed=11)
+        for _ in range(40):
+            operation = next(iter(stream.mixed(instance, plan, 1)))
+            text = json.dumps(operation_to_dict(operation))
+            rebuilt = operation_from_dict(json.loads(text))
+            assert rebuilt == operation
+            try:
+                result = engine.apply(instance, plan, operation)
+            except (ValueError, IndexError, KeyError):
+                continue
+            instance, plan = result.instance, result.plan
+
+
+class TestAtomicSave:
+    """Satellite: a crash mid-save must never corrupt an existing log."""
+
+    def test_crash_during_write_preserves_previous_log(self, tmp_path, monkeypatch):
+        import repro.core.fsio as fsio
+
+        path = save_operations(ALL_OPERATIONS[:4], tmp_path / "ops.json")
+        assert load_operations(path) == ALL_OPERATIONS[:4]
+
+        real_replace = fsio.os.replace
+
+        def torn_replace(src, dst):  # the crash lands before the rename
+            raise OSError("simulated crash mid-save")
+
+        monkeypatch.setattr(fsio.os, "replace", torn_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_operations(ALL_OPERATIONS, tmp_path / "ops.json")
+        monkeypatch.setattr(fsio.os, "replace", real_replace)
+
+        # The old document is untouched and no tmp residue remains.
+        assert load_operations(path) == ALL_OPERATIONS[:4]
+        assert [p.name for p in tmp_path.iterdir()] == ["ops.json"]
+
+    def test_crash_before_first_write_leaves_nothing(self, tmp_path, monkeypatch):
+        import repro.core.fsio as fsio
+
+        monkeypatch.setattr(
+            fsio.os, "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            save_operations(ALL_OPERATIONS, tmp_path / "fresh.json")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestWriteAheadLog:
+    def _wal(self, tmp_path):
+        from repro.platform.oplog import WriteAheadLog
+
+        return WriteAheadLog(tmp_path / "wal.jsonl", durable=False)
+
+    def test_append_assigns_monotonic_seqs(self, tmp_path):
+        wal = self._wal(tmp_path)
+        assert [wal.append(op) for op in ALL_OPERATIONS[:3]] == [1, 2, 3]
+        assert wal.seq == 3
+        wal.close()
+
+    def test_records_are_crc_tagged_jsonl(self, tmp_path):
+        from repro.platform.oplog import document_crc
+
+        wal = self._wal(tmp_path)
+        wal.append(ALL_OPERATIONS[0])
+        wal.close()
+        lines = (tmp_path / "wal.jsonl").read_text().splitlines()
+        record = json.loads(lines[0])
+        assert record["seq"] == 1
+        assert record["kind"] == "op"
+        assert record["crc"] == document_crc(record)
+
+    def test_recover_clean_log(self, tmp_path):
+        wal = self._wal(tmp_path)
+        for op in ALL_OPERATIONS:
+            wal.append(op)
+        wal.close()
+        recovery = self._wal(tmp_path).recover()
+        assert recovery.truncated_records == 0
+        assert [op for _, op in recovery.replayable()] == ALL_OPERATIONS
+
+    def test_recover_truncates_partial_line(self, tmp_path):
+        wal = self._wal(tmp_path)
+        for op in ALL_OPERATIONS[:3]:
+            wal.append(op)
+        wal.close()
+        path = tmp_path / "wal.jsonl"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 10])  # tear the last record
+        recovery = self._wal(tmp_path).recover()
+        assert recovery.truncated_records == 1
+        assert recovery.last_seq == 2
+        # The tail was physically cut: a fresh scan sees a clean log.
+        fresh = self._wal(tmp_path).recover()
+        assert fresh.truncated_records == 0
+        assert fresh.last_seq == 2
+
+    def test_recover_rejects_crc_corruption(self, tmp_path):
+        wal = self._wal(tmp_path)
+        for op in ALL_OPERATIONS[:3]:
+            wal.append(op)
+        wal.close()
+        path = tmp_path / "wal.jsonl"
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"seq":2', '"seq":9')  # bit-flip, stale CRC
+        path.write_text("\n".join(lines) + "\n")
+        recovery = self._wal(tmp_path).recover()
+        # Records 2 and 3 are both dropped: everything after the first
+        # invalid record is untrusted.
+        assert recovery.last_seq == 1
+        assert recovery.truncated_records == 2
+
+    def test_recover_rejects_sequence_gap(self, tmp_path):
+        from repro.platform.oplog import recover_wal
+
+        wal = self._wal(tmp_path)
+        wal.append(ALL_OPERATIONS[0])
+        wal._seq = 5  # simulate lost records 2..5
+        wal.append(ALL_OPERATIONS[1])
+        wal.close()
+        recovery = recover_wal(tmp_path / "wal.jsonl", truncate=False)
+        assert recovery.last_seq == 1
+        assert recovery.truncated_records == 1
+
+    def test_reject_markers_skip_replay(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append(ALL_OPERATIONS[0])
+        seq = wal.append(ALL_OPERATIONS[1])
+        wal.mark_rejected(seq)
+        wal.append(ALL_OPERATIONS[2])
+        wal.close()
+        recovery = self._wal(tmp_path).recover()
+        assert recovery.rejected_seqs == frozenset({2})
+        assert [s for s, _ in recovery.replayable()] == [1, 3]
+        assert recovery.last_seq == 3
+
+    def test_reject_marker_for_future_seq_is_invalid(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append(ALL_OPERATIONS[0])
+        wal.mark_rejected(7)  # no such operation yet
+        wal.close()
+        recovery = self._wal(tmp_path).recover()
+        assert recovery.last_seq == 1
+        assert recovery.truncated_records == 1
+
+    def test_appends_continue_after_recovery(self, tmp_path):
+        wal = self._wal(tmp_path)
+        for op in ALL_OPERATIONS[:2]:
+            wal.append(op)
+        wal.close()
+        reopened = self._wal(tmp_path)
+        reopened.recover()
+        assert reopened.append(ALL_OPERATIONS[2]) == 3
+        reopened.close()
+        assert self._wal(tmp_path).recover().last_seq == 3
+
+    def test_resume_at_never_rewinds(self, tmp_path):
+        wal = self._wal(tmp_path)
+        wal.append(ALL_OPERATIONS[0])
+        wal.resume_at(5)
+        assert wal.append(ALL_OPERATIONS[1]) == 6
+        wal.resume_at(2)  # lower horizon: a no-op
+        assert wal.append(ALL_OPERATIONS[2]) == 7
+        wal.close()
+
+    def test_missing_file_recovers_empty(self, tmp_path):
+        from repro.platform.oplog import recover_wal
+
+        recovery = recover_wal(tmp_path / "absent.jsonl")
+        assert recovery.records == ()
+        assert recovery.last_seq == 0

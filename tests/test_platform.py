@@ -165,3 +165,79 @@ class TestOperationStream:
         a = list(OperationStream(seed=9).mixed(instance, plan, 5))
         b = list(OperationStream(seed=9).mixed(instance, plan, 5))
         assert a == b
+
+
+class TestRejectionContract:
+    """Satellite: a rejected submit leaves the platform provably untouched
+    (durable wrappers tombstone the op in their WAL on this guarantee)."""
+
+    def test_rejection_propagates_and_state_is_untouched(self):
+        from repro.core.plan import PlanSummary
+
+        instance = random_instance(6, n_users=10, n_events=5)
+        platform = EBSNPlatform(instance, solver=GreedySolver(seed=6))
+        published = platform.publish_plans()
+        summary = PlanSummary.of(platform.plan)
+        with pytest.raises((ValueError, IndexError)):
+            platform.submit(EtaDecrease(10**6, 1))  # no such event
+        assert platform.instance is instance
+        assert PlanSummary.of(platform.plan) == summary
+        assert platform.log == []
+        assert platform.rejected_count == 1
+        # _last_utility untouched: the next accepted submit still chains
+        # utility_before from the published value.
+        from repro.core.iep.operations import BudgetChange
+
+        entry = platform.submit(BudgetChange(0, 30.0))
+        assert entry.utility_before == published
+
+    def test_rejected_count_accumulates(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        platform.publish_plans()
+        for event in (10**6, 10**6 + 1):
+            with pytest.raises((ValueError, IndexError)):
+                platform.submit(EtaDecrease(event, 1))
+        assert platform.rejected_count == 2
+        assert platform.audit()["operations"] == 0.0
+
+    def test_rejections_counted_in_obs(self, paper_instance):
+        from repro.obs import recording
+
+        platform = EBSNPlatform(paper_instance)
+        platform.publish_plans()
+        with recording() as trace:
+            with pytest.raises((ValueError, IndexError)):
+                platform.submit(EtaDecrease(10**6, 1))
+        assert trace.counters.get("platform.rejected") == 1
+
+
+class TestInstallPlan:
+    def test_install_plan_adopts_state(self, paper_instance):
+        from repro.core.metrics import total_utility
+
+        platform = EBSNPlatform(paper_instance)
+        solution = GreedySolver(seed=0).solve(paper_instance)
+        platform.install_plan(solution.plan)
+        assert platform.is_planned
+        assert platform.plan is solution.plan
+        expected = total_utility(paper_instance, solution.plan)
+        entry = platform.submit(EtaDecrease(3, 2))
+        assert entry.utility_before == expected
+
+    def test_install_plan_trusts_supplied_utility(self, paper_instance):
+        platform = EBSNPlatform(paper_instance)
+        solution = GreedySolver(seed=0).solve(paper_instance)
+        platform.install_plan(solution.plan, utility=123.456)
+        entry = platform.submit(EtaDecrease(3, 2))
+        assert entry.utility_before == 123.456
+
+    def test_install_plan_adopts_foreign_instance(self):
+        # Recovery installs a plan over an instance deserialised from a
+        # snapshot — a different object than the constructor argument.
+        instance = random_instance(2, n_users=8, n_events=4)
+        twin = random_instance(2, n_users=8, n_events=4)
+        platform = EBSNPlatform(instance)
+        plan = GreedySolver(seed=2).solve(twin).plan
+        platform.install_plan(plan)
+        assert platform.instance is twin
+        assert platform.audit()["violations"] == 0.0

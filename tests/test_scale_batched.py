@@ -193,3 +193,77 @@ class TestReplayEquivalence:
                 batched.flush()
             logs.append(batched.applied_log)
         assert logs[0] == logs[1]
+
+
+class TestRejectionSurfacing:
+    """Satellite: flush never silently swallows failures — they land in
+    ``result.rejected`` and, on request, escalate as an exception."""
+
+    def test_raise_on_reject_escalates_after_batch(self, instance):
+        from repro.scale import BatchRejectionError
+
+        batched = BatchedPlatform(instance, raise_on_reject=True)
+        batched.publish_plans()
+        batched.enqueue(BudgetChange(0, 30.0))
+        batched.enqueue(EtaDecrease(10**6, 1))  # no such event
+        with pytest.raises(BatchRejectionError) as exc_info:
+            batched.flush()
+        result = exc_info.value.result
+        # The good batch-mate was still applied (rejections don't roll
+        # the batch back), and the failure carries its reason.
+        assert len(result.applied) == 1
+        assert len(result.rejected) == 1
+        operation, reason = result.rejected[0]
+        assert operation == EtaDecrease(10**6, 1)
+        assert reason
+        assert "EtaDecrease" in str(exc_info.value)
+        assert batched.queue_depth() == 0
+
+    def test_default_keeps_collecting_quietly(self, instance):
+        batched = BatchedPlatform(instance)
+        batched.publish_plans()
+        batched.enqueue(EtaDecrease(10**6, 1))
+        result = batched.flush()
+        assert len(result.rejected) == 1
+        assert not result.ok
+
+    def test_error_message_truncates_long_lists(self, instance):
+        from repro.scale import BatchRejectionError
+
+        batched = BatchedPlatform(instance, raise_on_reject=True)
+        batched.publish_plans()
+        for offset in range(5):
+            batched.enqueue(EtaDecrease(10**6 + offset, 1))
+        with pytest.raises(BatchRejectionError, match="and 2 more"):
+            batched.flush()
+
+
+class TestPlatformParameter:
+    def test_exactly_one_of_instance_or_platform(self, instance):
+        from repro.platform import EBSNPlatform
+
+        with pytest.raises(ValueError, match="exactly one"):
+            BatchedPlatform()
+        with pytest.raises(ValueError, match="exactly one"):
+            BatchedPlatform(instance, platform=EBSNPlatform(instance))
+
+    def test_solver_requires_instance(self, instance):
+        from repro.core.gepc import GreedySolver
+        from repro.platform import EBSNPlatform
+
+        with pytest.raises(ValueError, match="solver"):
+            BatchedPlatform(
+                platform=EBSNPlatform(instance),
+                solver=GreedySolver(seed=0),
+            )
+
+    def test_wrapped_platform_receives_traffic(self, instance):
+        from repro.platform import EBSNPlatform
+
+        inner = EBSNPlatform(instance)
+        batched = BatchedPlatform(platform=inner)
+        batched.publish_plans()
+        batched.enqueue(BudgetChange(0, 30.0))
+        batched.flush()
+        assert len(inner.log) == 1
+        assert batched.plan is inner.plan
