@@ -90,6 +90,16 @@ class Preset:
     # carries a ``max_latency_ratio_vs`` gate at this p50 factor.
     durable: bool = False
     durable_latency_ratio: float = 1.5
+    # Service presets submit the identical one-op frames through the
+    # in-process BatchedPlatform and over the planning service's HTTP
+    # socket (ServiceThread in this process); the service entry gates
+    # its p50 frame latency at ``service_latency_ratio``x the
+    # in-process p50 and its utility at bit-identical — the wire
+    # protocol must never change what gets applied (docs/service.md).
+    service: bool = False
+    service_users: int = 64
+    service_events: int = 12
+    service_latency_ratio: float = 10.0
 
 
 PRESETS: dict[str, Preset] = {
@@ -168,6 +178,22 @@ PRESETS: dict[str, Preset] = {
         include_gap=False,
         trace_memory=False,
         durable=True,
+    ),
+    # Wire-overhead gate (docs/service.md): the same spec-deterministic
+    # tenant takes one operation per frame through the in-process
+    # batched path and through the full service request path — HTTP
+    # round trip, dispatch, single-writer queue, WAL append, flush.
+    # The throughput floor is deliberately loose (localhost RPCs on a
+    # loaded CI runner); the p50 ratio and bit-identical utility are
+    # the real gates.
+    "service": Preset(
+        city="meetup-synthetic",
+        scale=1.0,
+        operations=150,
+        include_gap=False,
+        trace_memory=False,
+        service=True,
+        min_ops_per_sec=25.0,
     ),
     # CI-sized soak smoke: same machinery at 10^4 users / 500 ops with
     # a 4 MiB LRU (the 10^4-user plane is only ~20 MiB, so the cache
@@ -468,6 +494,131 @@ def _durable_entries(instance, preset: Preset, seed: int) -> list[dict]:
     return [memory_entry, durable_entry]
 
 
+def _service_entries(preset: Preset, seed: int) -> list[dict]:
+    """In-process batched submits vs the same frames over the socket.
+
+    Both sides host the identical spec-deterministic tenant (same
+    instance, solver seed, and frame granularity: one operation per
+    enqueue+flush, one per RPC frame), so acceptance stays in lockstep
+    and the service entry's ``equal_utility_vs`` gate is bit-exact.
+    Operations are drawn step-by-step against the in-process side's
+    live state and replayed verbatim over the wire.  The service side
+    times the full request path — HTTP round trip, dispatch, the
+    single-writer queue, WAL append (fsync off, the
+    :class:`repro.service.ServiceThread` default), and batch flush —
+    which is the per-frame tax docs/service.md quotes.  Throughput
+    excludes publish on both sides, mirroring ``_scale_entries``.
+    """
+    import tempfile
+    import time
+
+    from repro.scale import BatchedPlatform
+    from repro.service import ServiceClient, ServiceThread
+    from repro.service.tenants import TenantSpec
+
+    spec = TenantSpec(
+        name="bench",
+        users=preset.service_users,
+        events=preset.service_events,
+        seed=seed,
+    )
+    operations: list = []
+
+    inproc_label = f"submit-inproc-{preset.operations}"
+    with recording() as recorder:
+        platform = BatchedPlatform(
+            spec.build_instance(), solver=spec.build_solver()
+        )
+        publish_start = time.perf_counter()
+        publish_utility = platform.publish_plans()
+        publish_seconds = time.perf_counter() - publish_start
+        stream = OperationStream(seed=seed)
+        latencies: list[float] = []
+        soak_start = time.perf_counter()
+        for _ in range(preset.operations):
+            operation = next(
+                iter(stream.mixed(platform.instance, platform.plan, 1))
+            )
+            operations.append(operation)
+            op_start = time.perf_counter()
+            platform.enqueue(operation)
+            platform.flush()
+            latencies.append(time.perf_counter() - op_start)
+        soak_seconds = time.perf_counter() - soak_start
+        utility = platform.snapshot()["utility"]
+        platform.close()
+    latencies.sort()
+    inproc_entry = {
+        "solver": inproc_label,
+        "seed": seed,
+        "wall_time_s": soak_seconds,
+        "peak_mib": 0.0,
+        "utility": utility,
+        "cancelled": 0,
+        "counters": dict(recorder.counters),
+        "spans": recorder.snapshot()["spans"],
+        "publish_seconds": publish_seconds,
+        "publish_utility": publish_utility,
+        "latency_ms": {
+            "p50": _percentile_ms(latencies, 0.50),
+            "p90": _percentile_ms(latencies, 0.90),
+            "p99": _percentile_ms(latencies, 0.99),
+        },
+        "ops_per_sec": (
+            preset.operations / soak_seconds if soak_seconds > 0 else 0.0
+        ),
+    }
+
+    service_label = f"submit-service-{preset.operations}"
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        with recording() as recorder, ServiceThread(root) as service:
+            with ServiceClient(service.host, service.port) as client:
+                client.create_tenant(spec.to_dict())
+                publish_start = time.perf_counter()
+                publish_utility = client.publish(spec.name)
+                publish_seconds = time.perf_counter() - publish_start
+                latencies = []
+                soak_start = time.perf_counter()
+                for operation in operations:
+                    op_start = time.perf_counter()
+                    client.submit(spec.name, [operation])
+                    latencies.append(time.perf_counter() - op_start)
+                soak_seconds = time.perf_counter() - soak_start
+                served = client.summary(spec.name)["audit"]["utility"]
+    latencies.sort()
+    service_entry = {
+        "solver": service_label,
+        "seed": seed,
+        "wall_time_s": soak_seconds,
+        "peak_mib": 0.0,
+        "utility": served,
+        "cancelled": 0,
+        "counters": dict(recorder.counters),
+        "spans": recorder.snapshot()["spans"],
+        "publish_seconds": publish_seconds,
+        "publish_utility": publish_utility,
+        "latency_ms": {
+            "p50": _percentile_ms(latencies, 0.50),
+            "p90": _percentile_ms(latencies, 0.90),
+            "p99": _percentile_ms(latencies, 0.99),
+        },
+        "ops_per_sec": (
+            preset.operations / soak_seconds if soak_seconds > 0 else 0.0
+        ),
+        # Gate specs ride with the entry (baseline-declared): the wire
+        # tax on the frame median, a throughput floor, and bit-identical
+        # utility — serving over a socket must never change the plan.
+        "max_latency_ratio_vs": {
+            "vs": inproc_label,
+            "quantile": "p50",
+            "factor": preset.service_latency_ratio,
+        },
+        "equal_utility_vs": {"vs": inproc_label},
+        "min_ops_per_sec": preset.min_ops_per_sec,
+    }
+    return [inproc_entry, service_entry]
+
+
 def _sharded_entries(
     instance,
     seed: int,
@@ -573,6 +724,17 @@ def build_report(
             "seed": seed,
             "cpu_count": os.cpu_count() or 1,
             "entries": _scale_entries(preset, seed),
+        }
+    if preset.service:
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "preset": preset_name,
+            "city": preset.city,
+            "scale": preset.scale,
+            "seed": seed,
+            "cpu_count": os.cpu_count() or 1,
+            "entries": _service_entries(preset, seed),
         }
     if preset.synthetic is not None:
         n_users, n_events, n_groups, n_clusters = preset.synthetic

@@ -20,7 +20,11 @@ state honest:
   .DurablePlatform` at seeded-random injection points (with and without
   torn WAL tails), recovers, and diffs the recovered state against an
   uncrashed twin (surfaced as ``repro-gepc fuzz --durable``; see
-  ``docs/durability.md``).
+  ``docs/durability.md``);
+* :func:`run_service_fuzz` drives seeded operation streams through the
+  real planning-service client/server loop and holds every frame in
+  lockstep against an in-process oracle (surfaced as
+  ``repro-gepc fuzz --service``; see ``docs/service.md``).
 
 See ``docs/correctness.md`` for the full guide.
 """
@@ -30,10 +34,19 @@ from repro.check.crashfuzz import (
     CrashFuzzConfig,
     CrashFuzzSummary,
     CrashScenarioReport,
+    TwinState,
     crash_fuzz_seed,
     run_crash_fuzz,
+    run_twin,
 )
 from repro.check.fuzz import FuzzConfig, FuzzSummary, SeedReport, fuzz_seed, run_fuzz
+from repro.check.servicefuzz import (
+    ServiceFuzzConfig,
+    ServiceFuzzSummary,
+    ServiceSeedReport,
+    run_service_fuzz,
+    service_fuzz_seed,
+)
 from repro.check.shadow import (
     ENV_VAR,
     ShadowCheckError,
@@ -54,13 +67,19 @@ __all__ = [
     "FuzzSummary",
     "InvariantAuditor",
     "SeedReport",
+    "ServiceFuzzConfig",
+    "ServiceFuzzSummary",
+    "ServiceSeedReport",
     "ShadowCheckError",
     "ShadowStats",
+    "TwinState",
     "crash_fuzz_seed",
     "fuzz_seed",
     "maybe_shadow_checks",
     "run_crash_fuzz",
     "run_fuzz",
+    "run_twin",
+    "service_fuzz_seed",
     "shadow_checks",
     "shadow_checks_enabled",
 ]

@@ -139,11 +139,58 @@ class _PointCounter:
 
 
 @dataclass(frozen=True)
-class _BaselineState:
+class TwinState:
     """Uncrashed state after one sequence number."""
 
     utility: float
     summary: PlanSummary
+
+
+def run_twin(
+    platform: DurablePlatform,
+    operations: list[AtomicOperation] | None = None,
+    stream_seed: int = 0,
+    n_operations: int = 0,
+) -> tuple[dict[int, TwinState], list[AtomicOperation]]:
+    """Run the uncrashed twin: publish, apply, record state per seq.
+
+    Publishes ``platform`` (which must be fresh/unpublished), applies
+    ``operations`` in order — or draws ``n_operations`` from a seeded
+    :class:`OperationStream` when ``operations`` is ``None`` — and
+    records the state (utility + :class:`PlanSummary`) after publish and
+    after *every* submit.  Rejected operations consume a sequence number
+    without changing state, so every possible recovery horizon has a
+    twin state to compare against.  Closes the platform and returns
+    ``(states_by_seq, operations)``.
+
+    Shared by the crash fuzzer and the service recovery tests: any
+    component claiming "bit-identical at the durable horizon" proves it
+    against these states.
+    """
+    states: dict[int, TwinState] = {}
+
+    def record() -> None:
+        states[platform.seq] = TwinState(
+            utility=platform.audit()["utility"],
+            summary=PlanSummary.of(platform.plan),
+        )
+
+    platform.publish_plans()
+    record()
+    if operations is None:
+        operations = list(
+            OperationStream(seed=stream_seed).mixed(
+                platform.instance, platform.plan, n_operations
+            )
+        )
+    for operation in operations:
+        try:
+            platform.submit(operation)
+        except REJECTION_ERRORS:
+            pass
+        record()
+    platform.close()
+    return states, operations
 
 
 def _generate(seed: int, config: CrashFuzzConfig) -> Instance:
@@ -203,9 +250,7 @@ def _run_stream(
 
 def _run_baseline(
     seed: int, config: CrashFuzzConfig, directory: Path
-) -> tuple[
-    dict[int, _BaselineState], list[AtomicOperation], dict[str, int]
-]:
+) -> tuple[dict[int, TwinState], list[AtomicOperation], dict[str, int]]:
     """The uncrashed twin: per-seq states + the workload + point counts."""
     counter = _PointCounter()
     instance = _generate(seed, config)
@@ -217,31 +262,9 @@ def _run_baseline(
         fsync=config.fsync,
         injector=counter,  # type: ignore[arg-type]
     )
-    states: dict[int, _BaselineState] = {}
-
-    def record() -> None:
-        states[platform.seq] = _BaselineState(
-            utility=platform.audit()["utility"],
-            summary=PlanSummary.of(platform.plan),
-        )
-
-    platform.publish_plans()
-    record()
-    operations = list(
-        OperationStream(seed=seed).mixed(
-            platform.instance, platform.plan, config.operations
-        )
+    states, operations = run_twin(
+        platform, stream_seed=seed, n_operations=config.operations
     )
-    for operation in operations:
-        try:
-            platform.submit(operation)
-        except REJECTION_ERRORS:
-            pass
-        # Rejected ops consume a sequence number without changing state;
-        # record under the new seq either way so every possible recovery
-        # horizon has a twin state.
-        record()
-    platform.close()
     return states, operations, counter.counts
 
 
@@ -285,7 +308,7 @@ def _run_scenario(
     config: CrashFuzzConfig,
     directory: Path,
     operations: list[AtomicOperation],
-    baseline: dict[int, _BaselineState],
+    baseline: dict[int, TwinState],
     point: str,
     tear_tail: bool,
     crash_after: int,
@@ -385,6 +408,8 @@ __all__ = [
     "CrashFuzzConfig",
     "CrashFuzzSummary",
     "CrashScenarioReport",
+    "TwinState",
     "crash_fuzz_seed",
     "run_crash_fuzz",
+    "run_twin",
 ]

@@ -1,0 +1,255 @@
+"""Service-loop differential fuzzing (``repro-gepc fuzz --service``).
+
+Each seed drives a seeded mixed-operation stream through the **real**
+client/server loop — JSON wire codec, HTTP or WebSocket transport, the
+dispatcher, the tenant's single-writer worker, the batched/durable
+platform stack — and holds it in lockstep against an in-process
+:class:`~repro.platform.service.EBSNPlatform` oracle applying the
+identical operations directly.  After every frame:
+
+* **acceptance agreement** — the service applied the operation iff the
+  oracle's engine accepted it (rejections carry the same refusal);
+* **bit-identical utility** — the utility in the wire response equals
+  the oracle's exactly (floats survive the JSON round-trip by ``repr``);
+
+and at end of stream:
+
+* **plan identity** — the ``plan-summary`` assignments equal
+  :class:`~repro.core.plan.PlanSummary` of the oracle's plan;
+* **oplog fidelity** — the served applied-log decodes back to exactly
+  the operations the oracle accepted, in order.
+
+Frames carry one operation each, so the wire order *is* the serial
+order and the oracle needs no coalescing model (fold-equivalence is the
+``--sharded`` leg's job; this leg owns the network loop).  Transports
+alternate per operation so both stacks see every seed.  Everything is
+seeded: a CI failure reproduces locally with
+``repro-gepc fuzz --service --base-seed <seed> --seeds 1``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.gepc.greedy import GreedySolver
+from repro.core.plan import PlanSummary
+from repro.datasets.meetup import MeetupConfig, generate_ebsn
+from repro.obs import get_recorder
+from repro.platform.durable import REJECTION_ERRORS
+from repro.platform.oplog import operation_to_dict
+from repro.platform.service import EBSNPlatform
+from repro.platform.stream import OperationStream
+from repro.service.client import ServiceClient, WebSocketClient
+from repro.service.server import ServiceThread
+
+
+@dataclass(frozen=True)
+class ServiceFuzzConfig:
+    """Shape of one service-fuzzing run (identical across seeds)."""
+
+    operations: int = 24
+    n_users: int = 24
+    n_events: int = 10
+    n_groups: int = 4
+    conflict_ratio: float = 0.35
+    # Small cadence so recovery-relevant snapshots land mid-stream too.
+    snapshot_every: int = 8
+
+
+@dataclass
+class ServiceSeedReport:
+    """Everything observed while service-fuzzing one seed."""
+
+    seed: int
+    operations: int = 0
+    checks: int = 0
+    mismatches: list[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.violations
+
+
+@dataclass
+class ServiceFuzzSummary:
+    """Aggregate over all service-fuzzed seeds."""
+
+    reports: list[ServiceSeedReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    @property
+    def seeds(self) -> int:
+        return len(self.reports)
+
+    @property
+    def operations(self) -> int:
+        return sum(report.operations for report in self.reports)
+
+    @property
+    def checks(self) -> int:
+        return sum(report.checks for report in self.reports)
+
+    @property
+    def mismatches(self) -> list[str]:
+        return [m for report in self.reports for m in report.mismatches]
+
+    @property
+    def violations(self) -> list[str]:
+        return [v for report in self.reports for v in report.violations]
+
+    def failures(self) -> list[ServiceSeedReport]:
+        return [report for report in self.reports if not report.ok]
+
+
+def _oracle(seed: int, config: ServiceFuzzConfig) -> EBSNPlatform:
+    """The in-process twin: same spec-deterministic instance + solver."""
+    instance = generate_ebsn(
+        MeetupConfig(
+            n_users=config.n_users,
+            n_events=config.n_events,
+            n_groups=config.n_groups,
+            conflict_ratio=config.conflict_ratio,
+            seed=seed,
+        )
+    )
+    return EBSNPlatform(instance, solver=GreedySolver(seed=seed))
+
+
+def service_fuzz_seed(
+    seed: int,
+    service: ServiceThread,
+    config: ServiceFuzzConfig | None = None,
+) -> ServiceSeedReport:
+    """Fuzz one seed against an already-running service."""
+    config = config or ServiceFuzzConfig()
+    report = ServiceSeedReport(seed=seed)
+    tenant = f"fuzz-{seed}"
+    oracle = _oracle(seed, config)
+
+    with (
+        ServiceClient(service.host, service.port) as http_client,
+        WebSocketClient(service.host, service.port) as ws_client,
+    ):
+        http_client.create_tenant(
+            {
+                "name": tenant,
+                "kind": "meetup",
+                "users": config.n_users,
+                "events": config.n_events,
+                "groups": config.n_groups,
+                "conflict": config.conflict_ratio,
+                "seed": seed,
+                "snapshot_every": config.snapshot_every,
+            }
+        )
+        served_utility = http_client.publish(tenant)
+        oracle_utility = oracle.publish_plans()
+        report.checks += 1
+        if served_utility != oracle_utility:
+            report.mismatches.append(
+                f"seed {seed}: publish utility {served_utility!r} != "
+                f"oracle {oracle_utility!r}"
+            )
+
+        stream = OperationStream(seed=seed)
+        accepted: list = []
+        for step in range(config.operations):
+            operation = next(
+                iter(stream.mixed(oracle.instance, oracle.plan, 1))
+            )
+            client = ws_client if step % 2 else http_client
+            result = client.submit(tenant, [operation])
+            report.operations += 1
+
+            oracle_applied = True
+            try:
+                entry = oracle.submit(operation)
+            except REJECTION_ERRORS:
+                oracle_applied = False
+            report.checks += 2
+            if result["applied"] != int(oracle_applied):
+                report.mismatches.append(
+                    f"seed {seed} step {step} "
+                    f"({type(operation).__name__}): service "
+                    f"applied={result['applied']} but oracle "
+                    f"{'accepted' if oracle_applied else 'rejected'} it"
+                )
+                continue
+            if oracle_applied:
+                accepted.append(operation)
+                expected = entry.utility_after
+            else:
+                expected = oracle.audit()["utility"]
+            if result["utility"] != expected:
+                report.mismatches.append(
+                    f"seed {seed} step {step}: utility "
+                    f"{result['utility']!r} != oracle {expected!r}"
+                )
+            if result["violations"]:
+                report.violations.append(
+                    f"seed {seed} step {step}: service reported "
+                    f"{result['violations']} feasibility violations"
+                )
+
+        report.checks += 2
+        assignments = http_client.plan_summary(tenant)
+        oracle_summary = PlanSummary.of(oracle.plan)
+        if (
+            tuple(tuple(events) for events in assignments)
+            != oracle_summary.assignments
+        ):
+            report.mismatches.append(
+                f"seed {seed}: final plan-summary differs from the "
+                "oracle's plan"
+            )
+        served_log = ws_client.rpc("oplog", tenant=tenant)["ops"]
+        expected_log = [operation_to_dict(op) for op in accepted]
+        if served_log != expected_log:
+            report.mismatches.append(
+                f"seed {seed}: applied log ({len(served_log)} op(s)) "
+                f"differs from the oracle's accepted stream "
+                f"({len(expected_log)} op(s))"
+            )
+    return report
+
+
+def run_service_fuzz(
+    seeds: Iterable[int], config: ServiceFuzzConfig | None = None
+) -> ServiceFuzzSummary:
+    """Service-fuzz every seed against one shared in-process service."""
+    obs = get_recorder()
+    config = config or ServiceFuzzConfig()
+    summary = ServiceFuzzSummary()
+    with tempfile.TemporaryDirectory(prefix="servicefuzz-") as root:
+        with obs.span("check.servicefuzz"), ServiceThread(root) as service:
+            for seed in seeds:
+                with obs.span("seed"):
+                    report = service_fuzz_seed(seed, service, config)
+                summary.reports.append(report)
+                obs.count("check.servicefuzz.seeds")
+                obs.count(
+                    "check.servicefuzz.operations", report.operations
+                )
+                obs.count("check.servicefuzz.checks", report.checks)
+                obs.count(
+                    "check.servicefuzz.mismatches", len(report.mismatches)
+                )
+                obs.count(
+                    "check.servicefuzz.violations", len(report.violations)
+                )
+    return summary
+
+
+__all__ = [
+    "ServiceFuzzConfig",
+    "ServiceFuzzSummary",
+    "ServiceSeedReport",
+    "run_service_fuzz",
+    "service_fuzz_seed",
+]

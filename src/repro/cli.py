@@ -15,7 +15,9 @@ Installed as ``repro-gepc``::
     repro-gepc replay /tmp/beijing /tmp/workload.json
     repro-gepc fuzz --seeds 25 --operations 12
     repro-gepc fuzz --durable --seeds 10
+    repro-gepc fuzz --service --seeds 10
     repro-gepc recover /tmp/auckland-state
+    repro-gepc serve --root /tmp/planning-state --port 8414
 
 Every command accepts ``--trace`` (per-phase timing/counter table on
 stderr) and ``--trace-json PATH`` (machine-readable recorder snapshot);
@@ -279,6 +281,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     if args.durable:
         return _fuzz_durable(args)
+    if args.service:
+        return _fuzz_service(args)
     config = FuzzConfig(
         operations=args.operations,
         n_users=args.users,
@@ -358,6 +362,58 @@ def _fuzz_durable(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0 if summary.ok else 1
+
+
+def _fuzz_service(args: argparse.Namespace) -> int:
+    """Service-loop fuzz: real client/server loop vs in-process oracle."""
+    from repro.check import ServiceFuzzConfig, run_service_fuzz
+
+    config = ServiceFuzzConfig(
+        operations=args.operations,
+        n_users=args.users,
+        n_events=args.events,
+    )
+    seeds = range(args.base_seed, args.base_seed + args.seeds)
+    summary = run_service_fuzz(seeds, config)
+    print(
+        format_table(
+            f"Service fuzz: seeds {seeds.start}..{seeds.stop - 1}",
+            ["seeds", "operations", "checks", "mismatches", "violations"],
+            [[
+                summary.seeds,
+                summary.operations,
+                summary.checks,
+                len(summary.mismatches),
+                len(summary.violations),
+            ]],
+        )
+    )
+    for report in summary.failures():
+        print(f"seed {report.seed} FAILED:", file=sys.stderr)
+        for mismatch in report.mismatches[:10]:
+            print(f"  {mismatch}", file=sys.stderr)
+        for violation in report.violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        print(
+            f"  reproduce: repro-gepc fuzz --service "
+            f"--base-seed {report.seed} --seeds 1 "
+            f"--operations {report.operations}",
+            file=sys.stderr,
+        )
+    return 0 if summary.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant planning service until SIGTERM/SIGINT."""
+    from repro.service import run_service
+
+    return run_service(
+        args.root,
+        host=args.host,
+        port=args.port,
+        backpressure=args.backpressure,
+        fsync=not args.no_fsync,
+    )
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -527,8 +583,44 @@ def build_parser() -> argparse.ArgumentParser:
         "injection point (with and without torn WAL tails), recover, "
         "and diff against an uncrashed twin (see docs/durability.md)",
     )
+    fuzz.add_argument(
+        "--service", action="store_true",
+        help="service-loop fuzz: drive the operation streams through "
+        "the real planning-service client/server loop (HTTP + "
+        "WebSocket) and diff every frame against an in-process "
+        "oracle (see docs/service.md)",
+    )
     _add_trace_arguments(fuzz)
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host the multi-tenant async planning service "
+        "(see docs/service.md)",
+    )
+    serve.add_argument(
+        "--root", required=True,
+        help="state root; each tenant persists under <root>/<name>/ "
+        "and is recovered from there on startup",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8414,
+        help="TCP port (0 picks a free port; the bound port is in the "
+        "readiness line)",
+    )
+    serve.add_argument(
+        "--backpressure", type=int, default=64,
+        help="per-tenant write-queue bound; full queues block "
+        "producers (default 64)",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip per-append fsync (survives SIGKILL, not power loss; "
+        "for tests and benches)",
+    )
+    _add_trace_arguments(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     recover = subparsers.add_parser(
         "recover",

@@ -13,6 +13,7 @@ from repro.scale.batched import (
     BatchedPlatform,
     BatchRejectionError,
     BatchResult,
+    PlatformClosedError,
     coalesce_operations,
 )
 from repro.scale.partition import (
@@ -28,6 +29,7 @@ __all__ = [
     "BatchResult",
     "BatchedPlatform",
     "Partition",
+    "PlatformClosedError",
     "Shard",
     "ShardedSolver",
     "coalesce_operations",

@@ -148,6 +148,16 @@ class BatchResult:
         return self.violations == 0 and not self.rejected
 
 
+class PlatformClosedError(RuntimeError):
+    """An operation was submitted to a closed :class:`BatchedPlatform`.
+
+    Raised by :meth:`BatchedPlatform.enqueue` after :meth:`close` — a
+    clear, immediate refusal instead of silently queueing work that no
+    flush will ever apply (the shutdown deadlock the service layer
+    must never hit).
+    """
+
+
 class BatchRejectionError(RuntimeError):
     """One or more operations in a flushed batch were rejected.
 
@@ -215,6 +225,7 @@ class BatchedPlatform:
         self._raise_on_reject = raise_on_reject
         self._max_pending = max_pending
         self._pending: list[AtomicOperation] = []  # guarded-by: _queue_lock
+        self._closed = False  # guarded-by: _queue_lock
         self._queue_lock = threading.Lock()
         # Reentrant: a reader helper may be called while flushing.
         self._state_lock = threading.RLock()
@@ -307,6 +318,12 @@ class BatchedPlatform:
         growing without bound).
         """
         with self._queue_lock:
+            if self._closed:
+                raise PlatformClosedError(
+                    "BatchedPlatform is closed; the final batch has "
+                    "already been flushed and no further operations are "
+                    "accepted"
+                )
             self._pending.append(operation)
             depth = len(self._pending)
             self._stats["enqueued"] += 1
@@ -388,3 +405,52 @@ class BatchedPlatform:
             result.violations = follow_up.violations
             result.utility = follow_up.utility
         return result
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        with self._queue_lock:
+            return self._closed
+
+    def close(self) -> BatchResult:
+        """Flush the pending batch exactly once, then close the platform.
+
+        Shutdown contract (the service layer depends on each clause):
+
+        * the pending batch is flushed **exactly once** — concurrent or
+          repeated ``close()`` calls return an empty :class:`BatchResult`
+          without re-flushing;
+        * operations enqueued after close raise
+          :class:`PlatformClosedError` immediately (never queued, never
+          deadlocked on a queue nothing will drain);
+        * an inner platform with its own ``close()`` (notably
+          :class:`repro.platform.durable.DurablePlatform`, whose close
+          seals the WAL) is closed after the final flush, and only once;
+        * idempotent — closing a closed platform is a no-op.
+
+        Returns the final flush's :class:`BatchResult` (empty when the
+        queue was empty or the platform was already closed).
+        """
+        with self._queue_lock:
+            already_closed = self._closed
+            self._closed = True
+        if already_closed:
+            return BatchResult()
+        # The closed flag is set under the queue lock, so no enqueue can
+        # append after this point: one flush empties the queue for good.
+        result = self.flush()
+        with self._state_lock:
+            inner_close = getattr(self._platform, "close", None)
+            if inner_close is not None:
+                inner_close()
+        self._obs.count("batched.closes")
+        return result
+
+    def __enter__(self) -> "BatchedPlatform":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,244 @@
+"""The versioned JSON wire protocol of the planning service.
+
+One frame format serves both transports (``docs/service.md`` is the
+reference):
+
+* **WebSocket** — each text frame is one JSON request object; each
+  response frame echoes the request's ``id``.
+* **HTTP** — ``POST /v1/rpc`` carries the same object as its body (the
+  convenience ``GET`` routes are thin aliases over the same actions).
+
+A request frame::
+
+    {"v": 1, "id": 7, "action": "submit", "tenant": "auckland",
+     "ops": [{"op": "eta_decrease", "event": 3, "new_upper": 12}, ...]}
+
+A response frame is either ``{"v": 1, "id": 7, "ok": true, ...result}``
+or a structured error that never mutates state::
+
+    {"v": 1, "id": 7, "ok": false,
+     "error": {"code": "unknown-tenant", "message": "..."}}
+
+Operations reuse the tagged-dictionary codec of
+:mod:`repro.platform.oplog` — the same schema the WAL and the archived
+workload files speak, so a wire frame, a WAL record, and a replay file
+are interchangeable evidence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.iep.operations import AtomicOperation
+from repro.platform.oplog import operation_from_dict, operation_to_dict
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's serialized size (a NewEvent carries one
+#: utility per user, so frames scale with tenant population; 8 MiB fits
+#: a ~500k-user NewEvent while still bounding hostile input).
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+# ---------------------------------------------------------------------- #
+# Error codes (stable protocol surface; see docs/service.md)
+# ---------------------------------------------------------------------- #
+
+E_BAD_FRAME = "bad-frame"
+E_VERSION_MISMATCH = "version-mismatch"
+E_UNKNOWN_ACTION = "unknown-action"
+E_UNKNOWN_TENANT = "unknown-tenant"
+E_TENANT_EXISTS = "tenant-exists"
+E_BAD_SPEC = "bad-spec"
+E_INVALID_OP = "invalid-op"
+E_NOT_PUBLISHED = "not-published"
+E_ALREADY_PUBLISHED = "already-published"
+E_BAD_REQUEST = "bad-request"
+E_NOT_FOUND = "not-found"
+E_SHUTTING_DOWN = "shutting-down"
+E_INTERNAL = "internal"
+
+#: HTTP status the app uses when an error envelope travels over HTTP.
+HTTP_STATUS: dict[str, int] = {
+    E_BAD_FRAME: 400,
+    E_VERSION_MISMATCH: 400,
+    E_UNKNOWN_ACTION: 400,
+    E_UNKNOWN_TENANT: 404,
+    E_TENANT_EXISTS: 409,
+    E_BAD_SPEC: 400,
+    E_INVALID_OP: 400,
+    E_NOT_PUBLISHED: 409,
+    E_ALREADY_PUBLISHED: 409,
+    E_BAD_REQUEST: 400,
+    E_NOT_FOUND: 404,
+    E_SHUTTING_DOWN: 503,
+    E_INTERNAL: 500,
+}
+
+#: Every action the dispatcher understands (the protocol-conformance
+#: tests pin this set; extend it together with docs/service.md).
+ACTIONS = (
+    "ping",
+    "tenants",
+    "create",
+    "publish",
+    "submit",
+    "plan",
+    "attendees",
+    "summary",
+    "plan-summary",
+    "oplog",
+)
+
+
+class ProtocolError(Exception):
+    """A request the service refuses — structured, state untouched."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+    @property
+    def http_status(self) -> int:
+        return HTTP_STATUS.get(self.code, 400)
+
+    def to_error(self) -> dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+
+def parse_frame(raw: str | bytes) -> dict[str, Any]:
+    """Parse and validate one request frame (shape + protocol version).
+
+    Raises :class:`ProtocolError` with ``bad-frame`` for anything that is
+    not a JSON object and ``version-mismatch`` for a wrong or missing
+    ``"v"`` — before any action-specific handling, so a frame from a
+    future protocol can never half-execute.
+    """
+    if isinstance(raw, bytes):
+        if len(raw) > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                E_BAD_FRAME,
+                f"frame exceeds {MAX_FRAME_BYTES} bytes",
+            )
+        try:
+            raw = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(E_BAD_FRAME, f"frame is not UTF-8: {exc}")
+    try:
+        frame = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(E_BAD_FRAME, f"frame is not valid JSON: {exc}")
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            E_BAD_FRAME,
+            f"frame must be a JSON object, got {type(frame).__name__}",
+        )
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            E_VERSION_MISMATCH,
+            f"protocol version {version!r} not supported "
+            f"(this service speaks v{PROTOCOL_VERSION})",
+        )
+    return frame
+
+
+def ok_frame(frame_id: Any, result: dict[str, Any]) -> dict[str, Any]:
+    """A success response echoing the request's ``id``."""
+    response = {"v": PROTOCOL_VERSION, "id": frame_id, "ok": True}
+    response.update(result)
+    return response
+
+
+def error_frame(frame_id: Any, error: ProtocolError) -> dict[str, Any]:
+    """A structured error response echoing the request's ``id``."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": frame_id,
+        "ok": False,
+        "error": error.to_error(),
+    }
+
+
+def require(frame: dict[str, Any], key: str, kind: type) -> Any:
+    """Fetch a typed field from a frame or fail with ``bad-frame``.
+
+    ``bool`` is an ``int`` subclass in Python; an explicit check keeps
+    ``true`` from sneaking in where the protocol says integer.
+    """
+    value = frame.get(key)
+    if value is None:
+        raise ProtocolError(E_BAD_FRAME, f"missing required field {key!r}")
+    if not isinstance(value, kind) or (
+        kind is int and isinstance(value, bool)
+    ):
+        raise ProtocolError(
+            E_BAD_FRAME,
+            f"field {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}",
+        )
+    return value
+
+
+def encode_operations(
+    operations: list[AtomicOperation],
+) -> list[dict[str, Any]]:
+    """Operations as wire dictionaries (the WAL's own codec)."""
+    return [operation_to_dict(operation) for operation in operations]
+
+
+def decode_operations(payload: Any) -> list[AtomicOperation]:
+    """Rebuild operations from a frame's ``"ops"`` list.
+
+    Any malformed entry fails the *whole* frame with ``invalid-op``
+    before anything is enqueued: a frame is all-or-nothing at the
+    decode boundary (apply-time rejection is a separate, per-op
+    outcome reported in the response).
+    """
+    if not isinstance(payload, list) or not payload:
+        raise ProtocolError(
+            E_INVALID_OP, '"ops" must be a non-empty list of operations'
+        )
+    operations: list[AtomicOperation] = []
+    for position, document in enumerate(payload):
+        if not isinstance(document, dict):
+            raise ProtocolError(
+                E_INVALID_OP, f"ops[{position}] is not an object"
+            )
+        try:
+            operations.append(operation_from_dict(document))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                E_INVALID_OP,
+                f"ops[{position}] ({document.get('op')!r}): {exc}",
+            )
+    return operations
+
+
+__all__ = [
+    "ACTIONS",
+    "E_ALREADY_PUBLISHED",
+    "E_BAD_FRAME",
+    "E_BAD_REQUEST",
+    "E_BAD_SPEC",
+    "E_INTERNAL",
+    "E_INVALID_OP",
+    "E_NOT_FOUND",
+    "E_NOT_PUBLISHED",
+    "E_SHUTTING_DOWN",
+    "E_TENANT_EXISTS",
+    "E_UNKNOWN_ACTION",
+    "E_UNKNOWN_TENANT",
+    "E_VERSION_MISMATCH",
+    "HTTP_STATUS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_operations",
+    "encode_operations",
+    "error_frame",
+    "ok_frame",
+    "parse_frame",
+    "require",
+]

@@ -1,0 +1,499 @@
+"""The bundled asyncio server: HTTP/1.1 + WebSocket over one port.
+
+A deliberately small stdlib-only host for :class:`~repro.service.app
+.PlanningApp`: each accepted connection is parsed just far enough to
+build an ASGI scope (``http`` with keep-alive, or ``websocket`` after an
+RFC 6455 upgrade) and handed to the app.  Because the app speaks plain
+ASGI, this server is replaceable by uvicorn/hypercorn in deployments
+that have them — see ``docs/service.md`` — while tests, benches, and CI
+run on this one with zero dependencies.
+
+Two entry points:
+
+* :func:`run_service` — the blocking ``repro-gepc serve`` body: recover
+  tenants, bind, print the readiness line, serve until SIGTERM/SIGINT,
+  then shut down gracefully (drain workers, flush batches, seal WALs).
+* :class:`ServiceThread` — an in-process server on a background thread
+  for tests, the fuzzer, and the bench harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.obs import get_recorder
+from repro.service import ws
+from repro.service.app import PlanningApp
+from repro.service.protocol import MAX_FRAME_BYTES
+from repro.service.tenants import TenantManager
+
+#: Cap on the request head (request line + headers).
+MAX_HEAD_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+    409: "Conflict", 413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str]] | None:
+    """Parse one request head; ``None`` on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # keep-alive connection closed between requests
+        raise _HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise _HttpError(413, "request head too large")
+    if len(head) > MAX_HEAD_BYTES:
+        raise _HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method, target, headers
+
+
+def _plain_response(status: int, message: str) -> bytes:
+    body = json.dumps({"ok": False, "error": message}).encode()
+    reason = _REASONS.get(status, "Error")
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"content-type: application/json\r\n"
+        f"content-length: {len(body)}\r\n"
+        f"connection: close\r\n\r\n"
+    ).encode("latin-1") + body
+
+
+class ServiceServer:
+    """Bind, accept, and bridge connections into the ASGI app."""
+
+    def __init__(
+        self, app: PlanningApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._obs = get_recorder()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_FRAME_BYTES + MAX_HEAD_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._obs.count("service.connections")
+        with self._obs.span("service.accept"):
+            try:
+                await self._serve_connection(reader, writer)
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                ws.WebSocketError,
+            ):
+                pass  # peer went away or spoke garbage mid-frame
+            except _HttpError as exc:
+                try:
+                    writer.write(_plain_response(exc.status, str(exc)))
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:
+                    pass
+
+    async def _serve_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:  # HTTP keep-alive loop
+            head = await _read_head(reader)
+            if head is None:
+                return
+            method, target, headers = head
+            if headers.get("upgrade", "").lower() == "websocket":
+                await self._serve_websocket(
+                    reader, writer, method, target, headers
+                )
+                return
+            keep_alive = await self._serve_http(
+                reader, writer, method, target, headers
+            )
+            if not keep_alive:
+                return
+
+    async def _serve_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+    ) -> bool:
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_FRAME_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "").lower() != "close"
+        path, _, query = target.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method,
+            "path": path,
+            "query_string": query.encode("latin-1"),
+            "headers": [
+                (k.encode("latin-1"), v.encode("latin-1"))
+                for k, v in headers.items()
+            ],
+        }
+        delivered = False
+
+        async def receive() -> dict[str, Any]:
+            nonlocal delivered
+            if delivered:
+                await asyncio.sleep(0)  # app over-reads: nothing more
+                return {"type": "http.disconnect"}
+            delivered = True
+            return {"type": "http.request", "body": body}
+
+        async def send(event: dict[str, Any]) -> None:
+            if event["type"] == "http.response.start":
+                status = event["status"]
+                reason = _REASONS.get(status, "Status")
+                header_lines = "".join(
+                    f"{k.decode('latin-1')}: {v.decode('latin-1')}\r\n"
+                    for k, v in event.get("headers", [])
+                )
+                connection = "keep-alive" if keep_alive else "close"
+                writer.write(
+                    f"HTTP/1.1 {status} {reason}\r\n{header_lines}"
+                    f"connection: {connection}\r\n\r\n".encode("latin-1")
+                )
+            elif event["type"] == "http.response.body":
+                writer.write(event.get("body", b""))
+
+        await self.app(scope, receive, send)
+        await writer.drain()
+        return keep_alive
+
+    async def _serve_websocket(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+    ) -> None:
+        key = headers.get("sec-websocket-key")
+        if method != "GET" or not key:
+            raise _HttpError(400, "malformed websocket upgrade")
+        path = target.partition("?")[0]
+        scope = {
+            "type": "websocket",
+            "asgi": {"version": "3.0"},
+            "path": path,
+            "headers": [
+                (k.encode("latin-1"), v.encode("latin-1"))
+                for k, v in headers.items()
+            ],
+        }
+        connected = False
+
+        async def receive() -> dict[str, Any]:
+            nonlocal connected
+            if not connected:
+                connected = True
+                return {"type": "websocket.connect"}
+            while True:
+                try:
+                    opcode, payload = await self._read_ws_frame(reader)
+                except (
+                    ConnectionError,
+                    asyncio.IncompleteReadError,
+                    ws.WebSocketError,
+                ):
+                    return {"type": "websocket.disconnect", "code": 1006}
+                if opcode == ws.OP_CLOSE:
+                    writer.write(ws.build_frame(ws.OP_CLOSE, payload[:2]))
+                    await writer.drain()
+                    return {"type": "websocket.disconnect", "code": 1000}
+                if opcode == ws.OP_PING:
+                    writer.write(ws.build_frame(ws.OP_PONG, payload))
+                    await writer.drain()
+                    continue
+                if opcode == ws.OP_PONG:
+                    continue
+                if opcode == ws.OP_TEXT:
+                    return {
+                        "type": "websocket.receive",
+                        "text": payload.decode("utf-8", "replace"),
+                    }
+                return {"type": "websocket.receive", "bytes": payload}
+
+        async def send(event: dict[str, Any]) -> None:
+            if event["type"] == "websocket.accept":
+                writer.write(
+                    (
+                        "HTTP/1.1 101 Switching Protocols\r\n"
+                        "upgrade: websocket\r\n"
+                        "connection: Upgrade\r\n"
+                        f"sec-websocket-accept: {ws.accept_key(key)}\r\n"
+                        "\r\n"
+                    ).encode("latin-1")
+                )
+            elif event["type"] == "websocket.send":
+                text = event.get("text")
+                if text is not None:
+                    frame = ws.build_frame(ws.OP_TEXT, text.encode())
+                else:
+                    frame = ws.build_frame(
+                        ws.OP_BINARY, event.get("bytes", b"")
+                    )
+                writer.write(frame)
+            elif event["type"] == "websocket.close":
+                if not connected:  # rejected before accept
+                    writer.write(_plain_response(403, "upgrade rejected"))
+                else:
+                    code = event.get("code", 1000)
+                    writer.write(
+                        ws.build_frame(
+                            ws.OP_CLOSE, code.to_bytes(2, "big")
+                        )
+                    )
+            await writer.drain()
+
+        await self.app(scope, receive, send)
+
+    async def _read_ws_frame(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, bytes]:
+        """One complete message (fragments coalesced, unmasked)."""
+        message_opcode: int | None = None
+        buffer = bytearray()
+        while True:
+            fin, opcode, masked, length7, extra_bytes = ws.parse_header(
+                await reader.readexactly(2)
+            )
+            length = ws.decode_extended_length(
+                length7,
+                await reader.readexactly(extra_bytes) if extra_bytes else b"",
+            )
+            mask_key = await reader.readexactly(4) if masked else b""
+            payload = await reader.readexactly(length) if length else b""
+            if masked:
+                payload = ws.mask_payload(payload, mask_key)
+            if opcode in (ws.OP_CLOSE, ws.OP_PING, ws.OP_PONG):
+                return opcode, payload  # control frames are never split
+            if opcode != ws.OP_CONT:
+                message_opcode = opcode
+                buffer = bytearray(payload)
+            else:
+                if message_opcode is None:
+                    raise ws.WebSocketError("continuation without start")
+                buffer += payload
+            if len(buffer) > ws.MAX_PAYLOAD:
+                raise ws.WebSocketError("fragmented message too large")
+            if fin:
+                assert message_opcode is not None
+                return message_opcode, bytes(buffer)
+
+
+# ---------------------------------------------------------------------- #
+# Entry points
+# ---------------------------------------------------------------------- #
+
+#: Matched by subprocess tests to learn the bound port.
+READY_LINE = "serving on"
+
+
+async def _serve_until_signalled(
+    root: str | Path,
+    host: str,
+    port: int,
+    backpressure: int,
+    fsync: bool,
+    ready_file: Any = None,
+) -> int:
+    manager = TenantManager(root, backpressure=backpressure, fsync=fsync)
+    recovered = manager.recover_all()
+    manager.start_all()
+    for name, report in recovered:
+        if report is not None:
+            print(f"recovered tenant {name}: {report.summary()}",
+                  file=sys.stderr)
+    server = ServiceServer(PlanningApp(manager), host=host, port=port)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix
+            pass
+    print(
+        f"{READY_LINE} {host}:{server.port} "
+        f"({len(manager)} tenant(s), root={root})",
+        file=ready_file or sys.stdout,
+        flush=True,
+    )
+    await stop.wait()
+    print("shutting down: draining tenants", file=sys.stderr, flush=True)
+    await server.stop()
+    await manager.close_all()
+    return 0
+
+
+def run_service(
+    root: str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8414,
+    backpressure: int = 64,
+    fsync: bool = True,
+) -> int:
+    """The blocking ``repro-gepc serve`` body."""
+    return asyncio.run(
+        _serve_until_signalled(root, host, port, backpressure, fsync)
+    )
+
+
+class ServiceThread:
+    """An in-process service on a daemon thread (tests/fuzz/bench).
+
+    ``start()`` returns once the socket is bound; ``stop()`` performs
+    the same graceful shutdown as the signal path (drain workers, flush
+    batches, seal WALs).  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        host: str = "127.0.0.1",
+        backpressure: int = 64,
+        fsync: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.host = host
+        self.port = 0
+        self.manager: TenantManager | None = None
+        self._backpressure = backpressure
+        self._fsync = fsync
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "service thread failed to start"
+            ) from self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            self.manager = TenantManager(
+                self.root,
+                backpressure=self._backpressure,
+                fsync=self._fsync,
+            )
+            self.manager.recover_all()
+            self.manager.start_all()
+            server = ServiceServer(
+                PlanningApp(self.manager), host=self.host, port=0
+            )
+            await server.start()
+            self.port = server.port
+            self._loop = asyncio.get_running_loop()
+            self._stop_event = asyncio.Event()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            raise
+        self._started.set()
+        await self._stop_event.wait()
+        await server.stop()
+        await self.manager.close_all()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            if self._thread.is_alive():
+                raise RuntimeError("service thread did not stop in time")
+            self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+__all__ = [
+    "READY_LINE",
+    "ServiceServer",
+    "ServiceThread",
+    "run_service",
+]

@@ -1,0 +1,131 @@
+"""Minimal RFC 6455 WebSocket framing shared by server and client.
+
+Pure byte-level helpers — no sockets, no asyncio — so the async server
+(:mod:`repro.service.server`) and the blocking test client
+(:mod:`repro.service.client`) speak the identical frame format.  Only
+the subset this service needs: unfragmented text/close/ping/pong
+frames, client-side masking (mask keys come from :func:`os.urandom` —
+they are anti-cache-poisoning noise mandated by the RFC, not part of
+any seeded experiment, so the determinism rule for planning RNGs does
+not apply), and 7/16/64-bit payload lengths.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+
+#: Fixed GUID every WebSocket handshake concatenates (RFC 6455 §1.3).
+ACCEPT_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Hard ceiling on a single frame's payload (matches the protocol's
+#: MAX_FRAME_BYTES; anything larger is a hostile or broken peer).
+MAX_PAYLOAD = 8 * 1024 * 1024
+
+
+class WebSocketError(RuntimeError):
+    """A malformed or oversized WebSocket frame."""
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's key."""
+    digest = hashlib.sha1(
+        (client_key.strip() + ACCEPT_GUID).encode("ascii")
+    ).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def mask_payload(payload: bytes, key: bytes) -> bytes:
+    """Apply (or remove — XOR is its own inverse) a 4-byte mask."""
+    if len(key) != 4:
+        raise WebSocketError("mask key must be 4 bytes")
+    repeated = (key * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, repeated))
+
+
+def build_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One final (unfragmented) frame, masked when ``mask`` (clients)."""
+    if len(payload) > MAX_PAYLOAD:
+        raise WebSocketError(
+            f"payload of {len(payload)} bytes exceeds {MAX_PAYLOAD}"
+        )
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        return bytes(head) + key + mask_payload(payload, key)
+    return bytes(head) + payload
+
+
+def parse_header(
+    first_two: bytes,
+) -> tuple[bool, int, bool, int, int]:
+    """Decode a frame's first two bytes.
+
+    Returns ``(fin, opcode, masked, length7, extra_length_bytes)`` where
+    ``extra_length_bytes`` is how many additional bytes (0, 2 or 8) the
+    caller must read to learn the true payload length.
+    """
+    if len(first_two) != 2:
+        raise WebSocketError("truncated frame header")
+    fin = bool(first_two[0] & 0x80)
+    opcode = first_two[0] & 0x0F
+    masked = bool(first_two[1] & 0x80)
+    length7 = first_two[1] & 0x7F
+    extra = 0
+    if length7 == 126:
+        extra = 2
+    elif length7 == 127:
+        extra = 8
+    return fin, opcode, masked, length7, extra
+
+
+def decode_extended_length(length7: int, extra: bytes) -> int:
+    """The true payload length after any extended-length bytes."""
+    if length7 == 126:
+        length = struct.unpack("!H", extra)[0]
+    elif length7 == 127:
+        length = struct.unpack("!Q", extra)[0]
+    else:
+        length = length7
+    if length > MAX_PAYLOAD:
+        raise WebSocketError(
+            f"payload of {length} bytes exceeds {MAX_PAYLOAD}"
+        )
+    return length
+
+
+__all__ = [
+    "ACCEPT_GUID",
+    "MAX_PAYLOAD",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_CONT",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WebSocketError",
+    "accept_key",
+    "build_frame",
+    "decode_extended_length",
+    "mask_payload",
+    "parse_header",
+]

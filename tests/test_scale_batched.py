@@ -267,3 +267,88 @@ class TestPlatformParameter:
         batched.flush()
         assert len(inner.log) == 1
         assert batched.plan is inner.plan
+
+
+class TestShutdownSafety:
+    """The close() contract the service layer stands on (ISSUE 9)."""
+
+    def test_close_flushes_pending_batch_exactly_once(self, platform):
+        platform.enqueue(BudgetChange(0, 30.0))
+        platform.enqueue(BudgetChange(1, 31.0))
+        result = platform.close()
+        assert result.submitted == 2
+        assert len(result.applied) == 2
+        assert platform.queue_depth() == 0
+        assert platform.stats()["flushes"] == 1
+
+    def test_enqueue_after_close_raises_clearly(self, platform):
+        from repro.scale import PlatformClosedError
+
+        platform.close()
+        with pytest.raises(PlatformClosedError, match="closed"):
+            platform.enqueue(BudgetChange(0, 30.0))
+        # The refusal left nothing queued behind the closed flag.
+        assert platform.queue_depth() == 0
+
+    def test_close_is_idempotent(self, platform):
+        platform.enqueue(BudgetChange(0, 30.0))
+        first = platform.close()
+        second = platform.close()
+        third = platform.close()
+        assert len(first.applied) == 1
+        assert second.submitted == 0 and not second.applied
+        assert third.submitted == 0 and not third.applied
+        assert platform.stats()["flushes"] == 1
+        assert platform.closed
+
+    def test_close_propagates_to_inner_platform_once(self, instance):
+        class ClosableInner(EBSNPlatform):
+            closes = 0
+
+            def close(self):
+                type(self).closes += 1
+
+        inner = ClosableInner(instance)
+        batched = BatchedPlatform(platform=inner)
+        batched.publish_plans()
+        batched.enqueue(BudgetChange(0, 30.0))
+        batched.close()
+        batched.close()
+        assert ClosableInner.closes == 1
+        assert len(inner.log) == 1  # the final flush reached the inner
+
+    def test_flush_after_close_is_safe_and_empty(self, platform):
+        platform.close()
+        result = platform.flush()
+        assert result.submitted == 0
+        assert not result.applied
+
+    def test_context_manager_closes(self, instance):
+        with BatchedPlatform(instance) as batched:
+            batched.publish_plans()
+            batched.enqueue(BudgetChange(0, 30.0))
+        assert batched.closed
+        assert batched.queue_depth() == 0
+
+    def test_reads_still_work_after_close(self, platform):
+        platform.enqueue(BudgetChange(0, 30.0))
+        platform.close()
+        assert platform.plan_for(0) is not None
+        assert platform.snapshot()["violations"] == 0
+
+    def test_close_over_durable_seals_the_wal(self, instance, tmp_path):
+        from repro.platform import DurablePlatform
+
+        durable = DurablePlatform(instance, tmp_path, fsync=False)
+        batched = BatchedPlatform(platform=durable)
+        batched.publish_plans()
+        batched.enqueue(BudgetChange(0, 30.0))
+        batched.close()
+        # The pending op was flushed into the WAL before the close.
+        assert durable.seq == 1
+        recovered, report = DurablePlatform.recover(
+            tmp_path, fsync=False
+        )
+        assert report.ok
+        assert report.last_seq == 1
+        recovered.close()

@@ -1,0 +1,241 @@
+"""Concurrent multi-tenant hammering (ISSUE 9 acceptance).
+
+≥8 concurrent clients × ≥4 tenants over both transports.  After the
+dust settles every tenant must be serial-replay equivalent: replaying
+its served ``applied_log`` op-by-op over a fresh in-process platform
+reproduces the exact plan and utility the service reports.  And tenant
+isolation is absolute: a tenant that received no traffic is bit-for-bit
+untouched.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.gepc import GreedySolver
+from repro.core.plan import PlanSummary
+from repro.datasets import MeetupConfig, generate_ebsn
+from repro.platform import EBSNPlatform, OperationStream
+from repro.service import ServiceClient, ServiceThread, WebSocketClient
+
+N_TENANTS = 4
+N_CLIENTS = 8
+FRAMES_PER_CLIENT = 12
+OPS_PER_FRAME = 3
+
+TENANTS = [f"city-{i}" for i in range(N_TENANTS)]
+
+
+def spec_of(name: str) -> dict:
+    index = int(name.rsplit("-", 1)[1])
+    return {
+        "name": name,
+        "kind": "meetup",
+        "users": 16,
+        "events": 8,
+        "seed": 100 + index,
+        "snapshot_every": 8,
+    }
+
+
+def twin_platform(name: str) -> EBSNPlatform:
+    """A fresh in-process platform identical to the tenant's."""
+    spec = spec_of(name)
+    instance = generate_ebsn(
+        MeetupConfig(
+            n_users=spec["users"],
+            n_events=spec["events"],
+            n_groups=4,
+            conflict_ratio=0.35,
+            seed=spec["seed"],
+        )
+    )
+    return EBSNPlatform(
+        instance, solver=GreedySolver(seed=spec["seed"])
+    )
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-concurrency")
+    with ServiceThread(root, backpressure=8) as svc:
+        with ServiceClient(svc.host, svc.port) as client:
+            for name in TENANTS:
+                client.create_tenant(spec_of(name))
+                client.publish(name)
+            # Two extra tenants that must never see hammer traffic.
+            client.create_tenant(spec_of("city-98"))
+            client.create_tenant(spec_of("city-99"))
+            client.publish("city-99")
+        yield svc
+
+
+@pytest.fixture(scope="module")
+def hammered(service):
+    """Run the hammer once; every test inspects its aftermath."""
+    quiet_before = _tenant_state(service, "city-99")
+    errors: list[BaseException] = []
+
+    def hammer(worker: int) -> None:
+        try:
+            # Half the workers speak HTTP, half WebSocket.
+            client_type = (
+                ServiceClient if worker % 2 == 0 else WebSocketClient
+            )
+            with client_type(service.host, service.port) as client:
+                stream = OperationStream(seed=1000 + worker)
+                for frame in range(FRAMES_PER_CLIENT):
+                    tenant = TENANTS[(worker + frame) % N_TENANTS]
+                    # Ops are drawn against the tenant's *published*
+                    # state, so later frames are often stale — the
+                    # service must reject those cleanly, never corrupt.
+                    twin = twin_platform(tenant)
+                    twin.publish_plans()
+                    operations = list(
+                        stream.mixed(
+                            twin.instance, twin.plan, OPS_PER_FRAME
+                        )
+                    )
+                    result = client.submit(tenant, operations)
+                    assert result["violations"] == 0
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(worker,), daemon=True)
+        for worker in range(N_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors, f"hammer workers failed: {errors[:3]}"
+    return {"quiet_before": quiet_before}
+
+
+def _tenant_state(service, name):
+    with ServiceClient(service.host, service.port) as client:
+        summary = client.summary(name)
+        return {
+            "seq": summary["seq"],
+            "utility": summary["audit"]["utility"],
+            "assignments": client.plan_summary(name),
+            "oplog": client.rpc("oplog", tenant=name)["ops"],
+        }
+
+
+class TestSerialReplayEquivalence:
+    @pytest.mark.parametrize("tenant", TENANTS)
+    def test_applied_log_replays_to_identical_state(
+        self, service, hammered, tenant
+    ):
+        with ServiceClient(service.host, service.port) as client:
+            served_assignments = client.plan_summary(tenant)
+            served_utility = client.summary(tenant)["audit"]["utility"]
+            applied = client.oplog(tenant)
+
+        serial = twin_platform(tenant)
+        serial.publish_plans()
+        for operation in applied:
+            # Every op in the applied log was accepted by the service;
+            # serial replay must accept every one of them too.
+            serial.submit(operation)
+
+        assert PlanSummary.of(serial.plan).assignments == tuple(
+            tuple(events) for events in served_assignments
+        )
+        assert serial.audit()["utility"] == served_utility
+        assert serial.audit()["violations"] == 0
+
+    def test_every_tenant_saw_traffic(self, service, hammered):
+        with ServiceClient(service.host, service.port) as client:
+            for tenant in TENANTS:
+                assert client.summary(tenant)["seq"] > 0
+
+
+class TestTenantIsolation:
+    def test_quiet_published_tenant_is_untouched(
+        self, service, hammered
+    ):
+        after = _tenant_state(service, "city-99")
+        assert after == hammered["quiet_before"]
+        assert after["oplog"] == []
+
+    def test_quiet_unpublished_tenant_is_untouched(
+        self, service, hammered
+    ):
+        with ServiceClient(service.host, service.port) as client:
+            quiet = [
+                t for t in client.tenants() if t["name"] == "city-98"
+            ][0]
+        assert quiet["published"] is False
+        assert quiet["seq"] == 0
+
+    def test_tenant_logs_are_disjoint_by_construction(
+        self, service, hammered
+    ):
+        # Cross-tenant leakage would show as one tenant's NewEvent
+        # (sized for its instance) in another's log; sizes differ per
+        # seed, so replaying each log on its own twin (above) plus
+        # distinct seqs here pins isolation.
+        with ServiceClient(service.host, service.port) as client:
+            seqs = {t: client.summary(t)["seq"] for t in TENANTS}
+            logs = {t: len(client.oplog(t)) for t in TENANTS}
+        for tenant in TENANTS:
+            assert seqs[tenant] >= logs[tenant] > 0
+
+
+class TestConcurrentCreation:
+    def test_racing_creates_have_one_winner(self, service):
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def create(worker: int) -> None:
+            with ServiceClient(service.host, service.port) as client:
+                response = client.rpc(
+                    "create", spec=spec_of("city-50"), check=False
+                )
+            with lock:
+                outcomes.append(
+                    "ok" if response.get("ok")
+                    else response["error"]["code"]
+                )
+
+        threads = [
+            threading.Thread(target=create, args=(i,), daemon=True)
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert outcomes.count("ok") == 1
+        assert all(
+            outcome in ("ok", "tenant-exists") for outcome in outcomes
+        )
+
+
+class TestBackpressure:
+    def test_flood_from_one_client_stays_consistent(self, service):
+        # One client fires many single-op frames back to back through
+        # a bounded (8-deep) inbox; afterwards the log still replays.
+        tenant = TENANTS[0]
+        twin = twin_platform(tenant)
+        twin.publish_plans()
+        stream = OperationStream(seed=77)
+        with ServiceClient(service.host, service.port) as client:
+            for _ in range(40):
+                operation = next(
+                    iter(stream.mixed(twin.instance, twin.plan, 1))
+                )
+                client.submit(tenant, [operation])
+            applied = client.oplog(tenant)
+            served = client.plan_summary(tenant)
+
+        serial = twin_platform(tenant)
+        serial.publish_plans()
+        for operation in applied:
+            serial.submit(operation)
+        assert PlanSummary.of(serial.plan).assignments == tuple(
+            tuple(events) for events in served
+        )

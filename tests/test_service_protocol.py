@@ -1,0 +1,317 @@
+"""Service wire-protocol conformance (ISSUE 9).
+
+Every refusal must be a structured error frame with the named code —
+and must leave tenant state provably untouched (same durable seq, same
+plan, same applied log).  Runs against a real in-process server over
+both transports.
+"""
+
+import json
+
+import pytest
+
+from repro.core.iep.operations import BudgetChange
+from repro.service import (
+    PROTOCOL_VERSION,
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    WebSocketClient,
+)
+from repro.service.protocol import (
+    ACTIONS,
+    E_ALREADY_PUBLISHED,
+    E_BAD_FRAME,
+    E_BAD_SPEC,
+    E_INVALID_OP,
+    E_NOT_FOUND,
+    E_NOT_PUBLISHED,
+    E_TENANT_EXISTS,
+    E_UNKNOWN_ACTION,
+    E_UNKNOWN_TENANT,
+    E_VERSION_MISMATCH,
+)
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-protocol")
+    with ServiceThread(root) as svc:
+        with ServiceClient(svc.host, svc.port) as client:
+            client.create_tenant(
+                {"name": "alpha", "kind": "meetup", "users": 12,
+                 "events": 6, "seed": 1}
+            )
+            client.publish("alpha")
+            client.create_tenant(
+                {"name": "beta", "kind": "meetup", "users": 10,
+                 "events": 5, "seed": 2}
+            )
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    with ServiceClient(service.host, service.port) as c:
+        yield c
+
+
+@pytest.fixture()
+def ws_client(service):
+    with WebSocketClient(service.host, service.port) as c:
+        yield c
+
+
+def state_of(client, tenant="alpha"):
+    """Everything an errored frame must not have changed."""
+    summary = client.summary(tenant)
+    return (
+        summary["seq"],
+        client.plan_summary(tenant),
+        client.rpc("oplog", tenant=tenant)["ops"],
+    )
+
+
+class TestFrameValidation:
+    def test_non_json_body_is_bad_frame(self, client):
+        before = state_of(client)
+        status, response = client.raw_post(b"{definitely not json")
+        assert status == 400
+        assert response["ok"] is False
+        assert response["error"]["code"] == E_BAD_FRAME
+        assert state_of(client) == before
+
+    def test_non_object_frame_is_bad_frame(self, client):
+        status, response = client.raw_post(b'[1, 2, 3]')
+        assert status == 400
+        assert response["error"]["code"] == E_BAD_FRAME
+
+    def test_missing_version_is_version_mismatch(self, client):
+        status, response = client.raw_post(
+            json.dumps({"id": 1, "action": "ping"}).encode()
+        )
+        assert status == 400
+        assert response["error"]["code"] == E_VERSION_MISMATCH
+
+    def test_future_version_is_version_mismatch(self, client):
+        before = state_of(client)
+        status, response = client.raw_post(
+            json.dumps(
+                {"v": PROTOCOL_VERSION + 1, "id": 9, "action": "submit",
+                 "tenant": "alpha",
+                 "ops": [{"op": "budget_change", "user": 0,
+                          "new_budget": 1.0}]}
+            ).encode()
+        )
+        assert status == 400
+        assert response["error"]["code"] == E_VERSION_MISMATCH
+        assert response["id"] == 9  # envelope still echoes the id
+        assert state_of(client) == before
+
+    def test_missing_action_is_bad_frame(self, client):
+        status, response = client.raw_post(
+            json.dumps({"v": PROTOCOL_VERSION, "id": 2}).encode()
+        )
+        assert response["error"]["code"] == E_BAD_FRAME
+
+    def test_wrongly_typed_field_is_bad_frame(self, client):
+        response = client.rpc("plan", tenant="alpha", user="zero",
+                              check=False)
+        assert response["error"]["code"] == E_BAD_FRAME
+
+    def test_unknown_action(self, client):
+        response = client.rpc("frobnicate", check=False)
+        assert response["error"]["code"] == E_UNKNOWN_ACTION
+
+    def test_action_set_is_pinned(self):
+        # Extending the protocol must update docs/service.md alongside.
+        assert ACTIONS == (
+            "ping", "tenants", "create", "publish", "submit", "plan",
+            "attendees", "summary", "plan-summary", "oplog",
+        )
+
+
+class TestTenantErrors:
+    def test_unknown_tenant(self, client):
+        response = client.rpc("summary", tenant="ghost", check=False)
+        assert response["error"]["code"] == E_UNKNOWN_TENANT
+
+    def test_duplicate_create_is_tenant_exists(self, client):
+        before = state_of(client)
+        with pytest.raises(ServiceError) as err:
+            client.create_tenant({"name": "alpha", "kind": "meetup"})
+        assert err.value.code == E_TENANT_EXISTS
+        assert state_of(client) == before
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"name": "Bad Name!"},
+            {"name": "../escape"},
+            {"name": "okname", "kind": "volcano"},
+            {"name": "okname", "kind": "city", "city": "atlantis"},
+            {"name": "okname", "snapshot_every": 0},
+            {"name": "okname", "users": "many"},
+        ],
+    )
+    def test_invalid_specs_are_bad_spec(self, client, spec):
+        with pytest.raises(ServiceError) as err:
+            client.create_tenant(spec)
+        assert err.value.code == E_BAD_SPEC
+
+    def test_submit_before_publish_is_not_published(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.submit("beta", [BudgetChange(0, 30.0)])
+        assert err.value.code == E_NOT_PUBLISHED
+        # Nothing may have reached beta's WAL.
+        assert all(
+            t["seq"] == 0 for t in client.tenants()
+            if t["name"] == "beta"
+        )
+
+    def test_reads_before_publish_are_not_published(self, client):
+        for action, fields in (
+            ("plan", {"user": 0}),
+            ("attendees", {"event": 0}),
+            ("summary", {}),
+            ("plan-summary", {}),
+            ("oplog", {}),
+        ):
+            response = client.rpc(
+                action, tenant="beta", check=False, **fields
+            )
+            assert response["error"]["code"] == E_NOT_PUBLISHED, action
+
+    def test_double_publish_is_already_published(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.publish("alpha")
+        assert err.value.code == E_ALREADY_PUBLISHED
+
+
+class TestOperationValidation:
+    def test_malformed_ops_rejected_whole_frame(self, client):
+        before = state_of(client)
+        for ops in (
+            [],                              # empty list
+            "not a list",
+            [{"no_op_tag": True}],
+            [{"op": "warp_reality"}],
+            [{"op": "budget_change", "user": 0}],  # missing field
+            [{"op": "budget_change", "user": 0, "new_budget": 1.0},
+             {"op": "nonsense"}],             # one bad op poisons frame
+        ):
+            response = client.rpc(
+                "submit", tenant="alpha", ops=ops, check=False
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == E_INVALID_OP
+        assert state_of(client) == before
+
+    def test_out_of_range_ids(self, client):
+        response = client.rpc("plan", tenant="alpha", user=10_000,
+                              check=False)
+        assert response["error"]["code"] == E_NOT_FOUND
+        response = client.rpc("attendees", tenant="alpha", event=-1,
+                              check=False)
+        assert response["error"]["code"] == E_NOT_FOUND
+
+    def test_stale_operation_is_reported_not_raised(self, client):
+        # An op the engine refuses is a structured per-op rejection in
+        # an ok frame (the frame itself was well-formed).
+        before_seq = client.summary("alpha")["seq"]
+        result = client.submit("alpha", [BudgetChange(0, -1.0)])
+        assert result["applied"] == 0
+        assert len(result["rejected"]) == 1
+        assert result["rejected"][0]["reason"]
+        # The rejected op still consumed a WAL seq (reject-marked).
+        assert result["seq"] == before_seq + 1
+        assert client.rpc("oplog", tenant="alpha")["ops"] == state_of(
+            client
+        )[2]
+
+
+class TestTransports:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["ok"] is True
+        assert health["tenants"] == 2
+
+    def test_unknown_route_is_404(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection(service.host, service.port)
+        conn.request("GET", "/v2/nothing")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+    def test_tenants_alias_route(self, service):
+        import http.client
+
+        conn = http.client.HTTPConnection(service.host, service.port)
+        conn.request("GET", "/v1/tenants")
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 200
+        assert {t["name"] for t in payload["tenants"]} == {
+            "alpha", "beta"
+        }
+        conn.close()
+
+    def test_websocket_speaks_the_same_protocol(self, ws_client):
+        assert ws_client.ping()["pong"] is True
+        response = ws_client.rpc("summary", tenant="ghost", check=False)
+        assert response["error"]["code"] == E_UNKNOWN_TENANT
+
+    def test_websocket_bad_frame_keeps_stream_alive(self, ws_client):
+        ws_client.send_text("this is not json")
+        response = json.loads(ws_client.recv_text())
+        assert response["error"]["code"] == E_BAD_FRAME
+        # The stream survives the error and keeps serving.
+        assert ws_client.ping()["pong"] is True
+
+    def test_websocket_wrong_path_is_refused(self, service):
+        import base64
+        import os
+        import socket
+
+        sock = socket.create_connection(
+            (service.host, service.port), timeout=10
+        )
+        key = base64.b64encode(os.urandom(16)).decode()
+        sock.sendall(
+            (
+                "GET /wrong/path HTTP/1.1\r\n"
+                f"host: {service.host}\r\n"
+                "upgrade: websocket\r\n"
+                "connection: Upgrade\r\n"
+                f"sec-websocket-key: {key}\r\n\r\n"
+            ).encode()
+        )
+        status = sock.recv(4096).decode("latin-1").split("\r\n")[0]
+        assert "101" not in status
+        sock.close()
+
+    def test_http_and_ws_share_state(self, client, ws_client):
+        http_view = client.plan_summary("alpha")
+        ws_view = ws_client.plan_summary("alpha")
+        assert http_view == ws_view
+
+
+class TestErrorEnvelope:
+    def test_error_frames_echo_version_and_id(self, client):
+        response = client.rpc("nope", check=False)
+        assert response["v"] == PROTOCOL_VERSION
+        assert response["id"] is not None
+        assert set(response["error"]) == {"code", "message"}
+
+    def test_http_statuses_match_error_classes(self, client):
+        cases = [
+            (b"garbage", 400),
+            (json.dumps({"v": 1, "action": "summary",
+                         "tenant": "ghost"}).encode(), 404),
+            (json.dumps({"v": 1, "action": "create",
+                         "spec": {"name": "alpha"}}).encode(), 409),
+        ]
+        for body, expected_status in cases:
+            status, _ = client.raw_post(body)
+            assert status == expected_status
