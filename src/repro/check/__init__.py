@@ -24,7 +24,12 @@ state honest:
 * :func:`run_service_fuzz` drives seeded operation streams through the
   real planning-service client/server loop and holds every frame in
   lockstep against an in-process oracle (surfaced as
-  ``repro-gepc fuzz --service``; see ``docs/service.md``).
+  ``repro-gepc fuzz --service``; see ``docs/service.md``);
+* :mod:`repro.check.lockdep` instruments ``threading`` lock creation to
+  record the runtime lock-acquisition order (cross-checked against the
+  static RL010 declared-order table) and heartbeats the service event
+  loop to catch stalls — rides along with the service fuzz leg under
+  ``REPRO_SHADOW_CHECKS=1``.
 
 See ``docs/correctness.md`` for the full guide.
 """
@@ -40,6 +45,13 @@ from repro.check.crashfuzz import (
     run_twin,
 )
 from repro.check.fuzz import FuzzConfig, FuzzSummary, SeedReport, fuzz_seed, run_fuzz
+from repro.check.lockdep import (
+    LockDep,
+    LockDepSummary,
+    LoopWatchdog,
+    lockdep_checks,
+    maybe_lockdep,
+)
 from repro.check.servicefuzz import (
     ServiceFuzzConfig,
     ServiceFuzzSummary,
@@ -66,6 +78,9 @@ __all__ = [
     "FuzzConfig",
     "FuzzSummary",
     "InvariantAuditor",
+    "LockDep",
+    "LockDepSummary",
+    "LoopWatchdog",
     "SeedReport",
     "ServiceFuzzConfig",
     "ServiceFuzzSummary",
@@ -75,6 +90,8 @@ __all__ = [
     "TwinState",
     "crash_fuzz_seed",
     "fuzz_seed",
+    "lockdep_checks",
+    "maybe_lockdep",
     "maybe_shadow_checks",
     "run_crash_fuzz",
     "run_fuzz",

@@ -33,6 +33,7 @@ import tempfile
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.check.lockdep import LockDepSummary, LoopWatchdog, maybe_lockdep
 from repro.core.gepc.greedy import GreedySolver
 from repro.core.plan import PlanSummary
 from repro.datasets.meetup import MeetupConfig, generate_ebsn
@@ -78,9 +79,13 @@ class ServiceFuzzSummary:
     """Aggregate over all service-fuzzed seeds."""
 
     reports: list[ServiceSeedReport] = field(default_factory=list)
+    #: Populated when the run was instrumented (REPRO_SHADOW_CHECKS=1).
+    lockdep: LockDepSummary | None = None
 
     @property
     def ok(self) -> bool:
+        if self.lockdep is not None and not self.lockdep.ok:
+            return False
         return all(report.ok for report in self.reports)
 
     @property
@@ -222,27 +227,59 @@ def service_fuzz_seed(
 def run_service_fuzz(
     seeds: Iterable[int], config: ServiceFuzzConfig | None = None
 ) -> ServiceFuzzSummary:
-    """Service-fuzz every seed against one shared in-process service."""
+    """Service-fuzz every seed against one shared in-process service.
+
+    Under ``REPRO_SHADOW_CHECKS=1`` the run is additionally instrumented
+    by :mod:`repro.check.lockdep`: every lock the service stack creates
+    records its acquisition-order edges (cross-checked against the
+    static RL010 table afterwards) and a watchdog thread heartbeats the
+    service event loop to catch blocking work that escaped the RL009
+    executor discipline.
+    """
     obs = get_recorder()
     config = config or ServiceFuzzConfig()
     summary = ServiceFuzzSummary()
-    with tempfile.TemporaryDirectory(prefix="servicefuzz-") as root:
-        with obs.span("check.servicefuzz"), ServiceThread(root) as service:
-            for seed in seeds:
-                with obs.span("seed"):
-                    report = service_fuzz_seed(seed, service, config)
-                summary.reports.append(report)
-                obs.count("check.servicefuzz.seeds")
-                obs.count(
-                    "check.servicefuzz.operations", report.operations
-                )
-                obs.count("check.servicefuzz.checks", report.checks)
-                obs.count(
-                    "check.servicefuzz.mismatches", len(report.mismatches)
-                )
-                obs.count(
-                    "check.servicefuzz.violations", len(report.violations)
-                )
+    # Install before the service starts so the manager/tenant/platform
+    # locks are all created through the instrumented factories.
+    with maybe_lockdep() as dep:
+        with tempfile.TemporaryDirectory(prefix="servicefuzz-") as root:
+            with (
+                obs.span("check.servicefuzz"),
+                ServiceThread(root) as service,
+            ):
+                watchdog = None
+                if dep is not None and service.loop is not None:
+                    watchdog = LoopWatchdog(
+                        service.loop, sink=dep.stalls
+                    ).start()
+                try:
+                    for seed in seeds:
+                        with obs.span("seed"):
+                            report = service_fuzz_seed(
+                                seed, service, config
+                            )
+                        summary.reports.append(report)
+                        obs.count("check.servicefuzz.seeds")
+                        obs.count(
+                            "check.servicefuzz.operations",
+                            report.operations,
+                        )
+                        obs.count(
+                            "check.servicefuzz.checks", report.checks
+                        )
+                        obs.count(
+                            "check.servicefuzz.mismatches",
+                            len(report.mismatches),
+                        )
+                        obs.count(
+                            "check.servicefuzz.violations",
+                            len(report.violations),
+                        )
+                finally:
+                    if watchdog is not None:
+                        watchdog.stop()
+    if dep is not None:
+        summary.lockdep = dep.summarize()
     return summary
 
 

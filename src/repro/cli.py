@@ -388,6 +388,20 @@ def _fuzz_service(args: argparse.Namespace) -> int:
             ]],
         )
     )
+    if summary.lockdep is not None:
+        dep = summary.lockdep
+        print(
+            f"lockdep: {dep.locks} lock(s), {dep.acquisitions} "
+            f"acquisition(s), {dep.edges} order edge(s) "
+            f"({dep.identified} mapped to declared identities), "
+            f"{len(dep.violations)} violation(s), "
+            f"{len(dep.cycles)} cycle(s), {len(dep.stalls)} "
+            "loop stall(s)"
+        )
+        for problem in dep.violations + dep.cycles:
+            print(f"  {problem}", file=sys.stderr)
+        for stall in dep.stalls[:5]:
+            print(f"  advisory: {stall}", file=sys.stderr)
     for report in summary.failures():
         print(f"seed {report.seed} FAILED:", file=sys.stderr)
         for mismatch in report.mismatches[:10]:

@@ -9,14 +9,23 @@ statically, on every line, at CI time.
 
 Rules (see ``docs/linting.md`` for the full catalogue and rationale):
 
-========  ====================  ===========================================
-RL001     cache-discipline      solver caches written only by their owners
-RL002     tolerance-discipline  budget/cost comparisons use BUDGET_TOL
-RL003     lock-discipline       ``# guarded-by:`` attrs accessed under lock
-RL004     leaked-mutable-array  public APIs freeze/copy cache ndarrays
-RL005     determinism           seeded RNGs; no set-order-dependent loops
-RL006     obs-coverage          entry points open a repro.obs span
-========  ====================  ===========================================
+========  =========================  ======================================
+RL001     cache-discipline           solver caches written only by owners
+RL002     tolerance-discipline       budget comparisons use BUDGET_TOL
+RL003     lock-discipline            guarded-by attrs accessed under lock
+RL004     leaked-mutable-array       public APIs freeze/copy cache ndarrays
+RL005     determinism                seeded RNGs; no set-order loops
+RL006     obs-coverage               entry points open a repro.obs span
+RL007     shm-discipline             shared-memory planes torn down safely
+RL008     dense-materialisation      no dense planes outside the backend
+RL009     async-blocking-discipline  no blocking call paths from async defs
+RL010     lock-order-discipline      acyclic global lock-acquisition order
+RL011     guarded-by-escape          RL003 + loop confinement, cross-function
+========  =========================  ======================================
+
+RL009-RL011 are *project rules*: they run over a call graph built from
+every module at once (:mod:`repro.lint.callgraph`) with effect
+summaries propagated to a fixpoint (:mod:`repro.lint.interproc`).
 
 Suppress a deliberate violation inline with a reason::
 

@@ -6,6 +6,7 @@ Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -44,6 +45,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to run (e.g. RL001,RL003)",
     )
     parser.add_argument(
+        "--rule", default=None, metavar="CODE",
+        help="run a single rule (shorthand for --select CODE)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print witness paths (blocking chains, lock-order cycles) "
+        "under each finding as file:line hops",
+    )
+    parser.add_argument(
+        "--callgraph-json", default=None, metavar="PATH",
+        help="also dump the project call graph as JSON to PATH "
+        "(see docs/linting.md for the shape)",
+    )
+    parser.add_argument(
         "--config", default=None, metavar="PYPROJECT",
         help="explicit pyproject.toml to read [tool.repro-lint] from",
     )
@@ -66,8 +81,15 @@ def run(args: argparse.Namespace) -> int:
         print(list_rules())
         return 0
     select = None
+    selected: list[str] = []
     if args.select:
-        select = [code.strip().upper() for code in args.select.split(",")]
+        selected.extend(
+            code.strip().upper() for code in args.select.split(",")
+        )
+    if args.rule:
+        selected.append(args.rule.strip().upper())
+    if selected:
+        select = sorted(set(selected))
         unknown = [code for code in select if code not in RULES]
         if unknown:
             print(
@@ -85,10 +107,18 @@ def run(args: argparse.Namespace) -> int:
         return 2
     config = load_config(pyproject=config_path)
     result = run_lint(args.paths or None, config=config, select=select)
+    if args.callgraph_json:
+        from repro.lint.callgraph import dump_callgraph
+
+        payload = dump_callgraph(args.paths or None, config=config)
+        Path(args.callgraph_json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     if args.format == "json":
         print(render_json(result))
     else:
-        print(render_text(result))
+        print(render_text(result, explain=args.explain))
     return 0 if result.ok else 1
 
 

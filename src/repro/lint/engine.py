@@ -1,10 +1,13 @@
 """The repro-lint engine: walk files, run rules, apply suppressions.
 
 One :class:`~repro.lint.context.ModuleContext` is built per file; every
-selected rule walks the same tree.  Inline suppressions are resolved
-afterwards so unused markers can be reported (``RL000``).  Files that do
-not parse yield a single ``RL900 parse-error`` finding instead of
-aborting the run.
+selected rule walks the same tree.  Project rules
+(:class:`~repro.lint.registry.ProjectRule`) then run once over *all*
+contexts, sharing a single call graph, so interprocedural findings land
+in the same per-file suppression pass as everything else.  Inline
+suppressions are resolved afterwards so unused markers can be reported
+(``RL000``).  Files that do not parse yield a single ``RL900
+parse-error`` finding instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import repro.lint.rules  # noqa: F401  (populates the registry)
 from repro.lint.config import LintConfig, load_config
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
-from repro.lint.registry import RULES, Rule, instantiate_rules
+from repro.lint.registry import RULES, ProjectRule, Rule, instantiate_rules
 from repro.lint.suppressions import apply_suppressions
 
 PARSE_ERROR_CODE = "RL900"
@@ -104,26 +107,33 @@ def lint_source(
     return result
 
 
-def run_lint(
+def collect_contexts(
     paths: list[str | Path] | None = None,
     *,
     config: LintConfig | None = None,
-    select: list[str] | None = None,
-) -> LintResult:
-    """Lint files/directories; defaults come from ``[tool.repro-lint]``."""
+) -> tuple[list[ModuleContext], list[Finding], int]:
+    """Parse a source tree into module contexts.
+
+    Returns ``(contexts, errors, files)`` where ``errors`` are the
+    ``RL900`` findings for unreadable/unparseable files (those files
+    still count towards ``files``).  Shared by :func:`run_lint` and the
+    ``--callgraph-json`` dump.
+    """
     if config is None:
         config = load_config()
     if paths:
         roots = [Path(p) for p in paths]
     else:
         roots = [config.root / p for p in config.paths]
-    rules = instantiate_rules(config.rule_options, select)
-    total = LintResult()
+    contexts: list[ModuleContext] = []
+    errors: list[Finding] = []
+    files = 0
     for path in iter_python_files(roots, config.exclude):
+        files += 1
         try:
             source = path.read_text(encoding="utf-8")
         except OSError as error:  # pragma: no cover - unreadable file
-            total.findings.append(
+            errors.append(
                 Finding(
                     path=str(path),
                     line=1,
@@ -134,15 +144,66 @@ def run_lint(
                 )
             )
             continue
-        result = lint_source(
-            source,
-            module=module_name_for(path),
-            path=str(path),
-            rules=rules,
+        try:
+            contexts.append(
+                ModuleContext.from_source(
+                    source,
+                    path=str(path),
+                    module=module_name_for(path),
+                )
+            )
+        except SyntaxError as error:
+            errors.append(
+                Finding(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    code=PARSE_ERROR_CODE,
+                    name="parse-error",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+    return contexts, errors, files
+
+
+def run_lint(
+    paths: list[str | Path] | None = None,
+    *,
+    config: LintConfig | None = None,
+    select: list[str] | None = None,
+) -> LintResult:
+    """Lint files/directories; defaults come from ``[tool.repro-lint]``."""
+    if config is None:
+        config = load_config()
+    rules = instantiate_rules(config.rule_options, select)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    contexts, errors, files = collect_contexts(paths, config=config)
+    total = LintResult(files=files)
+    total.findings.extend(errors)
+    by_path: dict[str, list[Finding]] = {}
+    for context in contexts:
+        bucket = by_path.setdefault(context.path, [])
+        for rule in module_rules:
+            bucket.extend(rule.check(context))
+    if project_rules and contexts:
+        from repro.lint.callgraph import CallGraph
+
+        graph = CallGraph.build(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(contexts, graph):
+                by_path.setdefault(finding.path, []).append(finding)
+    known = set(RULES)
+    context_paths = {context.path for context in contexts}
+    for context in contexts:
+        kept, suppressed = apply_suppressions(
+            context, by_path.get(context.path, []), known
         )
-        total.findings.extend(result.findings)
-        total.suppressed.extend(result.suppressed)
-        total.files += 1
+        total.findings.extend(kept)
+        total.suppressed.extend(suppressed)
+    for path, findings in by_path.items():
+        if path not in context_paths:  # pragma: no cover - defensive
+            total.findings.extend(findings)
     total.findings.sort()
     total.suppressed.sort()
     return total

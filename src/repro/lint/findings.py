@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, order=True)
@@ -10,7 +10,10 @@ class Finding:
     """One rule violation at one source location.
 
     Ordered by ``(path, line, column, code)`` so reports are stable across
-    runs and across rule-execution order.
+    runs and across rule-execution order.  ``detail`` carries an optional
+    multi-line elaboration (interprocedural witness paths, lock-order
+    cycles) rendered only under ``--explain``; it never participates in
+    ordering or equality and is omitted from the JSON shape when empty.
     """
 
     path: str
@@ -19,6 +22,7 @@ class Finding:
     code: str
     name: str
     message: str
+    detail: str = field(default="", compare=False)
 
     def format(self) -> str:
         return (
@@ -28,7 +32,7 @@ class Finding:
 
     def to_dict(self) -> dict[str, object]:
         """The JSON-reporter shape (``docs/linting.md`` documents it)."""
-        return {
+        shape: dict[str, object] = {
             "code": self.code,
             "name": self.name,
             "message": self.message,
@@ -36,3 +40,6 @@ class Finding:
             "line": self.line,
             "column": self.column,
         }
+        if self.detail:
+            shape["detail"] = self.detail
+        return shape

@@ -56,6 +56,47 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that analyses the whole project at once.
+
+    Project rules see every parsed module together (plus the shared
+    :class:`~repro.lint.callgraph.CallGraph` the engine builds once per
+    run) so they can reason interprocedurally.  ``check`` remains usable
+    for single-module fixtures: it builds a one-module graph on the fly.
+    Findings are anchored at ordinary source locations, so the usual
+    inline suppressions apply.
+    """
+
+    def check(self, context: ModuleContext) -> list[Finding]:
+        from repro.lint.callgraph import CallGraph
+
+        return self.check_project([context], CallGraph.build([context]))
+
+    def check_project(
+        self, contexts: list[ModuleContext], graph: "Any"
+    ) -> list[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self,
+        path: str,
+        line: int,
+        column: int,
+        message: str,
+        detail: str = "",
+    ) -> Finding:
+        """Build a finding from raw coordinates (no single-module context)."""
+        return Finding(
+            path=path,
+            line=line,
+            column=column,
+            code=self.code,
+            name=self.name,
+            message=message,
+            detail=detail,
+        )
+
+
 def register(cls: type[Rule]) -> type[Rule]:
     """Class decorator adding a rule to the registry (keyed by code)."""
     if cls.code in RULES:

@@ -22,8 +22,15 @@ from repro.lint.engine import LintResult
 JSON_SCHEMA_VERSION = 1
 
 
-def render_text(result: LintResult) -> str:
-    lines = [finding.format() for finding in result.findings]
+def render_text(result: LintResult, *, explain: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(finding.format())
+        if explain and finding.detail:
+            lines.extend(
+                "    " + detail_line
+                for detail_line in finding.detail.splitlines()
+            )
     summary = (
         f"{len(result.findings)} finding(s), "
         f"{len(result.suppressed)} suppressed, "

@@ -9,6 +9,9 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     rl006_obs,
     rl007_shm,
     rl008_dense,
+    rl009_async,
+    rl010_lockorder,
+    rl011_guard_escape,
 )
 from repro.lint.rules.rl001_cache import CacheDiscipline
 from repro.lint.rules.rl002_tolerance import ToleranceDiscipline
@@ -18,6 +21,9 @@ from repro.lint.rules.rl005_determinism import Determinism
 from repro.lint.rules.rl006_obs import ObsCoverage
 from repro.lint.rules.rl007_shm import ShmDiscipline
 from repro.lint.rules.rl008_dense import DenseMaterialisationDiscipline
+from repro.lint.rules.rl009_async import AsyncBlockingDiscipline
+from repro.lint.rules.rl010_lockorder import LockOrderDiscipline
+from repro.lint.rules.rl011_guard_escape import GuardedByEscape
 
 __all__ = [
     "CacheDiscipline",
@@ -28,4 +34,7 @@ __all__ = [
     "ObsCoverage",
     "ShmDiscipline",
     "DenseMaterialisationDiscipline",
+    "AsyncBlockingDiscipline",
+    "LockOrderDiscipline",
+    "GuardedByEscape",
 ]

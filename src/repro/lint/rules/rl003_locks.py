@@ -15,14 +15,17 @@ PR-4 concurrency tests can only probe, not prove.
 from __future__ import annotations
 
 import ast
-import re
 
+from repro.lint.annotations import (
+    GUARDED_BY_RE,
+    SELF_ATTR_RE,
+    declarations_for_span,
+)
 from repro.lint.context import ModuleContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-GUARDED_BY_RE = re.compile(r"guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
-SELF_ATTR_RE = re.compile(r"self\.([A-Za-z_]\w*)")
+__all__ = ["GUARDED_BY_RE", "SELF_ATTR_RE", "LockDiscipline"]
 
 
 @register
@@ -47,22 +50,14 @@ class LockDiscipline(Rule):
     def _declarations(
         self, context: ModuleContext, cls: ast.ClassDef
     ) -> dict[str, tuple[str, int]]:
-        """``attr -> (lock, declaration line)`` from guarded-by comments."""
-        declarations: dict[str, tuple[str, int]] = {}
+        """``attr -> (lock, declaration line)`` from guarded-by comments.
+
+        Parsing is shared with RL011 (:mod:`repro.lint.annotations`) so
+        every historical spelling of the marker binds identically in
+        the intra- and interprocedural checks.
+        """
         end = cls.end_lineno or cls.lineno
-        for line in range(cls.lineno, end + 1):
-            comment = context.comments.get(line)
-            if comment is None:
-                continue
-            guarded = GUARDED_BY_RE.search(comment)
-            if guarded is None:
-                continue
-            code_text = context.line_code(line)
-            attr = SELF_ATTR_RE.search(code_text)
-            if attr is None:
-                continue  # marker must sit on the attribute's assignment
-            declarations[attr.group(1)] = (guarded.group(1), line)
-        return declarations
+        return declarations_for_span(context, cls.lineno, end).guarded
 
     def _check_class(
         self, context: ModuleContext, cls: ast.ClassDef

@@ -1,0 +1,102 @@
+"""RL010 lock-order-discipline: one global lock-acquisition order.
+
+The acquisition-order graph is built from ``with <lock>:`` nesting and
+from calls made while a lock is held (following the call graph, so a
+helper that takes ``_queue_lock`` inherits an edge from every caller
+holding ``_state_lock``).  Any cycle is a potential ABBA deadlock.  A
+``declared_order`` table (``[tool.repro-lint.rules.rl010]`` in
+``pyproject.toml``) additionally pins the sanctioned order for named
+locks: an observed edge contradicting the table is a finding even
+before a full cycle exists.  ``--explain`` prints each edge of the
+offending cycle as a path of ``file:line`` acquisition sites; the
+runtime validator in :mod:`repro.check.lockdep` cross-checks the same
+table against orders observed during the service fuzz.
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.interproc import (
+    InterproceduralAnalysis,
+    OrderEdge,
+    find_cycles,
+)
+from repro.lint.registry import ProjectRule, register
+
+
+@register
+class LockOrderDiscipline(ProjectRule):
+    code = "RL010"
+    name = "lock-order-discipline"
+    description = (
+        "the global lock-acquisition-order graph must be acyclic and "
+        "respect the declared_order table"
+    )
+    default_options: dict[str, object] = {
+        # Outermost-first lock identities ("module:Class.attr"); an
+        # observed acquisition edge running against this order is a
+        # finding.  The committed table lives in pyproject.toml.
+        "declared_order": [
+            "repro.scale.batched:BatchedPlatform._state_lock",
+            "repro.scale.batched:BatchedPlatform._queue_lock",
+        ],
+    }
+
+    def check_project(
+        self, contexts: list[ModuleContext], graph: CallGraph
+    ) -> list[Finding]:
+        analysis = InterproceduralAnalysis(graph)
+        edges = analysis.order_edges()
+        findings: list[Finding] = []
+        for cycle in find_cycles(edges):
+            locks = [edge.first for edge in cycle]
+            ring = " -> ".join(locks + [cycle[0].first])
+            anchor = cycle[0].witness[0]
+            findings.append(
+                self.project_finding(
+                    anchor[0],
+                    anchor[1],
+                    0,
+                    f"lock-order cycle (potential deadlock): {ring}",
+                    detail=self._cycle_detail(cycle),
+                )
+            )
+        declared = [str(lock) for lock in self.options["declared_order"]]
+        rank = {identity: index for index, identity in enumerate(declared)}
+        for edge in sorted(edges, key=lambda e: (e.first, e.second)):
+            if edge.first not in rank or edge.second not in rank:
+                continue
+            if rank[edge.first] <= rank[edge.second]:
+                continue
+            anchor = edge.witness[0]
+            findings.append(
+                self.project_finding(
+                    anchor[0],
+                    anchor[1],
+                    0,
+                    f"'{edge.second}' is declared before "
+                    f"'{edge.first}' in the lock-order table, but "
+                    f"'{edge.function}' acquires them in the "
+                    "opposite order",
+                    detail=self._edge_detail(edge),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _edge_detail(edge: OrderEdge) -> str:
+        hops = " -> ".join(
+            f"{path}:{line}" for path, line in edge.witness
+        )
+        return (
+            f"{edge.first} then {edge.second} in {edge.function}: {hops}"
+        )
+
+    @classmethod
+    def _cycle_detail(cls, cycle: list[OrderEdge]) -> str:
+        lines = ["lock-order cycle:"]
+        for edge in cycle:
+            lines.append("  " + cls._edge_detail(edge))
+        return "\n".join(lines)

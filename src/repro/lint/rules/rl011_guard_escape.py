@@ -1,0 +1,120 @@
+"""RL011 guarded-by-escape: RL003, extended across the call graph.
+
+RL003 proves each *method* keeps ``guarded-by:`` attributes under their
+lock; this rule closes the three escape hatches it cannot see:
+
+* a public entry point calling a same-class helper that touches a
+  guarded attribute, where no path into the helper holds the lock
+  (attribution follows self-calls to a fixpoint, so helpers that are
+  *always* called under the lock stay clean);
+* direct access to another object's guarded attribute from outside the
+  owning class without holding that object's lock (receiver types come
+  from the call graph's annotation inference);
+* access to a ``# loop-confined`` attribute from code that can run on
+  executor threads (anything reachable from a
+  ``run_in_executor``/``to_thread``/``run_write`` dispatch).
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.interproc import Exposure, InterproceduralAnalysis
+from repro.lint.registry import ProjectRule, register
+
+
+@register
+class GuardedByEscape(ProjectRule):
+    code = "RL011"
+    name = "guarded-by-escape"
+    description = (
+        "'# guarded-by:' attributes must stay under their lock across "
+        "function boundaries; '# loop-confined' attributes must stay "
+        "off executor threads"
+    )
+    default_options = {
+        "exempt_methods": ["__init__", "__del__", "__new__"],
+    }
+
+    def check_project(
+        self, contexts: list[ModuleContext], graph: CallGraph
+    ) -> list[Finding]:
+        exempt = frozenset(self.options["exempt_methods"])
+        analysis = InterproceduralAnalysis(graph, exempt_methods=exempt)
+        findings: list[Finding] = []
+        for fn in graph.functions.values():
+            if fn.name in exempt:
+                continue
+            if fn.cls is not None and self._is_public(fn.name):
+                for exposure in analysis.exposures(fn.key):
+                    if not exposure.chain:
+                        continue  # local unlocked access is RL003's job
+                    _, hop_path, hop_line = exposure.chain[0]
+                    findings.append(
+                        self.project_finding(
+                            hop_path,
+                            hop_line,
+                            0,
+                            f"'{fn.qualname}' lets guarded attribute "
+                            f"'{exposure.attr}' (guarded by "
+                            f"{exposure.needed}) escape: the call "
+                            f"path reaches an access at "
+                            f"{exposure.site[0]}:{exposure.site[1]} "
+                            "with no lock held on any hop",
+                            detail=self._exposure_detail(fn.qualname, exposure),
+                        )
+                    )
+            for access in fn.guard_accesses:
+                if not access.cross_class:
+                    continue
+                if access.needed in access.held:
+                    continue
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        access.line,
+                        access.col,
+                        f"'{fn.qualname}' accesses '{access.attr}' of "
+                        f"{access.owner} (guarded by {access.needed}) "
+                        "from outside the owning class without "
+                        "holding its lock",
+                    )
+                )
+        tainted = analysis.executor_tainted()
+        for key in sorted(tainted):
+            fn = graph.functions[key]
+            if fn.name in exempt:
+                continue
+            for confined in fn.confined_accesses:
+                findings.append(
+                    self.project_finding(
+                        fn.path,
+                        confined.line,
+                        confined.col,
+                        f"loop-confined attribute '{confined.attr}' of "
+                        f"{confined.owner} accessed from "
+                        f"'{fn.qualname}', which can run on an "
+                        "executor thread (reachable from a "
+                        "run_in_executor/to_thread dispatch)",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_public(name: str) -> bool:
+        if name.startswith("__") and name.endswith("__"):
+            return True  # dunders are called from outside the class
+        return not name.startswith("_")
+
+    @staticmethod
+    def _exposure_detail(root: str, exposure: Exposure) -> str:
+        lines = [f"escape path from {root}:"]
+        for qualname, path, line in exposure.chain:
+            lines.append(f"  -> {qualname} (called at {path}:{line})")
+        lines.append(
+            f"  touches {exposure.attr} at "
+            f"{exposure.site[0]}:{exposure.site[1]} without "
+            f"{exposure.needed}"
+        )
+        return "\n".join(lines)

@@ -144,11 +144,14 @@ class PlanningApp:
     # Actions
     # ------------------------------------------------------------------ #
 
-    def _tenant(self, frame: dict[str, Any]) -> Tenant:
-        return self.manager.get(require(frame, "tenant", str))
+    async def _tenant(self, frame: dict[str, Any]) -> Tenant:
+        # The registry lookup takes the manager's lock — an executor hop
+        # keeps that (briefly) blocking wait off the event loop (RL009).
+        name = require(frame, "tenant", str)
+        return await self._read(lambda: self.manager.get(name))
 
-    def _published_tenant(self, frame: dict[str, Any]) -> Tenant:
-        tenant = self._tenant(frame)
+    async def _published_tenant(self, frame: dict[str, Any]) -> Tenant:
+        tenant = await self._tenant(frame)
         if not tenant.published:
             # EBSNPlatform.submit raises RuntimeError pre-publish, which
             # is *not* in its rejection contract — refuse at the
@@ -163,10 +166,11 @@ class PlanningApp:
         return await asyncio.get_running_loop().run_in_executor(None, fn)
 
     async def _do_ping(self, frame: dict[str, Any]) -> dict[str, Any]:
-        return {"pong": True, "tenants": len(self.manager)}
+        count = await self._read(lambda: len(self.manager))
+        return {"pong": True, "tenants": count}
 
     async def _do_tenants(self, frame: dict[str, Any]) -> dict[str, Any]:
-        return {"tenants": self.manager.describe_all()}
+        return {"tenants": await self._read(self.manager.describe_all)}
 
     async def _do_create(self, frame: dict[str, Any]) -> dict[str, Any]:
         spec = TenantSpec.from_dict(require(frame, "spec", dict))
@@ -175,13 +179,13 @@ class PlanningApp:
         return {"tenant": tenant.describe()}
 
     async def _do_publish(self, frame: dict[str, Any]) -> dict[str, Any]:
-        tenant = self._tenant(frame)
+        tenant = await self._tenant(frame)
         if tenant.published:
             raise ProtocolError(
                 E_ALREADY_PUBLISHED,
                 f"tenant {tenant.name!r} already published its plans",
             )
-        if self.manager.closing:
+        if await self._read(lambda: self.manager.closing):
             raise ProtocolError(
                 E_SHUTTING_DOWN, "service is shutting down"
             )
@@ -189,8 +193,8 @@ class PlanningApp:
         return {"utility": utility, "seq": tenant.seq}
 
     async def _do_submit(self, frame: dict[str, Any]) -> dict[str, Any]:
-        tenant = self._published_tenant(frame)
-        if self.manager.closing:
+        tenant = await self._published_tenant(frame)
+        if await self._read(lambda: self.manager.closing):
             raise ProtocolError(
                 E_SHUTTING_DOWN, "service is shutting down"
             )
@@ -220,7 +224,7 @@ class PlanningApp:
         }
 
     async def _do_plan(self, frame: dict[str, Any]) -> dict[str, Any]:
-        tenant = self._published_tenant(frame)
+        tenant = await self._published_tenant(frame)
         user = require(frame, "user", int)
         if not 0 <= user < tenant.platform.instance.n_users:
             raise ProtocolError(
@@ -230,7 +234,7 @@ class PlanningApp:
         return {"user": user, "events": events}
 
     async def _do_attendees(self, frame: dict[str, Any]) -> dict[str, Any]:
-        tenant = self._published_tenant(frame)
+        tenant = await self._published_tenant(frame)
         event = require(frame, "event", int)
         if not 0 <= event < tenant.platform.instance.n_events:
             raise ProtocolError(
@@ -241,7 +245,7 @@ class PlanningApp:
         return {"event": event, "users": users}
 
     async def _do_summary(self, frame: dict[str, Any]) -> dict[str, Any]:
-        tenant = self._published_tenant(frame)
+        tenant = await self._published_tenant(frame)
         audit = await self._read(tenant.platform.snapshot)
         return {
             "audit": audit,
@@ -252,7 +256,7 @@ class PlanningApp:
     async def _do_plan_summary(
         self, frame: dict[str, Any]
     ) -> dict[str, Any]:
-        tenant = self._published_tenant(frame)
+        tenant = await self._published_tenant(frame)
 
         def summarize() -> list[list[int]]:
             summary = PlanSummary.of(tenant.platform.plan)
@@ -265,7 +269,7 @@ class PlanningApp:
 
     async def _do_oplog(self, frame: dict[str, Any]) -> dict[str, Any]:
         """The tenant's applied log — serial-replay ground truth."""
-        tenant = self._published_tenant(frame)
+        tenant = await self._published_tenant(frame)
         operations = await self._read(
             lambda: encode_operations(tenant.platform.applied_log)
         )
@@ -299,15 +303,14 @@ class PlanningApp:
         method, path = scope["method"], scope["path"]
         body = await _read_body(receive)
         if method == "GET" and path == "/healthz":
-            await _send_json(
-                send,
-                200,
-                {
+            health = await self._read(
+                lambda: {
                     "ok": True,
                     "tenants": len(self.manager),
                     "closing": self.manager.closing,
-                },
+                }
             )
+            await _send_json(send, 200, health)
             return
         if method == "GET" and path == "/v1/tenants":
             response, status = await self.dispatch_raw(

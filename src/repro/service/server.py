@@ -363,8 +363,11 @@ async def _serve_until_signalled(
     ready_file: Any = None,
 ) -> int:
     manager = TenantManager(root, backpressure=backpressure, fsync=fsync)
-    recovered = manager.recover_all()
-    manager.start_all()
+    loop = asyncio.get_running_loop()
+    # Recovery replays WALs and fsyncs snapshots — strictly blocking
+    # work, so it runs on the executor even in this pre-serving phase.
+    recovered = await loop.run_in_executor(None, manager.recover_all)
+    await manager.start_all()
     for name, report in recovered:
         if report is not None:
             print(f"recovered tenant {name}: {report.summary()}",
@@ -372,7 +375,6 @@ async def _serve_until_signalled(
     server = ServiceServer(PlanningApp(manager), host=host, port=port)
     await server.start()
     stop = asyncio.Event()
-    loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
         try:
             loop.add_signal_handler(signum, stop.set)
@@ -425,15 +427,26 @@ class ServiceThread:
         self.manager: TenantManager | None = None
         self._backpressure = backpressure
         self._fsync = fsync
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._stop_event: asyncio.Event | None = None
+        # The lifecycle handoff fields are written by the service thread
+        # and read by the controlling thread after ``_started`` fires;
+        # the lock makes the contract checkable (RL003/RL011), not just
+        # implied by the event's ordering.
+        self._lifecycle_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None  # guarded-by: _lifecycle_lock
+        self._stop_event: asyncio.Event | None = None  # guarded-by: _lifecycle_lock
         self._started = threading.Event()
-        self._startup_error: BaseException | None = None
+        self._startup_error: BaseException | None = None  # guarded-by: _lifecycle_lock
         self._thread: threading.Thread | None = None
 
     @property
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop | None:
+        """The service's running loop (for watchdogs); None pre-start."""
+        with self._lifecycle_lock:
+            return self._loop
 
     def start(self) -> "ServiceThread":
         self._thread = threading.Thread(
@@ -444,40 +457,50 @@ class ServiceThread:
         self._thread.start()
         if not self._started.wait(timeout=30):
             raise RuntimeError("service thread failed to start in time")
-        if self._startup_error is not None:
+        with self._lifecycle_lock:
+            startup_error = self._startup_error
+        if startup_error is not None:
             raise RuntimeError(
                 "service thread failed to start"
-            ) from self._startup_error
+            ) from startup_error
         return self
 
     async def _main(self) -> None:
         try:
+            loop = asyncio.get_running_loop()
             self.manager = TenantManager(
                 self.root,
                 backpressure=self._backpressure,
                 fsync=self._fsync,
             )
-            self.manager.recover_all()
-            self.manager.start_all()
+            await loop.run_in_executor(None, self.manager.recover_all)
+            await self.manager.start_all()
             server = ServiceServer(
                 PlanningApp(self.manager), host=self.host, port=0
             )
             await server.start()
             self.port = server.port
-            self._loop = asyncio.get_running_loop()
-            self._stop_event = asyncio.Event()
+            stop_event = asyncio.Event()
+            # repro-lint: ignore[RL009] uncontended microsecond startup handoff
+            with self._lifecycle_lock:
+                self._loop = loop
+                self._stop_event = stop_event
         except BaseException as exc:
-            self._startup_error = exc
+            # repro-lint: ignore[RL009] uncontended microsecond startup handoff
+            with self._lifecycle_lock:
+                self._startup_error = exc
             self._started.set()
             raise
         self._started.set()
-        await self._stop_event.wait()
+        await stop_event.wait()
         await server.stop()
         await self.manager.close_all()
 
     def stop(self) -> None:
-        if self._loop is not None and self._stop_event is not None:
-            self._loop.call_soon_threadsafe(self._stop_event.set)
+        with self._lifecycle_lock:
+            loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            loop.call_soon_threadsafe(stop_event.set)
         if self._thread is not None:
             self._thread.join(timeout=30)
             if self._thread.is_alive():

@@ -176,8 +176,8 @@ class Tenant:
         self.platform = BatchedPlatform(platform=durable)
         self.recovery = recovery
         self._backpressure = backpressure
-        self._inbox: asyncio.Queue | None = None
-        self._worker: asyncio.Task | None = None
+        self._inbox: asyncio.Queue | None = None  # loop-confined
+        self._worker: asyncio.Task | None = None  # loop-confined
         self._obs = get_recorder()
 
     # ------------------------------------------------------------------ #
@@ -204,6 +204,8 @@ class Tenant:
             "published": self.published,
             "seq": self.seq,
             "queue_depth": (
+                # GIL-atomic stale-tolerant read: describe() may run on
+                # an executor thread and tolerates a stale depth.
                 self._inbox.qsize() if self._inbox is not None else 0
             ),
             "users": self.durable.instance.n_users,
@@ -290,12 +292,23 @@ class TenantManager:
         self._fsync = fsync
         self._tenants: dict[str, Tenant] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.closing = False
+        self._closing = False  # guarded-by: _lock
         self._obs = get_recorder()
 
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
+
+    @property
+    def closing(self) -> bool:
+        """Whether shutdown has begun (blocking: takes the registry lock).
+
+        Event-loop callers hop onto the executor for this read; internal
+        code already under ``self._lock`` reads ``self._closing``
+        directly (the lock is not reentrant).
+        """
+        with self._lock:
+            return self._closing
 
     def get(self, name: str) -> Tenant:
         with self._lock:
@@ -331,7 +344,7 @@ class TenantManager:
         two racing creates of one name leave exactly one winner.
         """
         with self._lock:
-            if self.closing:
+            if self._closing:
                 raise ProtocolError(
                     E_SHUTTING_DOWN, "service is shutting down"
                 )
@@ -349,10 +362,10 @@ class TenantManager:
         )
         self._write_spec(spec, directory)
         with self._lock:
-            if self.closing or spec.name in self._tenants:
+            if self._closing or spec.name in self._tenants:
                 tenant.platform.close()
                 code = (
-                    E_SHUTTING_DOWN if self.closing else E_TENANT_EXISTS
+                    E_SHUTTING_DOWN if self._closing else E_TENANT_EXISTS
                 )
                 raise ProtocolError(
                     code, f"tenant {spec.name!r} lost a creation race"
@@ -424,13 +437,22 @@ class TenantManager:
                 self._obs.count("service.tenants_recovered")
         return results
 
-    def start_all(self) -> None:
-        """Start every tenant's worker (after ``recover_all``, on the
-        event loop)."""
-        with self._lock:
-            tenants = list(self._tenants.values())
+    async def start_all(self) -> None:
+        """Start every tenant's worker (after ``recover_all``).
+
+        Runs on the event loop — workers are tasks of the running loop —
+        but takes the registry snapshot on the executor so the loop never
+        waits on ``self._lock``.
+        """
+        tenants = await asyncio.get_running_loop().run_in_executor(
+            None, self._registered
+        )
         for tenant in tenants:
             tenant.start()
+
+    def _registered(self) -> list[Tenant]:
+        with self._lock:
+            return list(self._tenants.values())
 
     # ------------------------------------------------------------------ #
     # Shutdown
@@ -438,12 +460,18 @@ class TenantManager:
 
     async def close_all(self) -> None:
         """Graceful shutdown: stop accepting, drain workers, seal WALs."""
-        with self._lock:
-            self.closing = True
-            tenants = list(self._tenants.values())
+        tenants = await asyncio.get_running_loop().run_in_executor(
+            None, self._begin_close
+        )
         for tenant in tenants:
             await tenant.stop()
         self._obs.count("service.shutdowns")
+
+    def _begin_close(self) -> list[Tenant]:
+        """Flip the closing flag and snapshot the registry (blocking)."""
+        with self._lock:
+            self._closing = True
+            return list(self._tenants.values())
 
 
 __all__ = [

@@ -167,7 +167,17 @@ def test_committed_config_matches_engine_defaults():
     defaults = LintConfig()
     assert committed.paths == defaults.paths
     assert committed.exclude == defaults.exclude
-    assert committed.rule_options == {}
+    # Committed rule tables must restate the registered defaults, not
+    # change them (the TOML-less fallback must behave identically).
+    from repro.lint.registry import RULES
+
+    for code, options in committed.rule_options.items():
+        rule = RULES[code.upper()]
+        for key, value in options.items():
+            assert rule.default_options.get(key) == value, (
+                f"pyproject [tool.repro-lint.rules.{code}] {key} "
+                "diverges from the engine default"
+            )
 
 
 def test_module_name_for_src_layout():

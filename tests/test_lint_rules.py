@@ -538,10 +538,10 @@ def test_rl008_flags_row_free_serving_rewrites():
     assert codes(result) == []
 
 
-def test_all_eight_rules_registered():
+def test_all_rules_registered():
     assert sorted(RULES) == [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-        "RL008",
+        "RL008", "RL009", "RL010", "RL011",
     ]
 
 
